@@ -1,0 +1,91 @@
+//! Microbenchmarks of the matching engine's building blocks: the
+//! per-attribute candidate index (Alg. 2), match-state push/pop (union-find
+//! with rollback), and scoring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ic_core::{score_state, CandidateIndex, MatchState, ScoreConfig};
+use ic_datagen::{mod_cell, Dataset, Scenario};
+use ic_model::TupleId;
+use std::hint::black_box;
+
+fn scenario(rows: usize) -> Scenario {
+    mod_cell(Dataset::Bikeshare, rows, 0.05, 99)
+}
+
+fn bench_candidate_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components/candidate_index");
+    group.sample_size(10);
+    for rows in [1_000usize, 5_000] {
+        let sc = scenario(rows);
+        group.bench_with_input(BenchmarkId::new("build", rows), &rows, |b, _| {
+            b.iter(|| black_box(CandidateIndex::build(&sc.target, sc.rel)))
+        });
+        let index = CandidateIndex::build(&sc.target, sc.rel);
+        group.bench_with_input(BenchmarkId::new("probe_all", rows), &rows, |b, _| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for t in sc.source.tuples(sc.rel) {
+                    total += index.compatible_candidates(&sc.target, t).len();
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_match_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components/match_state");
+    group.sample_size(10);
+    let sc = scenario(2_000);
+    let pairs: Vec<(TupleId, TupleId)> = sc.gold.clone();
+    group.bench_function("push_all_gold_pairs", |b| {
+        b.iter(|| {
+            let mut st = MatchState::new(&sc.source, &sc.target);
+            let mut pushed = 0usize;
+            for &(l, r) in &pairs {
+                if st.try_push_pair(sc.rel, l, r, false).is_ok() {
+                    pushed += 1;
+                }
+            }
+            black_box(pushed)
+        })
+    });
+    group.bench_function("push_pop_cycle", |b| {
+        let mut st = MatchState::new(&sc.source, &sc.target);
+        b.iter(|| {
+            let mut n = 0usize;
+            for &(l, r) in pairs.iter().take(256) {
+                if st.try_push_pair(sc.rel, l, r, false).is_ok() {
+                    st.pop_pair();
+                    n += 1;
+                }
+            }
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components/scoring");
+    group.sample_size(10);
+    let sc = scenario(2_000);
+    let mut st = MatchState::new(&sc.source, &sc.target);
+    for &(l, r) in &sc.gold {
+        let _ = st.try_push_pair(sc.rel, l, r, false);
+    }
+    let cfg = ScoreConfig::default();
+    group.bench_function("score_state_2k", |b| {
+        b.iter(|| black_box(score_state(&st, &cfg, &sc.catalog).score))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_candidate_index,
+    bench_match_state,
+    bench_scoring
+);
+criterion_main!(benches);

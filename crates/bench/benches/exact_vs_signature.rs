@@ -1,0 +1,39 @@
+//! Exact vs Signature head-to-head on instances small enough for the exact
+//! branch-and-bound to terminate — the speed gap the paper quantifies as
+//! "up to three orders of magnitude".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ic_core::{exact_match, signature_match, ExactConfig, SignatureConfig};
+use ic_datagen::{mod_cell, Dataset};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_exact_vs_signature(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_vs_signature");
+    group.sample_size(10);
+    for rows in [30usize, 60, 120] {
+        let sc = mod_cell(Dataset::Bikeshare, rows, 0.05, 7);
+        let exact_cfg = ExactConfig {
+            budget: Some(Duration::from_secs(20)),
+            ..Default::default()
+        };
+        let sig_cfg = SignatureConfig::default();
+        group.bench_with_input(BenchmarkId::new("exact", rows), &rows, |b, _| {
+            b.iter(|| black_box(exact_match(&sc.source, &sc.target, &sc.catalog, &exact_cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("signature", rows), &rows, |b, _| {
+            b.iter(|| {
+                black_box(signature_match(
+                    &sc.source,
+                    &sc.target,
+                    &sc.catalog,
+                    &sig_cfg,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_vs_signature);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Scaling of the signature algorithm with instance size (the time columns
+//! of Tables 2–3): modCell and addRandomAndRedundant scenarios on the
+//! Doctors, Bikeshare and GitHub profiles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ic_core::{signature_match, MatchMode, SignatureConfig};
+use ic_datagen::{add_random_and_redundant, mod_cell, Dataset};
+use std::hint::black_box;
+
+fn bench_mod_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signature/mod_cell");
+    group.sample_size(10);
+    for dataset in [Dataset::Doctors, Dataset::Bikeshare, Dataset::GitHub] {
+        for rows in [500usize, 1_000, 2_000] {
+            let sc = mod_cell(dataset, rows, 0.05, 42);
+            let cfg = SignatureConfig::default();
+            group.bench_with_input(
+                BenchmarkId::new(dataset.short_name(), rows),
+                &rows,
+                |b, _| {
+                    b.iter(|| black_box(signature_match(&sc.source, &sc.target, &sc.catalog, &cfg)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_add_random_and_redundant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signature/add_random_redundant");
+    group.sample_size(10);
+    for dataset in [Dataset::Doctors, Dataset::Bikeshare] {
+        for rows in [500usize, 2_000] {
+            let sc = add_random_and_redundant(dataset, rows, 0.05, 0.10, 0.10, 42);
+            let cfg = SignatureConfig {
+                mode: MatchMode::general(),
+                ..Default::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(dataset.short_name(), rows),
+                &rows,
+                |b, _| {
+                    b.iter(|| black_box(signature_match(&sc.source, &sc.target, &sc.catalog, &cfg)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mod_cell, bench_add_random_and_redundant);
+criterion_main!(benches);

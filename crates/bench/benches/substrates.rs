@@ -1,0 +1,167 @@
+//! Benchmarks of the substrates: the chase and core computation
+//! (data exchange), homomorphism checking, repair systems (data cleaning),
+//! and the Myers line-diff baseline (data versioning).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ic_cleaning::{bus_cleaning_dataset, inject_errors, RepairSystem};
+use ic_core::is_homomorphic;
+use ic_datagen::Dataset;
+use ic_exchange::{chase, core_of, doctors_scenario, ChaseConfig};
+use ic_versioning::{diff_lines, serialize_instance_lines};
+use std::hint::black_box;
+
+fn bench_chase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/chase");
+    group.sample_size(10);
+    for rows in [500usize, 2_000] {
+        let sc = doctors_scenario(rows, 0.2, 3);
+        let mapping = ic_exchange::correct_mapping();
+        group.bench_with_input(BenchmarkId::new("naive", rows), &rows, |b, _| {
+            b.iter(|| {
+                let mut cat = sc.catalog.clone();
+                black_box(chase(
+                    &sc.source,
+                    &mapping,
+                    &mut cat,
+                    &ChaseConfig::naive(),
+                    "U",
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("skolem", rows), &rows, |b, _| {
+            b.iter(|| {
+                let mut cat = sc.catalog.clone();
+                black_box(chase(
+                    &sc.source,
+                    &mapping,
+                    &mut cat,
+                    &ChaseConfig::skolem(),
+                    "C",
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A brute-force homomorphism check (the paper's [9] baseline): plain
+/// backtracking with *every* right tuple as a candidate — no candidate
+/// index, no fail-first ordering. Used only to quantify the speedup of the
+/// indexed search.
+fn is_homomorphic_brute(left: &ic_model::Instance, right: &ic_model::Instance) -> bool {
+    use ic_model::{FxHashMap, NullId, RelId, Value};
+    fn rec(
+        work: &[(RelId, usize)],
+        i: usize,
+        left: &ic_model::Instance,
+        right: &ic_model::Instance,
+        assign: &mut FxHashMap<NullId, Value>,
+    ) -> bool {
+        let Some(&(rel, idx)) = work.get(i) else {
+            return true;
+        };
+        let t = &left.tuples(rel)[idx];
+        'cands: for u in right.tuples(rel) {
+            let mut bound: Vec<NullId> = Vec::new();
+            for (&a, &b) in t.values().iter().zip(u.values()) {
+                match a {
+                    Value::Const(_) => {
+                        if a != b {
+                            for n in bound.drain(..) {
+                                assign.remove(&n);
+                            }
+                            continue 'cands;
+                        }
+                    }
+                    Value::Null(n) => match assign.get(&n) {
+                        Some(&img) if img != b => {
+                            for n in bound.drain(..) {
+                                assign.remove(&n);
+                            }
+                            continue 'cands;
+                        }
+                        Some(_) => {}
+                        None => {
+                            assign.insert(n, b);
+                            bound.push(n);
+                        }
+                    },
+                }
+            }
+            if rec(work, i + 1, left, right, assign) {
+                return true;
+            }
+            for n in bound {
+                assign.remove(&n);
+            }
+        }
+        false
+    }
+    let mut work = Vec::new();
+    for rel_idx in 0..left.num_relations() {
+        let rel = ic_model::RelId(rel_idx as u16);
+        for i in 0..left.tuples(rel).len() {
+            work.push((rel, i));
+        }
+    }
+    let mut assign = FxHashMap::default();
+    rec(&work, 0, left, right, &mut assign)
+}
+
+fn bench_core_and_hom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/core_hom");
+    group.sample_size(10);
+    let sc = doctors_scenario(150, 0.3, 5);
+    group.bench_function("core_of_naive_150", |b| {
+        b.iter(|| black_box(core_of(&sc.user2, &sc.catalog).num_tuples()))
+    });
+    group.bench_function("hom_check_indexed_150", |b| {
+        b.iter(|| black_box(is_homomorphic(&sc.user2, &sc.gold)))
+    });
+    group.bench_function("hom_check_brute_150", |b| {
+        b.iter(|| black_box(is_homomorphic_brute(&sc.user2, &sc.gold)))
+    });
+    group.finish();
+}
+
+fn bench_repair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/repair");
+    group.sample_size(10);
+    let (mut cat, clean, fds) = bus_cleaning_dataset(3_000, 11);
+    let dirty = inject_errors(&clean, &fds, &mut cat, 0.05, 11);
+    for (name, sys) in RepairSystem::all() {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut c2 = cat.clone();
+                black_box(sys.repair(&dirty.instance, &fds, &mut c2, 11).num_tuples())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/diff");
+    group.sample_size(10);
+    let (cat, inst) = Dataset::Nba.generate(2_000, 13);
+    let rel = cat.schema().rel("Nba").unwrap();
+    let lines = serialize_instance_lines(&inst, &cat, rel, &[]);
+    let mut shuffled = lines.clone();
+    shuffled.reverse();
+    group.bench_function("myers_identical_2k", |b| {
+        b.iter(|| black_box(diff_lines(&lines, &lines).matches))
+    });
+    group.bench_function("myers_reversed_2k", |b| {
+        b.iter(|| black_box(diff_lines(&lines, &shuffled).matches))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_chase,
+    bench_core_and_hom,
+    bench_repair,
+    bench_diff
+);
+criterion_main!(benches);

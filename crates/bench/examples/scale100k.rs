@@ -1,0 +1,16 @@
+//! One-off timing probe: the paper-scale 100k-row scenario.
+fn main() {
+    let t0 = std::time::Instant::now();
+    let sc = ic_datagen::mod_cell(ic_datagen::Dataset::Doctors, 100_000, 0.05, 1);
+    println!("scenario built in {:?}", t0.elapsed());
+    let t1 = std::time::Instant::now();
+    let gold = sc.gold_score(&ic_core::ScoreConfig::default());
+    println!("gold computed in {:?}: {gold:.4}", t1.elapsed());
+    let sig = ic_core::signature_match(
+        &sc.source,
+        &sc.target,
+        &sc.catalog,
+        &ic_core::SignatureConfig::default(),
+    );
+    println!("sig: {:.4} in {:?}", sig.best.score(), sig.elapsed);
+}

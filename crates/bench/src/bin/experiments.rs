@@ -1,0 +1,59 @@
+//! Experiment driver: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments [table1|table2|table3|table4|table5|table6|table7|figure8|all]
+//!             [--smoke|--quick|--full|--paper]
+//! ```
+
+use ic_bench::experiments::*;
+use ic_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = Vec::new();
+    let mut scale = Scale::Full;
+    for a in &args {
+        if let Some(s) = Scale::parse(a) {
+            scale = s;
+        } else {
+            which.push(a.clone());
+        }
+    }
+    if which.is_empty() {
+        which.push("all".to_string());
+    }
+
+    for w in which {
+        let reports: Vec<String> = match w.as_str() {
+            "table1" => vec![table1::run()],
+            "table2" => vec![table2::run(scale)],
+            "table3" => vec![table3::run(scale)],
+            "table4" => vec![table4::run(scale)],
+            "table5" => vec![table5::run(scale)],
+            "table6" => vec![table6::run(scale)],
+            "table7" => vec![table7::run(scale)],
+            "figure8" => vec![figure8::run(scale)],
+            "extra" => vec![extra::run(scale)],
+            "all" => vec![
+                table1::run(),
+                table2::run(scale),
+                table3::run(scale),
+                figure8::run(scale),
+                table4::run(scale),
+                table5::run(scale),
+                table6::run(scale),
+                table7::run(scale),
+                extra::run(scale),
+            ],
+            other => {
+                eprintln!(
+                    "unknown experiment {other:?}; expected table1..table7, figure8, extra, or all"
+                );
+                std::process::exit(2);
+            }
+        };
+        for r in reports {
+            println!("{r}");
+        }
+    }
+}

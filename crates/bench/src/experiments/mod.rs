@@ -1,0 +1,13 @@
+//! One module per paper table/figure; each `run` returns the formatted
+//! report that the `experiments` binary prints.
+
+pub mod extra;
+pub mod figure8;
+pub mod sig_vs_exact;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;

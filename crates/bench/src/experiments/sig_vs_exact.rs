@@ -1,0 +1,132 @@
+//! Shared runner for Tables 2 and 3: Exact vs Signature score and time on
+//! generated scenarios. Where the exact algorithm is not attempted (or does
+//! not finish within budget) the gold by-construction score stands in,
+//! marked `*` exactly like the paper.
+
+use crate::fmt::{f3, secs, TextTable};
+use crate::scale::Scale;
+use ic_core::{exact_match, signature_match, ExactConfig, MatchMode, ScoreConfig, SignatureConfig};
+use ic_datagen::{build_scenario, Dataset, ScenarioParams};
+
+/// Which scenario family to run.
+#[derive(Debug, Clone, Copy)]
+pub struct TableSpec {
+    /// Report title.
+    pub title: &'static str,
+    /// Scenario parameters (seed is overridden per size).
+    pub params: ScenarioParams,
+    /// Tuple-mapping restrictions for both algorithms.
+    pub mode: MatchMode,
+}
+
+/// The datasets used by Tables 2–3.
+pub const DATASETS: [Dataset; 3] = [Dataset::Doctors, Dataset::Bikeshare, Dataset::GitHub];
+
+/// Runs one table.
+pub fn run(scale: Scale, spec: &TableSpec) -> String {
+    let score_cfg = ScoreConfig::default();
+    let mut t = TextTable::new(&[
+        "Data",
+        "#T src",
+        "#C src",
+        "#V src",
+        "#T tgt",
+        "#C tgt",
+        "#V tgt",
+        "Ex/Gold Score",
+        "Sig Score",
+        "Diff",
+        "Sig T(s)",
+        "Ex T(s)",
+    ]);
+
+    for dataset in DATASETS {
+        for &rows in &scale.table23_sizes() {
+            let mut params = spec.params;
+            params.seed = 0xBEEF ^ rows as u64 ^ (dataset.short_name().len() as u64) << 32;
+            let sc = build_scenario(dataset, rows, &params);
+            let src = sc.source.stats();
+            let tgt = sc.target.stats();
+
+            // Reference score: exact when affordable, gold otherwise.
+            let run_exact = rows <= scale.exact_max_rows();
+            let (ref_score, ref_label, exact_time) = if run_exact {
+                let cfg = ExactConfig {
+                    mode: spec.mode,
+                    score: score_cfg,
+                    budget: Some(scale.exact_budget()),
+                    ..Default::default()
+                };
+                let out = exact_match(&sc.source, &sc.target, &sc.catalog, &cfg);
+                if out.optimal {
+                    (out.best.score(), String::new(), secs(out.elapsed))
+                } else {
+                    // Timed out: fall back to the better of incumbent/gold,
+                    // marked like the paper's by-construction scores.
+                    let gold = sc.gold_score(&score_cfg);
+                    (
+                        out.best.score().max(gold),
+                        "*".to_string(),
+                        format!("{}+", secs(out.elapsed)),
+                    )
+                }
+            } else {
+                (sc.gold_score(&score_cfg), "*".to_string(), "-".to_string())
+            };
+
+            let sig_cfg = SignatureConfig {
+                mode: spec.mode,
+                score: score_cfg,
+                ..Default::default()
+            };
+            let sig = signature_match(&sc.source, &sc.target, &sc.catalog, &sig_cfg);
+
+            t.row(vec![
+                dataset.short_name().to_string(),
+                src.tuples.to_string(),
+                src.distinct_consts.to_string(),
+                src.null_cells.to_string(),
+                tgt.tuples.to_string(),
+                tgt.distinct_consts.to_string(),
+                tgt.null_cells.to_string(),
+                format!("{}{}", f3(ref_score), ref_label),
+                f3(sig.best.score()),
+                f3((ref_score - sig.best.score()).abs()),
+                secs(sig.elapsed),
+                exact_time,
+            ]);
+        }
+    }
+    format!(
+        "{}\n(* = score by construction / budget-capped, as in the paper)\n\n{}",
+        spec.title,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_rows() {
+        let spec = TableSpec {
+            title: "smoke",
+            params: ScenarioParams {
+                cell_noise: 0.05,
+                random_frac: 0.0,
+                redundant_frac: 0.0,
+                typos: false,
+                seed: 0,
+            },
+            mode: MatchMode::one_to_one(),
+        };
+        // Tiny ad-hoc scale to keep the test fast: reuse Quick but shrink by
+        // running only the rendering path.
+        let s = run(Scale::Smoke, &spec);
+        assert!(s.contains("Doct"));
+        assert!(s.contains("Sig Score"));
+        // 3 datasets × 1 size = 3 data rows + header + separator + title.
+        assert!(s.lines().filter(|l| !l.is_empty()).count() >= 7);
+    }
+}

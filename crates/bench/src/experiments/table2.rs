@@ -1,0 +1,35 @@
+//! Table 2: Exact vs Signature on *modCell* scenarios (5% noise,
+//! functional and injective 1-to-1 mappings).
+
+use super::sig_vs_exact::{run as run_table, TableSpec};
+use crate::scale::Scale;
+use ic_core::MatchMode;
+use ic_datagen::ScenarioParams;
+
+/// Regenerates Table 2.
+pub fn run(scale: Scale) -> String {
+    run_table(
+        scale,
+        &TableSpec {
+            title: "Table 2: Exact (Ex) vs Signature (Sig) — modCell 5%, 1-to-1.",
+            params: ScenarioParams {
+                cell_noise: 0.05,
+                random_frac: 0.0,
+                redundant_frac: 0.0,
+                typos: false,
+                seed: 0,
+            },
+            mode: MatchMode::one_to_one(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn smoke() {
+        let s = super::run(crate::scale::Scale::Smoke);
+        assert!(s.contains("Table 2"));
+        assert!(s.contains("modCell"));
+    }
+}

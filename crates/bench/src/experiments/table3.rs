@@ -1,0 +1,36 @@
+//! Table 3: Exact vs Signature on *addRandomAndRedundant* scenarios
+//! (5% cell noise, 10% random + 10% redundant tuples, n-to-m mappings).
+
+use super::sig_vs_exact::{run as run_table, TableSpec};
+use crate::scale::Scale;
+use ic_core::MatchMode;
+use ic_datagen::ScenarioParams;
+
+/// Regenerates Table 3.
+pub fn run(scale: Scale) -> String {
+    run_table(
+        scale,
+        &TableSpec {
+            title: "Table 3: Exact (Ex) vs Signature (Sig) — addRandomAndRedundant \
+                    (C%=5, Rnd%=Red%=10), n-to-m.",
+            params: ScenarioParams {
+                cell_noise: 0.05,
+                random_frac: 0.10,
+                redundant_frac: 0.10,
+                typos: false,
+                seed: 0,
+            },
+            mode: MatchMode::general(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn smoke() {
+        let s = super::run(crate::scale::Scale::Smoke);
+        assert!(s.contains("Table 3"));
+        assert!(s.contains("n-to-m"));
+    }
+}

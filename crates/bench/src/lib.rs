@@ -1,0 +1,14 @@
+//! # ic-bench — experiment harness and benchmarks
+//!
+//! Regenerates every table and figure of the paper's evaluation (Sec. 7):
+//! run `cargo run --release -p ic-bench --bin experiments -- all` or pick a
+//! single experiment (`table2`, `figure8`, …). Criterion microbenchmarks
+//! live under `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod fmt;
+pub mod scale;
+
+pub use scale::Scale;

@@ -1,0 +1,128 @@
+//! Experiment scale presets.
+//!
+//! The paper's full runs go up to 100k tuples and let the exact algorithm
+//! burn up to 8 hours; the presets here trade that ceiling for practical
+//! turnaround while preserving every qualitative comparison.
+
+use std::time::Duration;
+
+/// Sizing preset for the experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny sizes for unit/CI smoke tests (fractions of a second).
+    Smoke,
+    /// Small sizes for smoke runs (~seconds per table).
+    Quick,
+    /// The default evaluation scale (~minutes for the whole suite).
+    Full,
+    /// The paper's sizes where feasible (adds the 100k rows).
+    Paper,
+}
+
+impl Scale {
+    /// Instance sizes for Tables 2–3.
+    pub fn table23_sizes(&self) -> Vec<usize> {
+        match self {
+            Scale::Smoke => vec![60],
+            Scale::Quick => vec![500, 1_000],
+            Scale::Full => vec![500, 1_000, 5_000, 10_000],
+            Scale::Paper => vec![500, 1_000, 5_000, 10_000, 100_000],
+        }
+    }
+
+    /// Largest size on which the exact algorithm is attempted.
+    pub fn exact_max_rows(&self) -> usize {
+        match self {
+            Scale::Smoke => 60,
+            Scale::Quick => 500,
+            Scale::Full | Scale::Paper => 1_000,
+        }
+    }
+
+    /// Wall-clock budget per exact run (the paper used 8 hours).
+    pub fn exact_budget(&self) -> Duration {
+        match self {
+            Scale::Smoke => Duration::from_secs(2),
+            Scale::Quick => Duration::from_secs(5),
+            Scale::Full => Duration::from_secs(30),
+            Scale::Paper => Duration::from_secs(60),
+        }
+    }
+
+    /// Rows for the Figure 8 sweep (the paper used 1k).
+    pub fn figure8_rows(&self) -> usize {
+        match self {
+            Scale::Smoke => 80,
+            Scale::Quick => 300,
+            Scale::Full | Scale::Paper => 1_000,
+        }
+    }
+
+    /// Percentages of changed cells for Figure 8.
+    pub fn figure8_percents(&self) -> Vec<usize> {
+        match self {
+            Scale::Smoke => vec![5, 25],
+            Scale::Quick => vec![1, 5, 10, 25, 50],
+            Scale::Full | Scale::Paper => vec![1, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50],
+        }
+    }
+
+    /// Rows for the Table 5 cleaning run (the paper's Bus has 20k).
+    pub fn table5_rows(&self) -> usize {
+        match self {
+            Scale::Smoke => 300,
+            Scale::Quick => 3_000,
+            Scale::Full => 10_000,
+            Scale::Paper => 20_000,
+        }
+    }
+
+    /// Distinct source rows for the two Table 6 scenario sizes.
+    pub fn table6_sizes(&self) -> Vec<usize> {
+        match self {
+            Scale::Smoke => vec![100],
+            Scale::Quick => vec![500],
+            Scale::Full => vec![2_000, 8_000],
+            Scale::Paper => vec![5_000, 20_000],
+        }
+    }
+
+    /// NBA rows for Table 7 (Iris is always 120).
+    pub fn table7_nba_rows(&self) -> usize {
+        match self {
+            Scale::Smoke => 200,
+            Scale::Quick => 2_000,
+            Scale::Full | Scale::Paper => 9_360,
+        }
+    }
+
+    /// Parses a CLI flag.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "smoke" | "--smoke" => Some(Scale::Smoke),
+            "quick" | "--quick" => Some(Scale::Quick),
+            "full" | "--full" => Some(Scale::Full),
+            "paper" | "--paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered() {
+        assert!(Scale::Quick.table23_sizes().len() <= Scale::Full.table23_sizes().len());
+        assert!(Scale::Full.table23_sizes().len() <= Scale::Paper.table23_sizes().len());
+        assert!(Scale::Quick.exact_budget() < Scale::Paper.exact_budget());
+    }
+
+    #[test]
+    fn parsing() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("--paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("nope"), None);
+    }
+}

@@ -1,0 +1,182 @@
+//! Lightweight FD utilities: satisfaction checks and naive discovery of
+//! unit (single-attribute LHS) functional dependencies.
+//!
+//! Discovery lets the cleaning pipeline run on datasets whose constraints
+//! are not declared: it proposes the FDs that hold on a (supposedly clean)
+//! sample, which the repair systems then enforce on the dirty instance.
+//! The algorithm is the textbook partition-refinement check specialized to
+//! unit LHS — quadratic in the arity, linear in the instance size.
+
+use crate::fd::{violations, Fd};
+use ic_model::{AttrId, Catalog, FxHashMap, Instance, RelId, Value};
+
+/// Whether `fd` holds on `instance` (no violation groups).
+pub fn holds(instance: &Instance, fd: &Fd) -> bool {
+    violations(instance, fd).is_empty()
+}
+
+/// Discovers all *unit* FDs `A → B` (single-attribute LHS, `A ≠ B`) that
+/// hold on `instance`'s relation `rel`, ignoring tuples with nulls in the
+/// tested attributes.
+///
+/// `min_support` filters trivial findings: an FD is only reported when at
+/// least one LHS value keys ≥ `min_support` tuples (with `min_support ≤ 1`
+/// everything passes, including key-like columns whose groups are all
+/// singletons).
+#[allow(clippy::needless_range_loop)] // rhs indexes two parallel arrays
+pub fn discover_unit_fds(
+    instance: &Instance,
+    catalog: &Catalog,
+    rel: RelId,
+    min_support: usize,
+) -> Vec<Fd> {
+    let arity = catalog.schema().relation(rel).arity();
+    let mut out = Vec::new();
+    for lhs in 0..arity {
+        // Partition by LHS constant; track the (unique?) RHS constant per
+        // group for every other attribute simultaneously.
+        let lhs_attr = AttrId(lhs as u16);
+        // group key -> (count, per-rhs-attribute unique constant or conflict)
+        let mut groups: FxHashMap<Value, (usize, Vec<Option<Value>>)> = FxHashMap::default();
+        let mut broken = vec![false; arity];
+        for t in instance.tuples(rel) {
+            let key = t.value(lhs_attr);
+            if key.is_null() {
+                continue;
+            }
+            let entry = groups.entry(key).or_insert_with(|| (0, vec![None; arity]));
+            entry.0 += 1;
+            for rhs in 0..arity {
+                if rhs == lhs || broken[rhs] {
+                    continue;
+                }
+                let v = t.value(AttrId(rhs as u16));
+                if v.is_null() {
+                    continue;
+                }
+                match entry.1[rhs] {
+                    None => entry.1[rhs] = Some(v),
+                    Some(prev) if prev != v => broken[rhs] = true,
+                    Some(_) => {}
+                }
+            }
+        }
+        let has_support = groups.values().any(|(count, _)| *count >= min_support);
+        if !has_support {
+            continue;
+        }
+        for rhs in 0..arity {
+            if rhs != lhs && !broken[rhs] {
+                out.push(Fd {
+                    rel,
+                    lhs: vec![lhs_attr],
+                    rhs: AttrId(rhs as u16),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::bus_cleaning_dataset;
+    use ic_model::Schema;
+
+    #[test]
+    fn holds_detects_violation() {
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let rel = RelId(0);
+        let (a, x, y) = (cat.konst("a"), cat.konst("x"), cat.konst("y"));
+        let mut inst = Instance::new("I", &cat);
+        inst.insert(rel, vec![a, x]);
+        inst.insert(rel, vec![a, x]);
+        let fd = Fd::new(&cat, "R", &["A"], "B");
+        assert!(holds(&inst, &fd));
+        inst.insert(rel, vec![a, y]);
+        assert!(!holds(&inst, &fd));
+    }
+
+    #[test]
+    fn discovery_finds_constructed_fds() {
+        let (cat, inst, fds) = bus_cleaning_dataset(400, 17);
+        let rel = fds[0].rel;
+        let discovered = discover_unit_fds(&inst, &cat, rel, 2);
+        // The two constructed FDs (route → operator, route → region) must be
+        // among the discovered ones.
+        for fd in &fds {
+            assert!(
+                discovered
+                    .iter()
+                    .any(|d| d.lhs == fd.lhs && d.rhs == fd.rhs),
+                "constructed FD not discovered: {fd:?}"
+            );
+        }
+        // Every discovered FD actually holds.
+        for fd in &discovered {
+            assert!(holds(&inst, fd), "spurious FD: {fd:?}");
+        }
+    }
+
+    #[test]
+    fn discovery_rejects_broken_fds() {
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B", "C"]));
+        let rel = RelId(0);
+        let (a1, a2, b1, b2, c1) = (
+            cat.konst("a1"),
+            cat.konst("a2"),
+            cat.konst("b1"),
+            cat.konst("b2"),
+            cat.konst("c1"),
+        );
+        let mut inst = Instance::new("I", &cat);
+        inst.insert(rel, vec![a1, b1, c1]);
+        inst.insert(rel, vec![a1, b2, c1]); // breaks A → B
+        inst.insert(rel, vec![a2, b1, c1]);
+        let discovered = discover_unit_fds(&inst, &cat, rel, 2);
+        assert!(!discovered
+            .iter()
+            .any(|d| d.lhs == vec![AttrId(0)] && d.rhs == AttrId(1)));
+        assert!(discovered
+            .iter()
+            .any(|d| d.lhs == vec![AttrId(0)] && d.rhs == AttrId(2)));
+    }
+
+    #[test]
+    fn min_support_filters_key_columns() {
+        // A unique column trivially "determines" everything; with
+        // min_support = 2 it is filtered out.
+        let mut cat = Catalog::new(Schema::single("R", &["Id", "B"]));
+        let rel = RelId(0);
+        let (i1, i2, b1, b2) = (
+            cat.konst("i1"),
+            cat.konst("i2"),
+            cat.konst("b1"),
+            cat.konst("b2"),
+        );
+        let mut inst = Instance::new("I", &cat);
+        inst.insert(rel, vec![i1, b1]);
+        inst.insert(rel, vec![i2, b2]);
+        let with_support = discover_unit_fds(&inst, &cat, rel, 2);
+        assert!(!with_support.iter().any(|d| d.lhs == vec![AttrId(0)]));
+        let without = discover_unit_fds(&inst, &cat, rel, 1);
+        assert!(without.iter().any(|d| d.lhs == vec![AttrId(0)]));
+    }
+
+    #[test]
+    fn nulls_are_ignored_during_discovery() {
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let rel = RelId(0);
+        let (a, x) = (cat.konst("a"), cat.konst("x"));
+        let n = cat.fresh_null();
+        let mut inst = Instance::new("I", &cat);
+        inst.insert(rel, vec![a, x]);
+        inst.insert(rel, vec![a, n]); // null does not break A → B
+        inst.insert(rel, vec![n, x]); // null LHS skipped
+        let discovered = discover_unit_fds(&inst, &cat, rel, 2);
+        assert!(discovered
+            .iter()
+            .any(|d| d.lhs == vec![AttrId(0)] && d.rhs == AttrId(1)));
+    }
+}

@@ -1,0 +1,139 @@
+//! BART-style error injection (the paper’s error-generation tool, reference \[8\]).
+//!
+//! Errors are injected into the right-hand-side cells of the given FDs so
+//! every injected error is *detectable*: it creates (or deepens) a violation
+//! group that repair systems will see. The injector records every dirtied
+//! cell with its original value — the gold repair.
+
+use crate::fd::Fd;
+use ic_model::{AttrId, Catalog, Instance, TupleId, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One injected error: cell plus original (gold) and dirty values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedError {
+    /// The dirtied tuple.
+    pub tuple: TupleId,
+    /// The dirtied attribute.
+    pub attr: AttrId,
+    /// The clean (gold) value.
+    pub gold: Value,
+    /// The injected dirty value.
+    pub dirty: Value,
+}
+
+/// A dirty instance with its error log.
+#[derive(Debug)]
+pub struct DirtyInstance {
+    /// The instance with errors injected.
+    pub instance: Instance,
+    /// All injected errors (the gold repairs).
+    pub errors: Vec<InjectedError>,
+}
+
+/// Injects `rate × rows × |fds|` errors into the RHS cells of `fds`,
+/// replacing the clean value with a *typo* constant (a fresh constant not in
+/// the clean domain). Each cell is dirtied at most once.
+pub fn inject_errors(
+    clean: &Instance,
+    fds: &[Fd],
+    catalog: &mut Catalog,
+    rate: f64,
+    seed: u64,
+) -> DirtyInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut instance = clean.clone();
+    instance.set_name(format!("{}-dirty", clean.name()));
+    let mut errors = Vec::new();
+    let mut dirtied: ic_model::FxHashSet<(TupleId, AttrId)> = ic_model::FxHashSet::default();
+
+    for fd in fds {
+        let ids: Vec<TupleId> = instance.tuples(fd.rel).iter().map(|t| t.id()).collect();
+        if ids.is_empty() {
+            continue;
+        }
+        let n_errors = (ids.len() as f64 * rate).round() as usize;
+        let mut injected = 0usize;
+        let mut attempts = 0usize;
+        while injected < n_errors && attempts < n_errors * 20 {
+            attempts += 1;
+            let tid = ids[rng.random_range(0..ids.len())];
+            if dirtied.contains(&(tid, fd.rhs)) {
+                continue;
+            }
+            let gold = instance.tuple(tid).expect("exists").value(fd.rhs);
+            if gold.is_null() {
+                continue;
+            }
+            let dirty = catalog.konst(&format!("typo_{}_{injected}_{seed}", fd.rhs.0));
+            instance.set_value(tid, fd.rhs, dirty);
+            dirtied.insert((tid, fd.rhs));
+            errors.push(InjectedError {
+                tuple: tid,
+                attr: fd.rhs,
+                gold,
+                dirty,
+            });
+            injected += 1;
+        }
+    }
+    DirtyInstance { instance, errors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::bus_cleaning_dataset;
+    use crate::fd::violations;
+
+    #[test]
+    fn errors_are_recorded_and_applied() {
+        let (mut cat, clean, fds) = bus_cleaning_dataset(300, 7);
+        let dirty = inject_errors(&clean, &fds, &mut cat, 0.05, 7);
+        assert!(!dirty.errors.is_empty());
+        for e in &dirty.errors {
+            let cur = dirty.instance.tuple(e.tuple).unwrap().value(e.attr);
+            assert_eq!(cur, e.dirty);
+            assert_ne!(cur, e.gold);
+            let orig = clean.tuple(e.tuple).unwrap().value(e.attr);
+            assert_eq!(orig, e.gold);
+        }
+    }
+
+    #[test]
+    fn errors_create_detectable_violations() {
+        let (mut cat, clean, fds) = bus_cleaning_dataset(600, 8);
+        let dirty = inject_errors(&clean, &fds, &mut cat, 0.05, 8);
+        let total_violations: usize = fds
+            .iter()
+            .map(|fd| violations(&dirty.instance, fd).len())
+            .sum();
+        assert!(total_violations > 0);
+        // Most errors land in groups of size ≥ 2 and are detectable.
+        let grouped: usize = fds
+            .iter()
+            .flat_map(|fd| violations(&dirty.instance, fd))
+            .map(|g| g.tuples.len())
+            .sum();
+        assert!(grouped >= dirty.errors.len() / 2);
+    }
+
+    #[test]
+    fn each_cell_dirtied_at_most_once() {
+        let (mut cat, clean, fds) = bus_cleaning_dataset(100, 9);
+        let dirty = inject_errors(&clean, &fds, &mut cat, 0.30, 9);
+        let mut seen = ic_model::FxHashSet::default();
+        for e in &dirty.errors {
+            assert!(seen.insert((e.tuple, e.attr)), "cell dirtied twice");
+        }
+    }
+
+    #[test]
+    fn zero_rate_injects_nothing() {
+        let (mut cat, clean, fds) = bus_cleaning_dataset(100, 10);
+        let dirty = inject_errors(&clean, &fds, &mut cat, 0.0, 10);
+        assert!(dirty.errors.is_empty());
+        assert_eq!(dirty.instance.num_tuples(), clean.num_tuples());
+    }
+}

@@ -1,0 +1,222 @@
+//! Functional dependencies and violation detection.
+//!
+//! An FD `R : A_1…A_k → B` is violated by tuples agreeing on the left-hand
+//! side but holding different constants on the right-hand side. Violation
+//! groups are the unit that constraint-repair systems operate on: each group
+//! is repaired by picking one value (or a labeled null marking the
+//! conflict, see [`crate::systems`]).
+
+use ic_model::{AttrId, Catalog, FxHashMap, Instance, RelId, Sym, TupleId, Value};
+
+/// A functional dependency over one relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fd {
+    /// The relation the FD constrains.
+    pub rel: RelId,
+    /// Left-hand-side attributes.
+    pub lhs: Vec<AttrId>,
+    /// Right-hand-side attribute.
+    pub rhs: AttrId,
+}
+
+impl Fd {
+    /// Builds an FD by attribute names.
+    ///
+    /// # Panics
+    /// Panics if the relation or an attribute does not exist.
+    pub fn new(catalog: &Catalog, rel: &str, lhs: &[&str], rhs: &str) -> Self {
+        let rel_id = catalog
+            .schema()
+            .rel(rel)
+            .unwrap_or_else(|| panic!("unknown relation {rel:?}"));
+        let schema = catalog.schema().relation(rel_id);
+        let lhs_ids = lhs
+            .iter()
+            .map(|a| {
+                schema
+                    .attr(a)
+                    .unwrap_or_else(|| panic!("unknown attribute {a:?}"))
+            })
+            .collect();
+        let rhs_id = schema
+            .attr(rhs)
+            .unwrap_or_else(|| panic!("unknown attribute {rhs:?}"));
+        Self {
+            rel: rel_id,
+            lhs: lhs_ids,
+            rhs: rhs_id,
+        }
+    }
+}
+
+/// A group of tuples agreeing on an FD's left-hand side with conflicting
+/// right-hand-side constants.
+#[derive(Debug, Clone)]
+pub struct ViolationGroup {
+    /// The violated FD's right-hand-side attribute (for convenience).
+    pub rhs: AttrId,
+    /// Tuples in the group (all share the LHS key).
+    pub tuples: Vec<TupleId>,
+    /// Distinct RHS constants with their frequencies, most frequent first.
+    pub rhs_counts: Vec<(Sym, usize)>,
+}
+
+impl ViolationGroup {
+    /// The majority constant and its frequency ratio within the group's
+    /// constant cells.
+    pub fn majority(&self) -> (Sym, f64) {
+        let total: usize = self.rhs_counts.iter().map(|&(_, c)| c).sum();
+        let (sym, cnt) = self.rhs_counts[0];
+        (sym, cnt as f64 / total as f64)
+    }
+
+    /// Whether the top frequency is tied with the runner-up.
+    pub fn is_tied(&self) -> bool {
+        self.rhs_counts.len() > 1 && self.rhs_counts[0].1 == self.rhs_counts[1].1
+    }
+}
+
+/// Finds all violation groups of `fd` in `instance`. Tuples with nulls on
+/// the LHS are skipped (they key nothing); null RHS cells participate in the
+/// group but contribute no constant.
+/// # Example
+///
+/// ```
+/// use ic_model::{Catalog, Instance, Schema};
+/// use ic_cleaning::{violations, Fd};
+///
+/// let mut cat = Catalog::new(Schema::single("Conf", &["Name", "Org"]));
+/// let rel = cat.schema().rel("Conf").unwrap();
+/// let (vldb, a, b) = (cat.konst("VLDB"), cat.konst("OrgA"), cat.konst("OrgB"));
+/// let mut inst = Instance::new("I", &cat);
+/// inst.insert(rel, vec![vldb, a]);
+/// inst.insert(rel, vec![vldb, b]); // conflicts on Name → Org
+/// let fd = Fd::new(&cat, "Conf", &["Name"], "Org");
+/// assert_eq!(violations(&inst, &fd).len(), 1);
+/// ```
+pub fn violations(instance: &Instance, fd: &Fd) -> Vec<ViolationGroup> {
+    let mut groups: FxHashMap<Vec<Value>, Vec<TupleId>> = FxHashMap::default();
+    'tuples: for t in instance.tuples(fd.rel) {
+        let mut key = Vec::with_capacity(fd.lhs.len());
+        for &a in &fd.lhs {
+            let v = t.value(a);
+            if v.is_null() {
+                continue 'tuples;
+            }
+            key.push(v);
+        }
+        groups.entry(key).or_default().push(t.id());
+    }
+
+    let mut out = Vec::new();
+    for (_, tuples) in groups {
+        if tuples.len() < 2 {
+            continue;
+        }
+        let mut counts: FxHashMap<Sym, usize> = FxHashMap::default();
+        for &tid in &tuples {
+            if let Some(Value::Const(s)) = instance.tuple(tid).map(|t| t.value(fd.rhs)) {
+                *counts.entry(s).or_default() += 1;
+            }
+        }
+        if counts.len() < 2 {
+            continue; // consistent (or at most one constant): no violation
+        }
+        let mut rhs_counts: Vec<(Sym, usize)> = counts.into_iter().collect();
+        rhs_counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out.push(ViolationGroup {
+            rhs: fd.rhs,
+            tuples,
+            rhs_counts,
+        });
+    }
+    // Deterministic order for reproducibility.
+    out.sort_by_key(|g| g.tuples[0]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_model::Schema;
+
+    fn setup() -> (Catalog, Instance, Fd) {
+        let cat = Catalog::new(Schema::single("Conf", &["Name", "Org"]));
+        let rel = cat.schema().rel("Conf").unwrap();
+        let inst = Instance::new("I", &cat);
+        let fd = Fd::new(&cat, "Conf", &["Name"], "Org");
+        let _ = rel;
+        (cat, inst, fd)
+    }
+
+    #[test]
+    fn detects_conflicting_group() {
+        let (mut cat, mut inst, fd) = setup();
+        let rel = fd.rel;
+        let vldb = cat.konst("VLDB");
+        let end = cat.konst("VLDB End.");
+        let end2 = cat.konst("VLDB Endowment");
+        let acm = cat.konst("ACM");
+        let sigmod = cat.konst("SIGMOD");
+        inst.insert(rel, vec![vldb, end]);
+        inst.insert(rel, vec![vldb, end2]);
+        inst.insert(rel, vec![vldb, end]);
+        inst.insert(rel, vec![sigmod, acm]);
+        let v = violations(&inst, &fd);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].tuples.len(), 3);
+        let (maj, ratio) = v[0].majority();
+        assert_eq!(maj, end.as_const().unwrap());
+        assert!((ratio - 2.0 / 3.0).abs() < 1e-12);
+        assert!(!v[0].is_tied());
+    }
+
+    #[test]
+    fn tie_detection() {
+        let (mut cat, mut inst, fd) = setup();
+        let rel = fd.rel;
+        let vldb = cat.konst("VLDB");
+        let (x, y) = (cat.konst("X"), cat.konst("Y"));
+        inst.insert(rel, vec![vldb, x]);
+        inst.insert(rel, vec![vldb, y]);
+        let v = violations(&inst, &fd);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].is_tied());
+    }
+
+    #[test]
+    fn consistent_instance_has_no_violations() {
+        let (mut cat, mut inst, fd) = setup();
+        let rel = fd.rel;
+        let vldb = cat.konst("VLDB");
+        let end = cat.konst("End");
+        inst.insert(rel, vec![vldb, end]);
+        inst.insert(rel, vec![vldb, end]);
+        assert!(violations(&inst, &fd).is_empty());
+    }
+
+    #[test]
+    fn null_lhs_is_skipped_null_rhs_participates() {
+        let (mut cat, mut inst, fd) = setup();
+        let rel = fd.rel;
+        let vldb = cat.konst("VLDB");
+        let (x, y) = (cat.konst("X"), cat.konst("Y"));
+        let n = cat.fresh_null();
+        inst.insert(rel, vec![n, x]); // null LHS: skipped
+        inst.insert(rel, vec![vldb, x]);
+        inst.insert(rel, vec![vldb, y]);
+        inst.insert(rel, vec![vldb, n]); // null RHS: in group, no constant
+        let v = violations(&inst, &fd);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].tuples.len(), 3);
+        assert_eq!(v[0].rhs_counts.len(), 2);
+    }
+
+    #[test]
+    fn fd_construction_by_name() {
+        let (cat, _inst, fd) = setup();
+        assert_eq!(fd.lhs, vec![AttrId(0)]);
+        assert_eq!(fd.rhs, AttrId(1));
+        let _ = cat;
+    }
+}

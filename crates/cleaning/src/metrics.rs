@@ -1,0 +1,182 @@
+//! Cleaning-quality metrics (paper Table 5).
+//!
+//! * **F1** — the standard data-cleaning metric: precision/recall of the
+//!   system's cell repairs against the gold values, evaluated on changed
+//!   cells. A labeled null introduced by a system differs from the gold
+//!   constant and therefore counts as a wrong repair — the deficiency the
+//!   paper highlights.
+//! * **F1 Inst** — cell accuracy over the *whole* instance (precision =
+//!   recall = accuracy when comparing complete instances cell by cell).
+//!
+//! The similarity score (computed by `ic-core`'s signature algorithm in the
+//! experiment harness) is the paper's proposed replacement: it credits
+//! labeled nulls with the λ-weighted score instead of zero.
+
+use crate::errors::InjectedError;
+use ic_model::{Instance, RelId};
+
+/// Precision / recall / F1 triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrF1 {
+    /// Precision.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+    /// Harmonic mean.
+    pub f1: f64,
+}
+
+fn f1(p: f64, r: f64) -> PrF1 {
+    let f = if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    };
+    PrF1 {
+        precision: p,
+        recall: r,
+        f1: f,
+    }
+}
+
+/// The standard repair F1: over the cells the system changed (w.r.t. the
+/// dirty instance), how many now hold the gold value; recall over the
+/// injected error cells.
+pub fn repair_f1(
+    gold: &Instance,
+    dirty: &Instance,
+    repaired: &Instance,
+    errors: &[InjectedError],
+) -> PrF1 {
+    let mut changed = 0usize;
+    let mut correct = 0usize;
+    for rel_idx in 0..gold.num_relations() {
+        let rel = RelId(rel_idx as u16);
+        for ((g, d), r) in gold
+            .tuples(rel)
+            .iter()
+            .zip(dirty.tuples(rel))
+            .zip(repaired.tuples(rel))
+        {
+            for ((gv, dv), rv) in g.values().iter().zip(d.values()).zip(r.values()) {
+                if rv != dv {
+                    changed += 1;
+                    if rv == gv {
+                        correct += 1;
+                    }
+                }
+            }
+        }
+    }
+    let p = if changed == 0 {
+        0.0
+    } else {
+        correct as f64 / changed as f64
+    };
+    let r = if errors.is_empty() {
+        0.0
+    } else {
+        // Recall: dirty cells restored to gold.
+        let restored = errors
+            .iter()
+            .filter(|e| {
+                repaired
+                    .tuple(e.tuple)
+                    .map(|t| t.value(e.attr) == e.gold)
+                    .unwrap_or(false)
+            })
+            .count();
+        restored as f64 / errors.len() as f64
+    };
+    f1(p, r)
+}
+
+/// Instance-level F1: cell accuracy of the repaired instance against gold
+/// (precision = recall when both instances have identical shape).
+pub fn instance_f1(gold: &Instance, repaired: &Instance) -> PrF1 {
+    let mut total = 0usize;
+    let mut equal = 0usize;
+    for rel_idx in 0..gold.num_relations() {
+        let rel = RelId(rel_idx as u16);
+        for (g, r) in gold.tuples(rel).iter().zip(repaired.tuples(rel)) {
+            for (gv, rv) in g.values().iter().zip(r.values()) {
+                total += 1;
+                equal += (gv == rv) as usize;
+            }
+        }
+    }
+    let acc = if total == 0 {
+        1.0
+    } else {
+        equal as f64 / total as f64
+    };
+    f1(acc, acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::bus_cleaning_dataset;
+    use crate::errors::inject_errors;
+    use crate::systems::RepairSystem;
+
+    #[test]
+    fn perfect_repair_scores_one() {
+        let (mut cat, clean, fds) = bus_cleaning_dataset(300, 31);
+        let dirty = inject_errors(&clean, &fds, &mut cat, 0.05, 31);
+        // "Oracle" repair: restore every error.
+        let mut oracle = dirty.instance.clone();
+        for e in &dirty.errors {
+            oracle.set_value(e.tuple, e.attr, e.gold);
+        }
+        let m = repair_f1(&clean, &dirty.instance, &oracle, &dirty.errors);
+        assert_eq!(m.f1, 1.0);
+        assert_eq!(instance_f1(&clean, &oracle).f1, 1.0);
+    }
+
+    #[test]
+    fn no_repair_scores_zero_f1_but_high_instance_f1() {
+        let (mut cat, clean, fds) = bus_cleaning_dataset(300, 32);
+        let dirty = inject_errors(&clean, &fds, &mut cat, 0.05, 32);
+        let m = repair_f1(&clean, &dirty.instance, &dirty.instance, &dirty.errors);
+        assert_eq!(m.f1, 0.0);
+        let inst = instance_f1(&clean, &dirty.instance);
+        assert!(inst.f1 > 0.95, "few cells are dirty: {}", inst.f1);
+    }
+
+    #[test]
+    fn null_repairs_hurt_f1_less_than_instance_accuracy_suggests() {
+        // The Table 5 narrative: Holistic's nulls depress F1 while the
+        // instance stays almost perfect.
+        let (mut cat, clean, fds) = bus_cleaning_dataset(900, 33);
+        let dirty = inject_errors(&clean, &fds, &mut cat, 0.05, 33);
+        let hol =
+            RepairSystem::Holistic { threshold: 0.7 }.repair(&dirty.instance, &fds, &mut cat, 33);
+        let llu = RepairSystem::Llunatic.repair(&dirty.instance, &fds, &mut cat, 33);
+        let f1_hol = repair_f1(&clean, &dirty.instance, &hol, &dirty.errors).f1;
+        let f1_llu = repair_f1(&clean, &dirty.instance, &llu, &dirty.errors).f1;
+        assert!(f1_hol < f1_llu, "holistic {f1_hol} !< llunatic {f1_llu}");
+        assert!(instance_f1(&clean, &hol).f1 > 0.95);
+    }
+
+    #[test]
+    fn sampling_has_lowest_f1() {
+        let (mut cat, clean, fds) = bus_cleaning_dataset(900, 34);
+        let dirty = inject_errors(&clean, &fds, &mut cat, 0.05, 34);
+        let mut scores = Vec::new();
+        for (name, sys) in RepairSystem::all() {
+            let mut c = cat.clone();
+            let rep = sys.repair(&dirty.instance, &fds, &mut c, 34);
+            scores.push((
+                name,
+                repair_f1(&clean, &dirty.instance, &rep, &dirty.errors).f1,
+            ));
+        }
+        let sampling = scores.iter().find(|(n, _)| *n == "Sampling").unwrap().1;
+        let llunatic = scores.iter().find(|(n, _)| *n == "Llunatic").unwrap().1;
+        assert!(
+            sampling < llunatic,
+            "sampling {sampling} !< llunatic {llunatic}"
+        );
+    }
+}

@@ -1,0 +1,852 @@
+//! The approximate *signature* algorithm (paper Alg. 3 + 4).
+//!
+//! A signature of a tuple is a positional encoding of some of its constants
+//! (Def. 6.2). The algorithm greedily builds an instance match in three
+//! steps:
+//!
+//! 1. hash the *maximal* signatures of one side into a signature map and
+//!    probe it with the signatures of the other side (Property 1 guarantees
+//!    every hit is c-compatible);
+//! 2. repeat in the opposite direction, catching tuples whose constant
+//!    positions are a superset instead of a subset;
+//! 3. complete the match with a greedy pass over the remaining compatible
+//!    tuples (`CompatibleTuples`, the same index as the exact algorithm).
+//!
+//! Instead of enumerating the powerset of a probing tuple's ground
+//! attributes, the implementation enumerates only the *distinct ground-
+//! attribute sets present in the signature map*, in decreasing size — every
+//! other subset misses the map by construction, so the result is identical
+//! to the paper's enumeration while avoiding the `2^arity` factor.
+//!
+//! Partial matches (Sec. 6.3) are supported by populating the map with all
+//! signatures (Property 2) under a configurable cap and by letting
+//! conflicting cells stay misaligned rather than failing a pair.
+
+use crate::compat::CandidateIndex;
+use crate::mapping::{InstanceMatch, MatchMode, Pair};
+use crate::score::{score_state, ScoreConfig};
+use crate::state::MatchState;
+use crate::universe::Side;
+use ic_model::{Catalog, FxHashMap, FxHashSet, Instance, RelId, Sym, Tuple, TupleId, Value};
+use std::time::{Duration, Instant};
+
+/// Configuration of the signature algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct SignatureConfig {
+    /// Injectivity restrictions (paper cases 1–4 in Sec. 6.2).
+    pub mode: MatchMode,
+    /// Scoring parameters.
+    pub score: ScoreConfig,
+    /// Enables the partial-match variant (Sec. 6.3): signature maps hold
+    /// *all* signatures and pairs may leave conflicting cells misaligned.
+    pub partial: bool,
+    /// In partial mode, at most this many signatures are indexed per tuple
+    /// (largest first); bounds the combinatorial factor in the arity.
+    pub max_signatures_per_tuple: usize,
+    /// Ablation switch: probe with the paper's literal enumeration of *all*
+    /// subsets of a tuple's ground attributes (Alg. 4 line 6) instead of
+    /// only the attribute sets present in the signature map. Semantically
+    /// equivalent — every subset absent from the map misses by construction
+    /// — but combinatorial in the arity; kept for the ablation benchmarks.
+    pub literal_subset_enumeration: bool,
+}
+
+impl Default for SignatureConfig {
+    fn default() -> Self {
+        Self {
+            mode: MatchMode::one_to_one(),
+            score: ScoreConfig::default(),
+            partial: false,
+            max_signatures_per_tuple: 4096,
+            literal_subset_enumeration: false,
+        }
+    }
+}
+
+/// Step attribution statistics (paper Table 4 ablation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SignatureStats {
+    /// Matches discovered by the signature-based passes (step 1+2).
+    pub sig_matches: usize,
+    /// Matches discovered by the exhaustive completion (step 3).
+    pub exhaustive_matches: usize,
+    /// Score of the match after the signature-based passes only.
+    pub sig_score: f64,
+    /// Final score after completion.
+    pub final_score: f64,
+}
+
+/// Result of a signature run.
+#[derive(Debug, Clone)]
+pub struct SignatureOutcome {
+    /// The greedy instance match.
+    pub best: InstanceMatch,
+    /// Step attribution statistics.
+    pub stats: SignatureStats,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+/// Bitmask of the attributes where the tuple holds constants. Signature
+/// indexing requires arity ≤ 128; wider relations skip the signature passes
+/// and rely on the completion step only.
+fn ground_mask(t: &Tuple) -> u128 {
+    let mut mask = 0u128;
+    for (i, v) in t.values().iter().enumerate() {
+        if v.is_const() {
+            mask |= 1u128 << i;
+        }
+    }
+    mask
+}
+
+/// The signature key of `t` on the attribute set `mask`: its constants at
+/// the mask positions in ascending attribute order (Def. 6.2's
+/// lexicographic-order requirement is met by the fixed positional order).
+fn signature_key(t: &Tuple, mask: u128) -> Box<[Sym]> {
+    let mut key = Vec::with_capacity(mask.count_ones() as usize);
+    let mut m = mask;
+    while m != 0 {
+        let i = m.trailing_zeros() as usize;
+        match t.values()[i] {
+            Value::Const(s) => key.push(s),
+            Value::Null(_) => unreachable!("mask must select constant positions"),
+        }
+        m &= m - 1;
+    }
+    key.into_boxed_slice()
+}
+
+/// Tuples of one bucket keyed by their signature on the bucket's mask.
+type KeyedTuples = FxHashMap<Box<[Sym]>, Vec<TupleId>>;
+
+/// Signature map of one side of one relation: for each distinct attribute
+/// set (mask), the tuples keyed by their signature on that set.
+struct SigMap {
+    /// `(mask, key → tuples)` sorted by decreasing mask size.
+    buckets: Vec<(u128, KeyedTuples)>,
+    /// Bucket index by mask (for the literal-enumeration ablation).
+    by_mask: FxHashMap<u128, usize>,
+}
+
+impl SigMap {
+    /// Builds the map over `tuples`. In complete mode only maximal
+    /// signatures are indexed (Alg. 4 line 3); in partial mode all
+    /// signatures up to the per-tuple cap (Sec. 6.3).
+    fn build(tuples: &[Tuple], partial: bool, max_per_tuple: usize) -> Self {
+        let mut by_mask: FxHashMap<u128, KeyedTuples> = FxHashMap::default();
+        for t in tuples {
+            if t.arity() > 128 {
+                continue;
+            }
+            let gmask = ground_mask(t);
+            if partial {
+                for mask in subsets_desc(gmask, max_per_tuple) {
+                    by_mask
+                        .entry(mask)
+                        .or_default()
+                        .entry(signature_key(t, mask))
+                        .or_default()
+                        .push(t.id());
+                }
+            } else {
+                by_mask
+                    .entry(gmask)
+                    .or_default()
+                    .entry(signature_key(t, gmask))
+                    .or_default()
+                    .push(t.id());
+            }
+        }
+        let mut buckets: Vec<_> = by_mask.into_iter().collect();
+        buckets.sort_by_key(|(mask, _)| std::cmp::Reverse(mask.count_ones()));
+        let by_mask = buckets
+            .iter()
+            .enumerate()
+            .map(|(i, (mask, _))| (*mask, i))
+            .collect();
+        Self { buckets, by_mask }
+    }
+}
+
+/// Enumerates subsets of `mask` in decreasing popcount order, up to `cap`
+/// subsets (the full mask first, the empty set last). Used by the partial
+/// variant; the empty signature is skipped because it matches everything.
+fn subsets_desc(mask: u128, cap: usize) -> Vec<u128> {
+    let bits: Vec<u128> = (0..128)
+        .filter(|i| mask & (1u128 << i) != 0)
+        .map(|i| 1u128 << i)
+        .collect();
+    let n = bits.len();
+    let mut out = Vec::new();
+    // Enumerate by decreasing size; sizes beyond what the cap allows are cut.
+    'outer: for size in (1..=n).rev() {
+        // Gosper-style enumeration of size-`size` index combinations.
+        let mut idx: Vec<usize> = (0..size).collect();
+        loop {
+            let m = idx.iter().fold(0u128, |acc, &i| acc | bits[i]);
+            out.push(m);
+            if out.len() >= cap {
+                break 'outer;
+            }
+            // next combination
+            let mut i = size;
+            loop {
+                if i == 0 {
+                    break;
+                }
+                i -= 1;
+                if idx[i] != i + n - size {
+                    idx[i] += 1;
+                    for j in i + 1..size {
+                        idx[j] = idx[j - 1] + 1;
+                    }
+                    break;
+                }
+                if i == 0 {
+                    continue 'outer;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Shared mutable context of one signature run.
+struct Run<'b> {
+    state: MatchState<'b>,
+    cfg: SignatureConfig,
+    /// Matched flags per side (dense by tuple id).
+    left_matched: Vec<bool>,
+    right_matched: Vec<bool>,
+    /// Already-recorded pairs (n-to-m mode may revisit candidates).
+    seen: FxHashSet<(TupleId, TupleId)>,
+}
+
+impl Run<'_> {
+    /// Attempts to record pair `(lt, rt)`; returns whether it was added.
+    fn try_match(&mut self, rel: RelId, lt: TupleId, rt: TupleId) -> bool {
+        let mode = self.cfg.mode;
+        if mode.left_injective && self.left_matched[lt.0 as usize] {
+            return false;
+        }
+        if mode.right_injective && self.right_matched[rt.0 as usize] {
+            return false;
+        }
+        if self.seen.contains(&(lt, rt)) {
+            return false;
+        }
+        if self
+            .state
+            .try_push_pair(rel, lt, rt, self.cfg.partial)
+            .is_err()
+        {
+            return false;
+        }
+        self.seen.insert((lt, rt));
+        self.left_matched[lt.0 as usize] = true;
+        self.right_matched[rt.0 as usize] = true;
+        true
+    }
+
+    /// One signature pass (Alg. 4): `sig_side`'s maximal signatures are
+    /// indexed; the opposite side probes. Returns the number of matches.
+    fn find_sig_matches(&mut self, rel: RelId, sig_side: Side) -> usize {
+        let (sig_tuples, probe_tuples) = match sig_side {
+            Side::Left => (
+                self.state.left().tuples(rel),
+                self.state.right().tuples(rel),
+            ),
+            Side::Right => (
+                self.state.right().tuples(rel),
+                self.state.left().tuples(rel),
+            ),
+        };
+        if sig_tuples.first().map_or(0, Tuple::arity) > 128 {
+            return 0; // fall back to the exhaustive completion
+        }
+        let sigmap = SigMap::build(
+            sig_tuples,
+            self.cfg.partial,
+            self.cfg.max_signatures_per_tuple,
+        );
+        // Clone probe tuple descriptors to avoid borrowing `state` during
+        // mutation: ids + masks only.
+        let probes: Vec<(TupleId, u128)> = probe_tuples
+            .iter()
+            .map(|t| (t.id(), ground_mask(t)))
+            .collect();
+        let mode = self.cfg.mode;
+        let mut found = 0usize;
+
+        for (probe_id, probe_mask) in probes {
+            // Injectivity of the probe side: skip fully matched probes.
+            let probe_injective = match sig_side {
+                Side::Left => mode.right_injective,
+                Side::Right => mode.left_injective,
+            };
+            let probe_matched = match sig_side {
+                Side::Left => self.right_matched[probe_id.0 as usize],
+                Side::Right => self.left_matched[probe_id.0 as usize],
+            };
+            if probe_injective && probe_matched {
+                continue;
+            }
+            // Masks to probe, largest first. The default enumerates only the
+            // attribute sets present in the map; the ablation variant
+            // enumerates every subset of the probe's ground attributes and
+            // filters to those present (identical hits, more work).
+            let bucket_order: Vec<usize> = if self.cfg.literal_subset_enumeration {
+                subsets_desc(probe_mask, self.cfg.max_signatures_per_tuple)
+                    .into_iter()
+                    .filter_map(|m| sigmap.by_mask.get(&m).copied())
+                    .collect()
+            } else {
+                (0..sigmap.buckets.len())
+                    .filter(|&bi| {
+                        let mask = sigmap.buckets[bi].0;
+                        mask & probe_mask == mask
+                    })
+                    .collect()
+            };
+            'probe: for bi in bucket_order {
+                let (mask, _) = sigmap.buckets[bi];
+                let probe_tuple = match sig_side {
+                    Side::Left => self.state.right().tuple(probe_id),
+                    Side::Right => self.state.left().tuple(probe_id),
+                }
+                .expect("probe tuple exists");
+                let key = signature_key(probe_tuple, mask);
+                let candidates: Vec<TupleId> =
+                    sigmap.buckets[bi].1.get(&key).cloned().unwrap_or_default();
+                for cand in candidates {
+                    let (lt, rt) = match sig_side {
+                        Side::Left => (cand, probe_id),
+                        Side::Right => (probe_id, cand),
+                    };
+                    if self.try_match(rel, lt, rt) {
+                        found += 1;
+                        if probe_injective {
+                            break 'probe;
+                        }
+                    }
+                }
+            }
+        }
+        found
+    }
+
+    /// Step 3 (Alg. 3 lines 5–13): greedy completion over the remaining
+    /// compatible tuples. Returns the number of matches added.
+    fn complete(&mut self, rel: RelId) -> usize {
+        let mode = self.cfg.mode;
+        let index = CandidateIndex::build(self.state.right(), rel);
+        let left_ids: Vec<TupleId> = self
+            .state
+            .left()
+            .tuples(rel)
+            .iter()
+            .map(Tuple::id)
+            .collect();
+        let mut found = 0usize;
+        for lt in left_ids {
+            if mode.left_injective && self.left_matched[lt.0 as usize] {
+                continue;
+            }
+            let t = self.state.left().tuple(lt).expect("tuple exists");
+            // Complete matches restrict candidates to compatible tuples; the
+            // partial variant (Sec. 6.3) only requires a shared constant.
+            let candidates = if self.cfg.partial {
+                index.overlap_candidates(t)
+            } else {
+                index.compatible_candidates(self.state.right(), t)
+            };
+            for rt in candidates {
+                if self.try_match(rel, lt, rt) {
+                    found += 1;
+                    if mode.left_injective {
+                        break;
+                    }
+                }
+            }
+        }
+        found
+    }
+}
+
+/// Runs the signature algorithm on two instances sharing `catalog`'s schema.
+pub fn signature_match(
+    left: &Instance,
+    right: &Instance,
+    catalog: &Catalog,
+    cfg: &SignatureConfig,
+) -> SignatureOutcome {
+    let start = Instant::now();
+    let mut run = Run {
+        state: MatchState::new(left, right),
+        cfg: *cfg,
+        left_matched: vec![false; left.id_bound()],
+        right_matched: vec![false; right.id_bound()],
+        seen: FxHashSet::default(),
+    };
+
+    let mut sig_matches = 0usize;
+    for rel in catalog.schema().rel_ids() {
+        sig_matches += run.find_sig_matches(rel, Side::Left);
+        sig_matches += run.find_sig_matches(rel, Side::Right);
+    }
+    let sig_score = score_state(&run.state, &cfg.score, catalog).score;
+
+    let mut exhaustive_matches = 0usize;
+    for rel in catalog.schema().rel_ids() {
+        exhaustive_matches += run.complete(rel);
+    }
+    let details = score_state(&run.state, &cfg.score, catalog);
+    let final_score = details.score;
+
+    let best = InstanceMatch {
+        pairs: run.state.pairs().collect::<Vec<Pair>>(),
+        left_mapping: run.state.value_mapping(Side::Left),
+        right_mapping: run.state.value_mapping(Side::Right),
+        details,
+    };
+    SignatureOutcome {
+        best,
+        stats: SignatureStats {
+            sig_matches,
+            exhaustive_matches,
+            sig_score,
+            final_score,
+        },
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_model::Schema;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn subsets_desc_order_and_content() {
+        let mask = 0b1011u128;
+        let subs = subsets_desc(mask, 1000);
+        assert_eq!(subs.len(), 7); // non-empty subsets of a 3-bit mask
+        assert_eq!(subs[0], mask);
+        // Decreasing popcount.
+        for w in subs.windows(2) {
+            assert!(w[0].count_ones() >= w[1].count_ones());
+        }
+        // All are subsets.
+        assert!(subs.iter().all(|s| s & mask == *s && *s != 0));
+        // Cap respected.
+        assert_eq!(subsets_desc(mask, 3).len(), 3);
+    }
+
+    #[test]
+    fn identical_ground_instances() {
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let rel = RelId(0);
+        let (a, b) = (cat.konst("a"), cat.konst("b"));
+        let mut l = Instance::new("I", &cat);
+        l.insert(rel, vec![a, b]);
+        l.insert(rel, vec![b, a]);
+        let r = l.clone();
+        let out = signature_match(&l, &r, &cat, &SignatureConfig::default());
+        assert!((out.best.score() - 1.0).abs() < EPS);
+        assert_eq!(out.stats.sig_matches, 2);
+        assert_eq!(out.stats.exhaustive_matches, 0);
+    }
+
+    #[test]
+    fn isomorphic_with_nulls_scores_one() {
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let rel = RelId(0);
+        let a = cat.konst("a");
+        let n1 = cat.fresh_null();
+        let n2 = cat.fresh_null();
+        let mut l = Instance::new("I", &cat);
+        l.insert(rel, vec![n1, a]);
+        let mut r = Instance::new("J", &cat);
+        r.insert(rel, vec![n2, a]);
+        let out = signature_match(&l, &r, &cat, &SignatureConfig::default());
+        assert!((out.best.score() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn crossed_null_positions_found_in_completion() {
+        // I = {(N, b)}, I' = {(a, M)}: no signature-based match (maximal
+        // signatures are on different attribute sets), found in step 3.
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let rel = RelId(0);
+        let (a, b) = (cat.konst("a"), cat.konst("b"));
+        let n = cat.fresh_null();
+        let m = cat.fresh_null();
+        let mut l = Instance::new("I", &cat);
+        l.insert(rel, vec![n, b]);
+        let mut r = Instance::new("J", &cat);
+        r.insert(rel, vec![a, m]);
+        let out = signature_match(&l, &r, &cat, &SignatureConfig::default());
+        assert_eq!(out.stats.sig_matches, 0);
+        assert_eq!(out.stats.exhaustive_matches, 1);
+        assert_eq!(out.best.pairs.len(), 1);
+        assert!(out.best.score() > 0.0);
+    }
+
+    #[test]
+    fn subset_signature_found_in_first_pass() {
+        // Left tuple has fewer constants: (a, N); right is (a, b). The
+        // left maximal signature [A:a] is a signature of the right tuple.
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let rel = RelId(0);
+        let (a, b) = (cat.konst("a"), cat.konst("b"));
+        let n = cat.fresh_null();
+        let mut l = Instance::new("I", &cat);
+        l.insert(rel, vec![a, n]);
+        let mut r = Instance::new("J", &cat);
+        r.insert(rel, vec![a, b]);
+        let out = signature_match(&l, &r, &cat, &SignatureConfig::default());
+        assert_eq!(out.stats.sig_matches, 1);
+        assert_eq!(out.stats.exhaustive_matches, 0);
+    }
+
+    #[test]
+    fn superset_signature_found_in_second_pass() {
+        // Left tuple has more constants than right: (a, b) vs (a, M):
+        // pass 1 (left sigmap, right probes) cannot hit [A:a, B:b] with the
+        // right tuple's only constant a, but pass 2 indexes the right side's
+        // maximal signature [A:a] and probes with the left tuple.
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let rel = RelId(0);
+        let (a, b) = (cat.konst("a"), cat.konst("b"));
+        let m = cat.fresh_null();
+        let mut l = Instance::new("I", &cat);
+        l.insert(rel, vec![a, b]);
+        let mut r = Instance::new("J", &cat);
+        r.insert(rel, vec![a, m]);
+        let out = signature_match(&l, &r, &cat, &SignatureConfig::default());
+        assert_eq!(out.stats.sig_matches, 1);
+    }
+
+    #[test]
+    fn one_to_one_respects_injectivity() {
+        let mut cat = Catalog::new(Schema::single("R", &["A"]));
+        let rel = RelId(0);
+        let a = cat.konst("a");
+        let mut l = Instance::new("I", &cat);
+        l.insert(rel, vec![a]);
+        l.insert(rel, vec![a]);
+        let mut r = Instance::new("J", &cat);
+        r.insert(rel, vec![a]);
+        let out = signature_match(&l, &r, &cat, &SignatureConfig::default());
+        assert_eq!(out.best.pairs.len(), 1);
+        assert!(out.best.is_left_injective() && out.best.is_right_injective());
+    }
+
+    #[test]
+    fn general_mode_matches_n_to_m() {
+        let mut cat = Catalog::new(Schema::single("R", &["A"]));
+        let rel = RelId(0);
+        let a = cat.konst("a");
+        let mut l = Instance::new("I", &cat);
+        l.insert(rel, vec![a]);
+        l.insert(rel, vec![a]);
+        let mut r = Instance::new("J", &cat);
+        r.insert(rel, vec![a]);
+        let cfg = SignatureConfig {
+            mode: MatchMode::general(),
+            ..Default::default()
+        };
+        let out = signature_match(&l, &r, &cat, &cfg);
+        assert_eq!(out.best.pairs.len(), 2);
+        assert!((out.best.score() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn general_mode_never_duplicates_pairs() {
+        // A pair reachable both via signatures and the completion step must
+        // appear exactly once in the match.
+        let mut cat = Catalog::new(Schema::single("R", &["A"]));
+        let rel = ic_model::RelId(0);
+        let a = cat.konst("a");
+        let mut l = Instance::new("I", &cat);
+        l.insert(rel, vec![a]);
+        let mut r = Instance::new("J", &cat);
+        r.insert(rel, vec![a]);
+        let cfg = SignatureConfig {
+            mode: MatchMode::general(),
+            ..Default::default()
+        };
+        let out = signature_match(&l, &r, &cat, &cfg);
+        assert_eq!(out.best.pairs.len(), 1);
+        let mut seen = ic_model::FxHashSet::default();
+        for p in &out.best.pairs {
+            assert!(seen.insert((p.left, p.right)), "duplicate pair");
+        }
+    }
+
+    #[test]
+    fn value_consistency_enforced_across_pairs() {
+        // Shared left null forced to two different constants: only one of
+        // the two candidate pairs can be kept.
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let rel = RelId(0);
+        let (a, b, c, d) = (
+            cat.konst("a"),
+            cat.konst("b"),
+            cat.konst("c"),
+            cat.konst("d"),
+        );
+        let n = cat.fresh_null();
+        let mut l = Instance::new("I", &cat);
+        l.insert(rel, vec![a, n]);
+        l.insert(rel, vec![c, n]);
+        let mut r = Instance::new("J", &cat);
+        r.insert(rel, vec![a, b]); // forces n -> b
+        r.insert(rel, vec![c, d]); // would force n -> d
+        let out = signature_match(&l, &r, &cat, &SignatureConfig::default());
+        assert_eq!(out.best.pairs.len(), 1);
+    }
+
+    #[test]
+    fn partial_mode_matches_conflicting_tuples() {
+        // (a, x) vs (a, y): complete mode finds nothing, partial mode pairs
+        // them on the shared signature [A:a].
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let rel = RelId(0);
+        let (a, x, y) = (cat.konst("a"), cat.konst("x"), cat.konst("y"));
+        let mut l = Instance::new("I", &cat);
+        l.insert(rel, vec![a, x]);
+        let mut r = Instance::new("J", &cat);
+        r.insert(rel, vec![a, y]);
+        let complete = signature_match(&l, &r, &cat, &SignatureConfig::default());
+        assert_eq!(complete.best.pairs.len(), 0);
+        let cfg = SignatureConfig {
+            partial: true,
+            ..Default::default()
+        };
+        let partial = signature_match(&l, &r, &cat, &cfg);
+        assert_eq!(partial.best.pairs.len(), 1);
+        // One aligned cell of two: score 2·(1/2)/4 = 0.25... per-tuple:
+        // pair score = 1 + 0 = 1; tuple scores 1 and 1; total 2/4.
+        assert!((partial.best.score() - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn stats_attribute_steps() {
+        // One signature-based match and one completion match.
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let rel = RelId(0);
+        let (a, b, c) = (cat.konst("a"), cat.konst("b"), cat.konst("c"));
+        let n = cat.fresh_null();
+        let m = cat.fresh_null();
+        let mut l = Instance::new("I", &cat);
+        l.insert(rel, vec![a, b]); // sig match with (a, b)
+        l.insert(rel, vec![n, c]); // crossed nulls: completion
+        let mut r = Instance::new("J", &cat);
+        r.insert(rel, vec![a, b]);
+        r.insert(rel, vec![a, m]);
+        let out = signature_match(&l, &r, &cat, &SignatureConfig::default());
+        assert_eq!(out.stats.sig_matches, 1);
+        assert_eq!(out.stats.exhaustive_matches, 1);
+        assert!(out.stats.final_score >= out.stats.sig_score);
+    }
+
+    #[test]
+    fn empty_instances_score_one() {
+        let cat = Catalog::new(Schema::single("R", &["A"]));
+        let l = Instance::new("I", &cat);
+        let r = Instance::new("J", &cat);
+        let out = signature_match(&l, &r, &cat, &SignatureConfig::default());
+        assert_eq!(out.best.score(), 1.0);
+    }
+}
+
+#[cfg(test)]
+mod wide_relation_tests {
+    use super::*;
+    use ic_model::Schema;
+
+    /// Relations wider than 128 attributes cannot use bitmask signatures;
+    /// the algorithm must still match everything via the completion step.
+    #[test]
+    fn arity_above_128_falls_back_to_completion() {
+        let names: Vec<String> = (0..130).map(|i| format!("A{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let mut cat = Catalog::new(Schema::single("W", &refs));
+        let rel = ic_model::RelId(0);
+        let mut left = Instance::new("I", &cat);
+        let mut right = Instance::new("J", &cat);
+        for row in 0..5 {
+            let vals: Vec<ic_model::Value> =
+                (0..130).map(|c| cat.konst(&format!("v{row}_{c}"))).collect();
+            left.insert(rel, vals.clone());
+            right.insert(rel, vals);
+        }
+        let out = signature_match(&left, &right, &cat, &SignatureConfig::default());
+        assert_eq!(out.stats.sig_matches, 0, "no bitmask signatures possible");
+        assert_eq!(out.stats.exhaustive_matches, 5);
+        assert!((out.best.score() - 1.0).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod wide_u128_tests {
+    use super::*;
+    use ic_model::Schema;
+
+    /// Arity between 65 and 128 now uses bitmask signatures (u128 masks).
+    #[test]
+    fn arity_between_65_and_128_uses_signatures() {
+        let names: Vec<String> = (0..80).map(|i| format!("A{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let mut cat = Catalog::new(Schema::single("W", &refs));
+        let rel = ic_model::RelId(0);
+        let mut left = Instance::new("I", &cat);
+        let mut right = Instance::new("J", &cat);
+        for row in 0..4 {
+            let mut vals: Vec<ic_model::Value> = (0..80)
+                .map(|c| cat.konst(&format!("v{row}_{c}")))
+                .collect();
+            left.insert(rel, vals.clone());
+            // Right: null out a late attribute (position 79 needs the high
+            // mask word).
+            vals[79] = cat.fresh_null();
+            right.insert(rel, vals);
+        }
+        let out = signature_match(&left, &right, &cat, &SignatureConfig::default());
+        assert_eq!(out.stats.sig_matches, 4, "signature pass must fire");
+        assert_eq!(out.best.pairs.len(), 4);
+        assert!(out.best.score() > 0.9);
+    }
+}
+
+#[cfg(test)]
+mod ablation_tests {
+    use super::*;
+    use ic_model::Schema;
+
+    /// The literal subset enumeration must find the same matches as the
+    /// mask-grouped default on representative inputs.
+    #[test]
+    fn literal_enumeration_is_equivalent() {
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B", "C"]));
+        let rel = ic_model::RelId(0);
+        let mut left = Instance::new("I", &cat);
+        let mut right = Instance::new("J", &cat);
+        for i in 0..30 {
+            let a = cat.konst(&format!("a{}", i % 7));
+            let b = cat.konst(&format!("b{}", i % 5));
+            let c = cat.konst(&format!("c{i}"));
+            let n = cat.fresh_null();
+            let m = cat.fresh_null();
+            left.insert(rel, vec![a, if i % 3 == 0 { n } else { b }, c]);
+            right.insert(rel, vec![if i % 4 == 0 { m } else { a }, b, c]);
+        }
+        let default_cfg = SignatureConfig::default();
+        let literal_cfg = SignatureConfig {
+            literal_subset_enumeration: true,
+            ..Default::default()
+        };
+        let d = signature_match(&left, &right, &cat, &default_cfg);
+        let l = signature_match(&left, &right, &cat, &literal_cfg);
+        assert_eq!(d.best.pairs.len(), l.best.pairs.len());
+        assert!((d.best.score() - l.best.score()).abs() < 1e-12);
+        assert_eq!(d.stats.sig_matches, l.stats.sig_matches);
+    }
+
+    /// Same equivalence in partial mode (Property 2 probing).
+    #[test]
+    fn literal_enumeration_equivalent_in_partial_mode() {
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let rel = ic_model::RelId(0);
+        let (a, x, y) = (cat.konst("a"), cat.konst("x"), cat.konst("y"));
+        let mut left = Instance::new("I", &cat);
+        left.insert(rel, vec![a, x]);
+        let mut right = Instance::new("J", &cat);
+        right.insert(rel, vec![a, y]);
+        for literal in [false, true] {
+            let cfg = SignatureConfig {
+                partial: true,
+                literal_subset_enumeration: literal,
+                ..Default::default()
+            };
+            let out = signature_match(&left, &right, &cat, &cfg);
+            assert_eq!(out.best.pairs.len(), 1, "literal={literal}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod mode_tests {
+    use super::*;
+    use ic_model::Schema;
+
+    /// Paper Sec. 4.3: "multiple patient records for a person with missing
+    /// information that get merged into a complete record" — requires a
+    /// left-injective (but not right-injective) mapping.
+    #[test]
+    fn patient_merge_requires_left_functional_mode() {
+        let mut cat = Catalog::new(Schema::single("Patient", &["Name", "Phone", "Insurance"]));
+        let rel = ic_model::RelId(0);
+        let alice = cat.konst("Alice");
+        let phone = cat.konst("555-1234");
+        let ins = cat.konst("ACME");
+        let (n1, n2) = (cat.fresh_null(), cat.fresh_null());
+        // Two partial records...
+        let mut left = Instance::new("fragments", &cat);
+        left.insert(rel, vec![alice, phone, n1]);
+        left.insert(rel, vec![alice, n2, ins]);
+        // ...merged into one complete record.
+        let mut right = Instance::new("merged", &cat);
+        right.insert(rel, vec![alice, phone, ins]);
+
+        let cfg = SignatureConfig {
+            mode: MatchMode::left_functional(),
+            ..Default::default()
+        };
+        let out = signature_match(&left, &right, &cat, &cfg);
+        assert_eq!(out.best.pairs.len(), 2, "both fragments map to the merge");
+        assert!(out.best.is_left_injective());
+        assert!(!out.best.is_right_injective());
+        // Strictly 1-1 mode can only match one fragment.
+        let strict = signature_match(&left, &right, &cat, &SignatureConfig::default());
+        assert_eq!(strict.best.pairs.len(), 1);
+        assert!(out.best.score() > strict.best.score());
+    }
+
+    /// The same pairs pushed in any order give the same score (score is a
+    /// function of the pair set, not the push order).
+    #[test]
+    fn score_is_order_independent() {
+        use crate::score::score_state;
+        use crate::state::MatchState;
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let rel = ic_model::RelId(0);
+        let a = cat.konst("a");
+        let (n1, n2, m1, m2) = (
+            cat.fresh_null(),
+            cat.fresh_null(),
+            cat.fresh_null(),
+            cat.fresh_null(),
+        );
+        let mut l = Instance::new("I", &cat);
+        let t0 = l.insert(rel, vec![a, n1]);
+        let t1 = l.insert(rel, vec![n2, a]);
+        let mut r = Instance::new("J", &cat);
+        let u0 = r.insert(rel, vec![a, m1]);
+        let u1 = r.insert(rel, vec![m2, a]);
+        let cfgs = ScoreConfig::default();
+        let mut s1 = MatchState::new(&l, &r);
+        s1.try_push_pair(rel, t0, u0, false).unwrap();
+        s1.try_push_pair(rel, t1, u1, false).unwrap();
+        let mut s2 = MatchState::new(&l, &r);
+        s2.try_push_pair(rel, t1, u1, false).unwrap();
+        s2.try_push_pair(rel, t0, u0, false).unwrap();
+        let a1 = score_state(&s1, &cfgs, &cat).score;
+        let a2 = score_state(&s2, &cfgs, &cat).score;
+        assert!((a1 - a2).abs() < 1e-12);
+    }
+}

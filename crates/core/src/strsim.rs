@@ -1,0 +1,87 @@
+//! String similarity for the partial-match extension.
+//!
+//! The paper's future-work section (Sec. 9) proposes scoring conflicting
+//! constants by string similarity instead of 0. We provide banded
+//! Levenshtein distance and a normalized similarity in `[0, 1]`.
+
+/// Levenshtein edit distance between `a` and `b` (unit costs), computed on
+/// Unicode scalar values with the classic two-row dynamic program.
+/// ```
+/// assert_eq!(ic_core::strsim::levenshtein("kitten", "sitting"), 3);
+/// ```
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    if a == b {
+        return 0;
+    }
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur: Vec<usize> = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + (ca != cb) as usize;
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Normalized Levenshtein similarity: `1 - dist / max(len)` in `[0, 1]`.
+/// Two empty strings are maximally similar.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_cases() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn unicode_counts_scalars() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+        assert_eq!(levenshtein("αβγ", "αγ"), 1);
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("x", "x"), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "xyz"), 0.0);
+        let s = levenshtein_similarity("kitten", "sitting");
+        assert!(s > 0.0 && s < 1.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        for (a, b) in [("abc", "acb"), ("hello", "help"), ("", "y")] {
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_spot_check() {
+        let (a, b, c) = ("data", "date", "gate");
+        assert!(levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c));
+    }
+}

@@ -1,0 +1,351 @@
+//! Union-find with rollback over the joint value universe.
+//!
+//! Adding a tuple pair to an instance match forces the cell values of the
+//! pair to have equal images under the value mappings (`h_l(t) = h_r(t')`,
+//! Def. 4.3). The set of such constraints is a partition of the universe;
+//! a partition class containing two *distinct constants* is unsatisfiable
+//! because value mappings preserve constants.
+//!
+//! Both algorithms tentatively add pairs and may have to retract them (the
+//! exact algorithm backtracks, the signature algorithm tests compatibility
+//! with `IsCompatible` before committing), so the structure supports
+//! *checkpoint/rollback* in O(#unions since checkpoint). To keep rollback
+//! cheap we use union by rank **without** path compression; `find` is
+//! O(log n) amortized, which profiling shows is dwarfed by hashing costs.
+//!
+//! Each class root carries the aggregates needed for scoring: the constant
+//! of the class (if any) and the number of left-side/right-side null members,
+//! from which the ⊓ non-injectivity measure (Eq. 6) is read off directly.
+
+use crate::universe::{NodeId, NodeKind, Side, Universe};
+use ic_model::Sym;
+
+/// Error returned when a union would equate two distinct constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConstConflict {
+    /// The first constant.
+    pub a: Sym,
+    /// The second, different constant.
+    pub b: Sym,
+}
+
+/// Aggregates attached to each class root.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct ClassInfo {
+    /// Constant node in the class (at most one; two cause [`ConstConflict`]).
+    const_sym: Option<Sym>,
+    /// Whether the class constant occurs in the left / right instance.
+    const_in_left: bool,
+    const_in_right: bool,
+    /// Number of left-side null members.
+    left_nulls: u32,
+    /// Number of right-side null members.
+    right_nulls: u32,
+}
+
+/// One undo record: a union attached `child` under `parent`.
+#[derive(Debug, Clone, Copy)]
+struct Undo {
+    child: NodeId,
+    parent: NodeId,
+    parent_rank: u8,
+    parent_info: ClassInfo,
+}
+
+/// Checkpoint token for [`RollbackUf::rollback_to`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Checkpoint(usize);
+
+/// Union-find with constant-conflict detection and rollback.
+#[derive(Debug, Clone)]
+pub struct RollbackUf {
+    parent: Vec<NodeId>,
+    rank: Vec<u8>,
+    info: Vec<ClassInfo>,
+    log: Vec<Undo>,
+}
+
+impl RollbackUf {
+    /// Initializes singleton classes for every node of `universe`.
+    pub fn new(universe: &Universe) -> Self {
+        let n = universe.len();
+        let mut info = Vec::with_capacity(n);
+        for (_, kind) in universe.iter() {
+            info.push(match kind {
+                NodeKind::Const {
+                    sym,
+                    in_left,
+                    in_right,
+                } => ClassInfo {
+                    const_sym: Some(sym),
+                    const_in_left: in_left,
+                    const_in_right: in_right,
+                    left_nulls: 0,
+                    right_nulls: 0,
+                },
+                NodeKind::Null { side, .. } => ClassInfo {
+                    const_sym: None,
+                    const_in_left: false,
+                    const_in_right: false,
+                    left_nulls: (side == Side::Left) as u32,
+                    right_nulls: (side == Side::Right) as u32,
+                },
+            });
+        }
+        Self {
+            parent: (0..n as NodeId).collect(),
+            rank: vec![0; n],
+            info,
+            log: Vec::new(),
+        }
+    }
+
+    /// Finds the class root of `x` (no path compression, see module docs).
+    #[inline]
+    pub fn find(&self, mut x: NodeId) -> NodeId {
+        loop {
+            let p = self.parent[x as usize];
+            if p == x {
+                return x;
+            }
+            x = p;
+        }
+    }
+
+    /// Whether `a` and `b` are currently in the same class.
+    #[inline]
+    pub fn same(&self, a: NodeId, b: NodeId) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Unions the classes of `a` and `b`.
+    ///
+    /// Returns `Ok(true)` if two classes merged, `Ok(false)` if they were
+    /// already one class, and `Err` if the merge would equate two distinct
+    /// constants (in which case **no state is modified**).
+    pub fn union(&mut self, a: NodeId, b: NodeId) -> Result<bool, ConstConflict> {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return Ok(false);
+        }
+        let ia = self.info[ra as usize];
+        let ib = self.info[rb as usize];
+        if let (Some(sa), Some(sb)) = (ia.const_sym, ib.const_sym) {
+            // Distinct constant *nodes* always hold distinct symbols (the
+            // universe shares constant nodes), so any two roots with
+            // constants conflict.
+            debug_assert_ne!(sa, sb);
+            return Err(ConstConflict { a: sa, b: sb });
+        }
+        // Union by rank: attach the lower-rank root under the higher.
+        let (child, parent) = if self.rank[ra as usize] < self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.log.push(Undo {
+            child,
+            parent,
+            parent_rank: self.rank[parent as usize],
+            parent_info: self.info[parent as usize],
+        });
+        self.parent[child as usize] = parent;
+        if self.rank[child as usize] == self.rank[parent as usize] {
+            self.rank[parent as usize] += 1;
+        }
+        let child_info = self.info[child as usize];
+        let pi = &mut self.info[parent as usize];
+        pi.left_nulls += child_info.left_nulls;
+        pi.right_nulls += child_info.right_nulls;
+        if child_info.const_sym.is_some() {
+            pi.const_sym = child_info.const_sym;
+            pi.const_in_left = child_info.const_in_left;
+            pi.const_in_right = child_info.const_in_right;
+        }
+        Ok(true)
+    }
+
+    /// Takes a checkpoint; all unions after it can be undone with
+    /// [`rollback_to`](Self::rollback_to).
+    #[inline]
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint(self.log.len())
+    }
+
+    /// Rolls back every union performed after `cp`.
+    pub fn rollback_to(&mut self, cp: Checkpoint) {
+        while self.log.len() > cp.0 {
+            let u = self.log.pop().expect("log length checked");
+            self.parent[u.child as usize] = u.child;
+            self.rank[u.parent as usize] = u.parent_rank;
+            self.info[u.parent as usize] = u.parent_info;
+        }
+    }
+
+    /// The constant of the class of `x`, if any.
+    #[inline]
+    pub fn class_const(&self, x: NodeId) -> Option<Sym> {
+        self.info[self.find(x) as usize].const_sym
+    }
+
+    /// The ⊓ measure (Eq. 6) for a **null** node of the given side:
+    /// the number of values of that side's active domain whose image equals
+    /// the node's image — same-side null members of the class, plus one if
+    /// the class constant also occurs on that side.
+    ///
+    /// For constants, Eq. 6 fixes ⊓ = 1; callers handle that case directly.
+    #[inline]
+    pub fn sqcap_null(&self, x: NodeId, side: Side) -> u32 {
+        let info = &self.info[self.find(x) as usize];
+        match side {
+            Side::Left => info.left_nulls + (info.const_sym.is_some() && info.const_in_left) as u32,
+            Side::Right => {
+                info.right_nulls + (info.const_sym.is_some() && info.const_in_right) as u32
+            }
+        }
+    }
+
+    /// Number of unions currently on the log (for diagnostics).
+    pub fn unions(&self) -> usize {
+        self.log.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_model::{Catalog, Instance, Schema};
+
+    /// Builds a universe with 2 constants (a,b shared), 2 left nulls,
+    /// 2 right nulls and returns (uf, nodes) with
+    /// nodes = [a, b, l0, l1, r0, r1].
+    fn setup() -> (RollbackUf, Vec<NodeId>, Universe) {
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B", "C", "D"]));
+        let rel = cat.schema().rel("R").unwrap();
+        let a = cat.konst("a");
+        let b = cat.konst("b");
+        let l0 = cat.fresh_null();
+        let l1 = cat.fresh_null();
+        let r0 = cat.fresh_null();
+        let r1 = cat.fresh_null();
+        let mut left = Instance::new("I", &cat);
+        let mut right = Instance::new("J", &cat);
+        left.insert(rel, vec![a, b, l0, l1]);
+        right.insert(rel, vec![a, b, r0, r1]);
+        let u = Universe::build(&left, &right);
+        let nodes = vec![
+            u.node(Side::Left, a),
+            u.node(Side::Left, b),
+            u.node(Side::Left, l0),
+            u.node(Side::Left, l1),
+            u.node(Side::Right, r0),
+            u.node(Side::Right, r1),
+        ];
+        (RollbackUf::new(&u), nodes, u)
+    }
+
+    #[test]
+    fn union_and_find() {
+        let (mut uf, n, _) = setup();
+        assert!(!uf.same(n[2], n[4]));
+        assert!(uf.union(n[2], n[4]).unwrap());
+        assert!(uf.same(n[2], n[4]));
+        assert!(!uf.union(n[2], n[4]).unwrap()); // already merged
+    }
+
+    #[test]
+    fn constant_conflict_rejected_without_mutation() {
+        let (mut uf, n, _) = setup();
+        uf.union(n[2], n[0]).unwrap(); // l0 ~ a
+        let cp = uf.unions();
+        let err = uf.union(n[2], n[1]).unwrap_err(); // class(a) ~ b: conflict
+        assert!(err.a != err.b);
+        assert_eq!(uf.unions(), cp, "failed union must not log anything");
+        assert!(!uf.same(n[2], n[1]));
+    }
+
+    #[test]
+    fn transitive_conflict_via_nulls() {
+        let (mut uf, n, _) = setup();
+        uf.union(n[2], n[4]).unwrap(); // l0 ~ r0
+        uf.union(n[4], n[0]).unwrap(); // r0 ~ a  => class has const a
+        assert_eq!(uf.class_const(n[2]), uf.class_const(n[0]));
+        assert!(uf.union(n[2], n[1]).is_err()); // ~ b conflicts
+    }
+
+    #[test]
+    fn rollback_restores_everything() {
+        let (mut uf, n, u) = setup();
+        uf.union(n[2], n[3]).unwrap();
+        let cp = uf.checkpoint();
+        uf.union(n[2], n[4]).unwrap();
+        uf.union(n[4], n[0]).unwrap();
+        assert!(uf.same(n[2], n[0]));
+        uf.rollback_to(cp);
+        assert!(!uf.same(n[2], n[0]));
+        assert!(!uf.same(n[2], n[4]));
+        assert!(uf.same(n[2], n[3]));
+        assert_eq!(uf.class_const(n[4]), None);
+        // Aggregates restored: fresh uf equivalent for sqcap.
+        assert_eq!(uf.sqcap_null(n[4], Side::Right), 1);
+        assert_eq!(uf.sqcap_null(n[2], Side::Left), 2); // l0~l1
+        let _ = u;
+    }
+
+    #[test]
+    fn sqcap_counts_same_side_members() {
+        let (mut uf, n, _) = setup();
+        // Two left nulls renamed to the same right null:
+        uf.union(n[2], n[4]).unwrap();
+        uf.union(n[3], n[4]).unwrap();
+        assert_eq!(uf.sqcap_null(n[2], Side::Left), 2);
+        assert_eq!(uf.sqcap_null(n[4], Side::Right), 1);
+    }
+
+    #[test]
+    fn sqcap_includes_class_constant_when_on_same_side() {
+        let (mut uf, n, _) = setup();
+        // a occurs on both sides; l0 ~ a.
+        uf.union(n[2], n[0]).unwrap();
+        assert_eq!(uf.sqcap_null(n[2], Side::Left), 2); // l0 + a(left)
+                                                        // r0 ~ a too:
+        uf.union(n[4], n[0]).unwrap();
+        assert_eq!(uf.sqcap_null(n[4], Side::Right), 2); // r0 + a(right)
+        assert_eq!(uf.sqcap_null(n[2], Side::Left), 2);
+    }
+
+    #[test]
+    fn sqcap_excludes_constant_absent_from_side() {
+        // Build a universe where constant c occurs only on the right.
+        let mut cat = Catalog::new(Schema::single("R", &["A"]));
+        let rel = cat.schema().rel("R").unwrap();
+        let n = cat.fresh_null();
+        let c = cat.konst("c");
+        let mut left = Instance::new("I", &cat);
+        let mut right = Instance::new("J", &cat);
+        left.insert(rel, vec![n]);
+        right.insert(rel, vec![c]);
+        let u = Universe::build(&left, &right);
+        let mut uf = RollbackUf::new(&u);
+        let nn = u.node(Side::Left, n);
+        let cn = u.node(Side::Right, c);
+        uf.union(nn, cn).unwrap();
+        // Left null mapped to a constant not in adom(I): only itself maps there.
+        assert_eq!(uf.sqcap_null(nn, Side::Left), 1);
+    }
+
+    #[test]
+    fn checkpoint_nesting() {
+        let (mut uf, n, _) = setup();
+        let cp0 = uf.checkpoint();
+        uf.union(n[2], n[4]).unwrap();
+        let cp1 = uf.checkpoint();
+        uf.union(n[3], n[5]).unwrap();
+        uf.rollback_to(cp1);
+        assert!(uf.same(n[2], n[4]));
+        assert!(!uf.same(n[3], n[5]));
+        uf.rollback_to(cp0);
+        assert!(!uf.same(n[2], n[4]));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests relating the three compatibility notions:
+//! c-compatibility (necessary), pair compatibility (pair-local
+//! unification), and `MatchState::check_pair` on an empty match — the last
+//! two must agree exactly (two independent implementations of `t ≃ t'`).
+
+use ic_core::{c_compatible, pair_compatible, CandidateIndex, MatchState};
+use ic_model::{Catalog, Instance, RelId, Schema, Value};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Cell {
+    Const(u8),
+    Null(u8),
+}
+
+fn cell() -> impl Strategy<Value = Cell> {
+    prop_oneof![(0u8..3).prop_map(Cell::Const), (0u8..3).prop_map(Cell::Null)]
+}
+
+fn tuple3() -> impl Strategy<Value = [Cell; 3]> {
+    (cell(), cell(), cell()).prop_map(|(a, b, c)| [a, b, c])
+}
+
+fn build(cat: &mut Catalog, desc: &[Cell]) -> Vec<Value> {
+    let mut nulls: Vec<Option<Value>> = vec![None; 3];
+    desc.iter()
+        .map(|c| match *c {
+            Cell::Const(k) => cat.konst(&format!("c{k}")),
+            Cell::Null(k) => *nulls[k as usize].get_or_insert_with(|| cat.fresh_null()),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// pair_compatible (local union-find) agrees with check_pair (global
+    /// union-find over the universe) on fresh states.
+    #[test]
+    fn pair_compatible_equals_check_pair(l in tuple3(), r in tuple3()) {
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B", "C"]));
+        let rel = RelId(0);
+        let lv = build(&mut cat, &l);
+        let rv = build(&mut cat, &r);
+        let mut left = Instance::new("I", &cat);
+        let lt = left.insert(rel, lv);
+        let mut right = Instance::new("J", &cat);
+        let rt = right.insert(rel, rv);
+        let local = pair_compatible(
+            left.tuple(lt).unwrap(),
+            right.tuple(rt).unwrap(),
+        );
+        let mut st = MatchState::new(&left, &right);
+        let global = st.check_pair(lt, rt);
+        prop_assert_eq!(local, global);
+        // Compatibility implies c-compatibility.
+        if local {
+            prop_assert!(c_compatible(left.tuple(lt).unwrap(), right.tuple(rt).unwrap()));
+        }
+    }
+
+    /// The candidate index returns exactly the pair-compatible tuples.
+    #[test]
+    fn candidate_index_is_sound_and_complete(
+        l in tuple3(),
+        rs in prop::collection::vec(tuple3(), 1..6),
+    ) {
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B", "C"]));
+        let rel = RelId(0);
+        let lv = build(&mut cat, &l);
+        let mut left = Instance::new("I", &cat);
+        let lt = left.insert(rel, lv);
+        let mut right = Instance::new("J", &cat);
+        for r in &rs {
+            let rv = build(&mut cat, r);
+            right.insert(rel, rv);
+        }
+        let index = CandidateIndex::build(&right, rel);
+        let candidates = index.compatible_candidates(&right, left.tuple(lt).unwrap());
+        for t in right.tuples(rel) {
+            let expected = pair_compatible(left.tuple(lt).unwrap(), t);
+            prop_assert_eq!(
+                candidates.contains(&t.id()),
+                expected,
+                "candidate set wrong for {:?}", t.id()
+            );
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Cross-crate validation: the signature algorithm against scenario gold
+//! scores and against the exact algorithm on small instances — the property
+//! behind the paper's Tables 2 and 3 (score difference < 1%).
+
+use ic_core::{exact_match, signature_match, ExactConfig, MatchMode, ScoreConfig, SignatureConfig};
+use ic_datagen::{add_random_and_redundant, mod_cell, Dataset};
+
+#[test]
+fn signature_close_to_gold_on_mod_cell() {
+    for dataset in [Dataset::Doctors, Dataset::Bikeshare] {
+        let sc = mod_cell(dataset, 300, 0.05, 11);
+        let gold = sc.gold_score(&ScoreConfig::default());
+        let sig = signature_match(
+            &sc.source,
+            &sc.target,
+            &sc.catalog,
+            &SignatureConfig::default(),
+        );
+        let diff = (gold - sig.best.score()).abs();
+        assert!(
+            diff < 0.02,
+            "{dataset:?}: gold {gold} vs sig {} (diff {diff})",
+            sig.best.score()
+        );
+    }
+}
+
+#[test]
+fn signature_close_to_gold_on_add_random_and_redundant() {
+    let sc = add_random_and_redundant(Dataset::Doctors, 300, 0.05, 0.10, 0.10, 13);
+    let gold = sc.gold_score(&ScoreConfig::default());
+    let cfg = SignatureConfig {
+        mode: MatchMode::general(),
+        ..Default::default()
+    };
+    let sig = signature_match(&sc.source, &sc.target, &sc.catalog, &cfg);
+    let diff = (gold - sig.best.score()).abs();
+    assert!(
+        diff < 0.04,
+        "gold {gold} vs sig {} (diff {diff})",
+        sig.best.score()
+    );
+}
+
+#[test]
+fn signature_within_one_percent_of_exact_small() {
+    // Small instances where the exact algorithm terminates: the paper
+    // reports |exact − signature| ≤ 0.009 on every row of Tables 2–3.
+    let sc = mod_cell(Dataset::Doctors, 60, 0.05, 17);
+    let exact_cfg = ExactConfig {
+        budget: Some(std::time::Duration::from_secs(30)),
+        ..Default::default()
+    };
+    let ex = exact_match(&sc.source, &sc.target, &sc.catalog, &exact_cfg);
+    let sig = signature_match(
+        &sc.source,
+        &sc.target,
+        &sc.catalog,
+        &SignatureConfig::default(),
+    );
+    assert!(
+        ex.best.score() + 1e-9 >= sig.best.score(),
+        "exact below signature"
+    );
+    let diff = ex.best.score() - sig.best.score();
+    assert!(
+        diff < 0.01,
+        "exact {} vs sig {} (diff {diff}, optimal={})",
+        ex.best.score(),
+        sig.best.score(),
+        ex.optimal
+    );
+}
+
+#[test]
+fn exact_dominates_gold() {
+    // The gold match is feasible, so the exact optimum is at least as good.
+    let sc = mod_cell(Dataset::Iris, 40, 0.05, 19);
+    let gold = sc.gold_score(&ScoreConfig::default());
+    let ex = exact_match(
+        &sc.source,
+        &sc.target,
+        &sc.catalog,
+        &ExactConfig {
+            budget: Some(std::time::Duration::from_secs(30)),
+            ..Default::default()
+        },
+    );
+    assert!(
+        ex.best.score() + 1e-9 >= gold,
+        "exact {} < gold {gold}",
+        ex.best.score()
+    );
+}

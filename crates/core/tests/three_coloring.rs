@@ -1,0 +1,153 @@
+//! The NP-hardness construction as a test suite (paper Thm. 5.11).
+//!
+//! The paper proves hardness by reduction from 3-colorability. The crux is
+//! that a graph `G` is 3-colorable iff there is a homomorphism `G → K3`:
+//! encode `G`'s edges as tuples over labeled-null vertices and `K3` as
+//! ground tuples over three color constants; the homomorphism assigns a
+//! color to every vertex-null such that adjacent vertices get different
+//! colors. These tests run the construction through `find_homomorphism` on
+//! graphs with known chromatic numbers.
+
+use ic_core::{find_homomorphism, is_homomorphic};
+use ic_model::{Catalog, Instance, NullId, Schema, Value};
+
+/// Encodes a graph as an edge relation over labeled-null vertices
+/// (both orientations of each edge, since graph edges are undirected but
+/// the relation is not).
+fn encode_graph(catalog: &mut Catalog, edges: &[(usize, usize)]) -> (Instance, Vec<Value>) {
+    let rel = catalog.schema().rel("E").unwrap();
+    let max_v = edges.iter().flat_map(|&(u, v)| [u, v]).max().unwrap_or(0);
+    let vertices: Vec<Value> = (0..=max_v).map(|_| catalog.fresh_null()).collect();
+    let mut inst = Instance::new("G", catalog);
+    for &(u, v) in edges {
+        inst.insert(rel, vec![vertices[u], vertices[v]]);
+        inst.insert(rel, vec![vertices[v], vertices[u]]);
+    }
+    (inst, vertices)
+}
+
+/// Builds K3 over the color constants {r, g, b} (all ordered pairs of
+/// distinct colors).
+fn k3(catalog: &mut Catalog) -> Instance {
+    let rel = catalog.schema().rel("E").unwrap();
+    let colors = [
+        catalog.konst("r"),
+        catalog.konst("g"),
+        catalog.konst("b"),
+    ];
+    let mut inst = Instance::new("K3", catalog);
+    for &a in &colors {
+        for &b in &colors {
+            if a != b {
+                inst.insert(rel, vec![a, b]);
+            }
+        }
+    }
+    inst
+}
+
+fn is_three_colorable(edges: &[(usize, usize)]) -> bool {
+    let mut cat = Catalog::new(Schema::single("E", &["U", "V"]));
+    let (g, _) = encode_graph(&mut cat, edges);
+    let target = k3(&mut cat);
+    is_homomorphic(&g, &target)
+}
+
+#[test]
+fn triangle_is_three_colorable() {
+    assert!(is_three_colorable(&[(0, 1), (1, 2), (2, 0)]));
+}
+
+#[test]
+fn k4_is_not_three_colorable() {
+    let k4 = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+    assert!(!is_three_colorable(&k4));
+}
+
+#[test]
+fn odd_cycle_c5_is_three_colorable() {
+    assert!(is_three_colorable(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]));
+}
+
+#[test]
+fn bipartite_graph_is_three_colorable() {
+    // K_{3,3}: bipartite, 2-colorable, hence 3-colorable.
+    let k33 = [
+        (0, 3),
+        (0, 4),
+        (0, 5),
+        (1, 3),
+        (1, 4),
+        (1, 5),
+        (2, 3),
+        (2, 4),
+        (2, 5),
+    ];
+    assert!(is_three_colorable(&k33));
+}
+
+#[test]
+fn wheel_w5_is_not_three_colorable() {
+    // W5: a 5-cycle plus a hub adjacent to all cycle vertices. The 5-cycle
+    // needs 3 colors; the hub needs a 4th.
+    let w5 = [
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (3, 4),
+        (4, 0),
+        (5, 0),
+        (5, 1),
+        (5, 2),
+        (5, 3),
+        (5, 4),
+    ];
+    assert!(!is_three_colorable(&w5));
+}
+
+#[test]
+fn petersen_graph_is_three_colorable() {
+    // The Petersen graph has chromatic number 3.
+    let petersen = [
+        // outer 5-cycle
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (3, 4),
+        (4, 0),
+        // spokes
+        (0, 5),
+        (1, 6),
+        (2, 7),
+        (3, 8),
+        (4, 9),
+        // inner pentagram
+        (5, 7),
+        (7, 9),
+        (9, 6),
+        (6, 8),
+        (8, 5),
+    ];
+    assert!(is_three_colorable(&petersen));
+}
+
+#[test]
+fn homomorphism_witness_is_a_proper_coloring() {
+    let edges = [(0usize, 1), (1, 2), (2, 3), (3, 4), (4, 0)];
+    let mut cat = Catalog::new(Schema::single("E", &["U", "V"]));
+    let (g, vertices) = encode_graph(&mut cat, &edges);
+    let target = k3(&mut cat);
+    let hom = find_homomorphism(&g, &target).expect("C5 is 3-colorable");
+    // Extract the coloring and check it is proper.
+    let color = |v: Value| -> Value {
+        let n: NullId = v.as_null().expect("vertex is a null");
+        *hom.assignment.get(&n).expect("vertex was colored")
+    };
+    for &(u, v) in &edges {
+        assert_ne!(
+            color(vertices[u]),
+            color(vertices[v]),
+            "adjacent vertices share a color"
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Property tests of the rollback union-find against a naive reference
+//! model (recomputed-from-scratch partitions).
+
+use ic_core::unionfind::RollbackUf;
+use ic_core::universe::{Side, Universe};
+use ic_model::{Catalog, Instance, Schema, Value};
+use proptest::prelude::*;
+
+/// Builds a universe with `n_consts` shared constants, `n` left nulls and
+/// `n` right nulls; returns (uf, nodes) where nodes[0..n_consts] are the
+/// constants, then left nulls, then right nulls.
+fn setup(n_consts: usize, n: usize) -> (RollbackUf, Vec<u32>, Universe) {
+    let attrs: Vec<String> = (0..(n_consts + n)).map(|i| format!("A{i}")).collect();
+    let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+    let mut cat = Catalog::new(Schema::single("R", &attr_refs));
+    let rel = cat.schema().rel("R").unwrap();
+    let consts: Vec<Value> = (0..n_consts).map(|i| cat.konst(&format!("c{i}"))).collect();
+    let lnulls: Vec<Value> = (0..n).map(|_| cat.fresh_null()).collect();
+    let rnulls: Vec<Value> = (0..n).map(|_| cat.fresh_null()).collect();
+    let mut left = Instance::new("I", &cat);
+    let mut lrow = consts.clone();
+    lrow.extend(lnulls.iter().copied());
+    left.insert(rel, lrow);
+    let mut right = Instance::new("J", &cat);
+    let mut rrow = consts.clone();
+    rrow.extend(rnulls.iter().copied());
+    right.insert(rel, rrow);
+    let u = Universe::build(&left, &right);
+    let mut nodes = Vec::new();
+    for &c in &consts {
+        nodes.push(u.node(Side::Left, c));
+    }
+    for &l in &lnulls {
+        nodes.push(u.node(Side::Left, l));
+    }
+    for &r in &rnulls {
+        nodes.push(u.node(Side::Right, r));
+    }
+    (RollbackUf::new(&u), nodes, u)
+}
+
+/// Naive partition model: vector of class ids per node under a sequence of
+/// successful unions.
+#[derive(Clone)]
+struct NaiveModel {
+    class: Vec<usize>,
+    /// constant index per class (by representative node index), if any
+    consts: Vec<Option<usize>>,
+}
+
+impl NaiveModel {
+    fn new(n_consts: usize, total: usize) -> Self {
+        Self {
+            class: (0..total).collect(),
+            consts: (0..total)
+                .map(|i| if i < n_consts { Some(i) } else { None })
+                .collect(),
+        }
+    }
+
+    /// Tries a union; returns false (and does nothing) on constant conflict.
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let ca = self.class[a];
+        let cb = self.class[b];
+        if ca == cb {
+            return true;
+        }
+        let const_a = self.class_const(ca);
+        let const_b = self.class_const(cb);
+        if let (Some(x), Some(y)) = (const_a, const_b) {
+            if x != y {
+                return false;
+            }
+        }
+        for c in self.class.iter_mut() {
+            if *c == cb {
+                *c = ca;
+            }
+        }
+        if const_a.is_none() {
+            self.consts[ca] = const_b.map(Some).unwrap_or(None);
+        }
+        true
+    }
+
+    fn class_const(&self, class_rep: usize) -> Option<usize> {
+        // A class's constant is the constant of any member.
+        self.class
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == class_rep)
+            .find_map(|(i, _)| self.consts[i])
+    }
+
+    fn same(&self, a: usize, b: usize) -> bool {
+        self.class[a] == self.class[b]
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// A random union sequence produces the same partition as the naive
+    /// model, and conflicts are detected identically.
+    #[test]
+    fn matches_naive_model(ops in prop::collection::vec((0usize..10, 0usize..10), 0..25)) {
+        let n_consts = 3;
+        let n = 4; // + 4 left nulls within first 7... total nodes = 3 + 4 + 4 = 11
+        let (mut uf, nodes, _u) = setup(n_consts, n);
+        let total = nodes.len();
+        let mut model = NaiveModel::new(n_consts, total);
+        for (a, b) in ops {
+            let (a, b) = (a % total, b % total);
+            let uf_ok = uf.union(nodes[a], nodes[b]).is_ok();
+            let model_ok = model.union(a, b);
+            prop_assert_eq!(uf_ok, model_ok, "conflict detection diverged on ({}, {})", a, b);
+        }
+        for i in 0..total {
+            for j in 0..total {
+                prop_assert_eq!(
+                    uf.same(nodes[i], nodes[j]),
+                    model.same(i, j),
+                    "partition diverged at ({}, {})", i, j
+                );
+            }
+        }
+    }
+
+    /// Rolling back to a checkpoint restores the exact partition.
+    #[test]
+    fn rollback_restores_partition(
+        prefix in prop::collection::vec((0usize..11, 0usize..11), 0..12),
+        suffix in prop::collection::vec((0usize..11, 0usize..11), 0..12),
+    ) {
+        let (mut uf, nodes, _u) = setup(3, 4);
+        let total = nodes.len();
+        for (a, b) in &prefix {
+            let _ = uf.union(nodes[a % total], nodes[b % total]);
+        }
+        // Snapshot the partition.
+        let snapshot: Vec<Vec<bool>> = (0..total)
+            .map(|i| (0..total).map(|j| uf.same(nodes[i], nodes[j])).collect())
+            .collect();
+        let sqcaps: Vec<(u32, u32)> = (0..total)
+            .map(|i| (uf.sqcap_null(nodes[i], Side::Left), uf.sqcap_null(nodes[i], Side::Right)))
+            .collect();
+        let cp = uf.checkpoint();
+        for (a, b) in &suffix {
+            let _ = uf.union(nodes[a % total], nodes[b % total]);
+        }
+        uf.rollback_to(cp);
+        for i in 0..total {
+            for j in 0..total {
+                prop_assert_eq!(uf.same(nodes[i], nodes[j]), snapshot[i][j]);
+            }
+            prop_assert_eq!(
+                (uf.sqcap_null(nodes[i], Side::Left), uf.sqcap_null(nodes[i], Side::Right)),
+                sqcaps[i]
+            );
+        }
+    }
+
+    /// Union is idempotent and never changes ⊓ for untouched classes.
+    #[test]
+    fn union_isolation(a in 3usize..11, b in 3usize..11, c in 3usize..11) {
+        let (mut uf, nodes, _u) = setup(3, 4);
+        prop_assume!(a != c && b != c);
+        let before_l = uf.sqcap_null(nodes[c], Side::Left);
+        let before_r = uf.sqcap_null(nodes[c], Side::Right);
+        let _ = uf.union(nodes[a], nodes[b]);
+        if !uf.same(nodes[a], nodes[c]) {
+            prop_assert_eq!(uf.sqcap_null(nodes[c], Side::Left), before_l);
+            prop_assert_eq!(uf.sqcap_null(nodes[c], Side::Right), before_r);
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! Synthetic datasets shaped like the six datasets of the paper's
+//! evaluation (Table 1).
+//!
+//! The originals (Doctors, Bikeshare, GitHub, Bus, Iris, NBA) are real or
+//! benchmark CSVs that are not redistributable here; these generators
+//! reproduce the properties that drive the algorithms — arity, row count,
+//! distinct-value profile, per-column cardinality, and (for Doctors) the
+//! native share of labeled nulls. All generation is seeded and
+//! deterministic.
+
+use ic_model::{Catalog, Instance, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Cardinality model of one generated column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Card {
+    /// One distinct value per row (identifier-like).
+    Unique,
+    /// A fixed-size domain independent of the row count (categorical).
+    Fixed(usize),
+    /// A domain whose size is `ratio × rows` (quasi-identifier).
+    PerRow(f64),
+    /// A fixed-size domain sampled with a Zipf distribution of the given
+    /// exponent — realistic skew for popularity-style columns.
+    Zipf(usize, f64),
+}
+
+/// Specification of one column.
+#[derive(Debug, Clone)]
+pub struct ColumnSpec {
+    /// Attribute name.
+    pub name: &'static str,
+    /// Cardinality model.
+    pub card: Card,
+    /// Probability that a cell of this column is a native labeled null.
+    pub null_rate: f64,
+}
+
+impl ColumnSpec {
+    const fn new(name: &'static str, card: Card, null_rate: f64) -> Self {
+        Self {
+            name,
+            card,
+            null_rate,
+        }
+    }
+}
+
+/// Specification of a generated single-relation dataset.
+#[derive(Debug, Clone)]
+pub struct TableSpec {
+    /// Relation name.
+    pub table: &'static str,
+    /// Columns in order.
+    pub columns: Vec<ColumnSpec>,
+}
+
+impl TableSpec {
+    /// The arity of the relation.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+/// The six evaluation datasets of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Synthetic medical dataset with native nulls (5 attrs, 20k rows).
+    Doctors,
+    /// Capital Bikeshare trips (9 attrs, 10k rows, constants only).
+    Bikeshare,
+    /// GitHub repositories (19 attrs, 10k rows, constants only).
+    GitHub,
+    /// Bus routes (25 attrs, 20k rows) — used in the cleaning evaluation.
+    Bus,
+    /// Iris (5 attrs, 120 rows) — used in the versioning evaluation.
+    Iris,
+    /// NBA box scores (11 attrs, 9360 rows) — versioning evaluation.
+    Nba,
+}
+
+impl Dataset {
+    /// All datasets in the paper's Table 1 order.
+    pub const ALL: [Dataset; 6] = [
+        Dataset::Doctors,
+        Dataset::Bikeshare,
+        Dataset::GitHub,
+        Dataset::Bus,
+        Dataset::Iris,
+        Dataset::Nba,
+    ];
+
+    /// Short name as used in the paper's tables.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Dataset::Doctors => "Doct",
+            Dataset::Bikeshare => "Bike",
+            Dataset::GitHub => "Git",
+            Dataset::Bus => "Bus",
+            Dataset::Iris => "Iris",
+            Dataset::Nba => "Nba",
+        }
+    }
+
+    /// The row count used in the paper's Table 1.
+    pub fn default_rows(&self) -> usize {
+        match self {
+            Dataset::Doctors => 20_000,
+            Dataset::Bikeshare => 10_000,
+            Dataset::GitHub => 10_000,
+            Dataset::Bus => 20_000,
+            Dataset::Iris => 120,
+            Dataset::Nba => 9_360,
+        }
+    }
+
+    /// The column specification (arity matches Table 1; cardinalities are
+    /// tuned so the distinct-value count at `default_rows` approximates the
+    /// paper's).
+    pub fn spec(&self) -> TableSpec {
+        use Card::*;
+        let columns = match self {
+            Dataset::Doctors => vec![
+                ColumnSpec::new("id", Unique, 0.0),
+                ColumnSpec::new("name", PerRow(0.9), 0.0),
+                ColumnSpec::new("spec", Fixed(80), 0.30),
+                ColumnSpec::new("city", Fixed(400), 0.30),
+                ColumnSpec::new("hospital", PerRow(0.30), 0.40),
+            ],
+            Dataset::Bikeshare => vec![
+                ColumnSpec::new("ride_id", Unique, 0.0),
+                ColumnSpec::new("started_at", PerRow(0.45), 0.0),
+                ColumnSpec::new("ended_at", PerRow(0.45), 0.0),
+                ColumnSpec::new("start_station", Fixed(480), 0.0),
+                ColumnSpec::new("end_station", Fixed(480), 0.0),
+                ColumnSpec::new("bike_number", Fixed(3000), 0.0),
+                ColumnSpec::new("member_type", Fixed(3), 0.0),
+                ColumnSpec::new("duration", Fixed(600), 0.0),
+                ColumnSpec::new("route", Fixed(400), 0.0),
+            ],
+            Dataset::GitHub => vec![
+                ColumnSpec::new("repo_name", Unique, 0.0),
+                ColumnSpec::new("commit_sha", Unique, 0.0),
+                ColumnSpec::new("owner", PerRow(0.5), 0.0),
+                ColumnSpec::new("description", PerRow(0.5), 0.0),
+                ColumnSpec::new("stars", PerRow(0.30), 0.0),
+                ColumnSpec::new("forks", PerRow(0.30), 0.0),
+                ColumnSpec::new("watchers", PerRow(0.30), 0.0),
+                ColumnSpec::new("language", Fixed(50), 0.0),
+                ColumnSpec::new("license", Fixed(30), 0.0),
+                ColumnSpec::new("default_branch", Fixed(8), 0.0),
+                ColumnSpec::new("has_issues", Fixed(2), 0.0),
+                ColumnSpec::new("has_wiki", Fixed(2), 0.0),
+                ColumnSpec::new("archived", Fixed(2), 0.0),
+                ColumnSpec::new("open_issues", Fixed(120), 0.0),
+                ColumnSpec::new("size_kb", Fixed(400), 0.0),
+                ColumnSpec::new("created_year", Fixed(16), 0.0),
+                ColumnSpec::new("updated_year", Fixed(16), 0.0),
+                ColumnSpec::new("topic", Fixed(200), 0.0),
+                ColumnSpec::new("visibility", Fixed(2), 0.0),
+            ],
+            Dataset::Bus => vec![
+                ColumnSpec::new("trip_id", Unique, 0.0),
+                ColumnSpec::new("vehicle", PerRow(0.20), 0.0),
+                ColumnSpec::new("driver", PerRow(0.15), 0.0),
+                ColumnSpec::new("route", Fixed(160), 0.0),
+                ColumnSpec::new("direction", Fixed(2), 0.0),
+                ColumnSpec::new("origin", Fixed(180), 0.0),
+                ColumnSpec::new("destination", Fixed(180), 0.0),
+                ColumnSpec::new("depot", Fixed(40), 0.0),
+                ColumnSpec::new("operator", Fixed(25), 0.0),
+                ColumnSpec::new("service_type", Fixed(6), 0.0),
+                ColumnSpec::new("day_type", Fixed(3), 0.0),
+                ColumnSpec::new("start_hour", Fixed(24), 0.0),
+                ColumnSpec::new("end_hour", Fixed(24), 0.0),
+                ColumnSpec::new("duration_min", Fixed(180), 0.0),
+                ColumnSpec::new("distance_km", Fixed(220), 0.0),
+                ColumnSpec::new("stops", Fixed(90), 0.0),
+                ColumnSpec::new("passengers", Fixed(320), 0.0),
+                ColumnSpec::new("fare_zone", Fixed(8), 0.0),
+                ColumnSpec::new("accessible", Fixed(2), 0.0),
+                ColumnSpec::new("fuel", Fixed(5), 0.0),
+                ColumnSpec::new("delay_min", Fixed(60), 0.0),
+                ColumnSpec::new("status", Fixed(4), 0.0),
+                ColumnSpec::new("region", Fixed(12), 0.0),
+                ColumnSpec::new("line_group", Fixed(30), 0.0),
+                ColumnSpec::new("season", Fixed(4), 0.0),
+            ],
+            Dataset::Iris => vec![
+                ColumnSpec::new("sepal_length", Fixed(20), 0.0),
+                ColumnSpec::new("sepal_width", Fixed(18), 0.0),
+                ColumnSpec::new("petal_length", Fixed(20), 0.0),
+                ColumnSpec::new("petal_width", Fixed(15), 0.0),
+                ColumnSpec::new("species", Fixed(3), 0.0),
+            ],
+            Dataset::Nba => vec![
+                ColumnSpec::new("player", Fixed(450), 0.0),
+                ColumnSpec::new("team", Fixed(30), 0.0),
+                ColumnSpec::new("season", Fixed(70), 0.0),
+                ColumnSpec::new("games", Fixed(83), 0.0),
+                ColumnSpec::new("minutes", Fixed(300), 0.0),
+                ColumnSpec::new("points", Fixed(380), 0.0),
+                ColumnSpec::new("rebounds", Fixed(250), 0.0),
+                ColumnSpec::new("assists", Fixed(250), 0.0),
+                ColumnSpec::new("steals", Fixed(180), 0.0),
+                ColumnSpec::new("blocks", Fixed(180), 0.0),
+                ColumnSpec::new("position", Fixed(5), 0.0),
+            ],
+        };
+        TableSpec {
+            table: self.short_name(),
+            columns,
+        }
+    }
+
+    /// Generates `rows` rows with the dataset's column profile into a fresh
+    /// catalog + instance. Deterministic in `seed`.
+    pub fn generate(&self, rows: usize, seed: u64) -> (Catalog, Instance) {
+        generate_table(&self.spec(), rows, seed)
+    }
+}
+
+/// Per-column value generator shared by the dataset, scenario, and
+/// evolution generators. Handles null rates and all cardinality models,
+/// including precomputed Zipf cumulative weights.
+#[derive(Debug, Clone)]
+pub struct ColumnGen {
+    columns: Vec<ColumnSpec>,
+    rows: usize,
+    /// Cumulative Zipf weights per column (empty for non-Zipf columns).
+    zipf_cum: Vec<Vec<f64>>,
+}
+
+impl ColumnGen {
+    /// Prepares a generator for `spec` at the given row count.
+    pub fn new(spec: &TableSpec, rows: usize) -> Self {
+        let zipf_cum = spec
+            .columns
+            .iter()
+            .map(|c| match c.card {
+                Card::Zipf(n, s) => {
+                    let mut cum = Vec::with_capacity(n.max(1));
+                    let mut total = 0.0f64;
+                    for k in 1..=n.max(1) {
+                        total += 1.0 / (k as f64).powf(s);
+                        cum.push(total);
+                    }
+                    for v in &mut cum {
+                        *v /= total;
+                    }
+                    cum
+                }
+                _ => Vec::new(),
+            })
+            .collect();
+        Self {
+            columns: spec.columns.clone(),
+            rows,
+            zipf_cum,
+        }
+    }
+
+    /// Generates the value of column `col` for row `row`.
+    pub fn value(&self, col: usize, row: usize, catalog: &mut Catalog, rng: &mut StdRng) -> Value {
+        let spec = &self.columns[col];
+        if spec.null_rate > 0.0 && rng.random::<f64>() < spec.null_rate {
+            return catalog.fresh_null();
+        }
+        match spec.card {
+            Card::Unique => catalog.konst(&format!("{}_{row}", spec.name)),
+            Card::Fixed(n) => {
+                let k = rng.random_range(0..n.max(1));
+                catalog.konst(&format!("{}_{k}", spec.name))
+            }
+            Card::PerRow(ratio) => {
+                let n = ((self.rows as f64 * ratio).ceil() as usize).max(1);
+                let k = rng.random_range(0..n);
+                catalog.konst(&format!("{}_{k}", spec.name))
+            }
+            Card::Zipf(..) => {
+                let cum = &self.zipf_cum[col];
+                let u: f64 = rng.random();
+                let k = cum.partition_point(|&c| c < u).min(cum.len() - 1);
+                catalog.konst(&format!("{}_{k}", spec.name))
+            }
+        }
+    }
+
+    /// Generates a full row.
+    pub fn row(&self, row: usize, catalog: &mut Catalog, rng: &mut StdRng) -> Vec<Value> {
+        (0..self.columns.len())
+            .map(|c| self.value(c, row, catalog, rng))
+            .collect()
+    }
+}
+
+/// Generates a single-relation instance according to `spec`.
+pub fn generate_table(spec: &TableSpec, rows: usize, seed: u64) -> (Catalog, Instance) {
+    let attr_names: Vec<&str> = spec.columns.iter().map(|c| c.name).collect();
+    let mut catalog = Catalog::new(Schema::single(spec.table, &attr_names));
+    let mut instance = Instance::new(format!("{}-{rows}", spec.table), &catalog);
+    let rel = catalog.schema().rel(spec.table).expect("just created");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gen = ColumnGen::new(spec, rows);
+    for row in 0..rows {
+        let values = gen.row(row, &mut catalog, &mut rng);
+        instance.insert(rel, values);
+    }
+    (catalog, instance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (c1, i1) = Dataset::Iris.generate(120, 7);
+        let (_c2, i2) = Dataset::Iris.generate(120, 7);
+        let rel = c1.schema().rel("Iris").unwrap();
+        assert_eq!(i1.tuples(rel).len(), i2.tuples(rel).len());
+        for (a, b) in i1.tuples(rel).iter().zip(i2.tuples(rel)) {
+            assert_eq!(a.values(), b.values());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (c1, i1) = Dataset::Iris.generate(120, 7);
+        let (_c2, i2) = Dataset::Iris.generate(120, 8);
+        let rel = c1.schema().rel("Iris").unwrap();
+        let same = i1
+            .tuples(rel)
+            .iter()
+            .zip(i2.tuples(rel))
+            .all(|(a, b)| a.values() == b.values());
+        assert!(!same);
+    }
+
+    #[test]
+    fn arities_match_table1() {
+        let expected = [5usize, 9, 19, 25, 5, 11];
+        for (d, &arity) in Dataset::ALL.iter().zip(&expected) {
+            assert_eq!(d.spec().arity(), arity, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn doctors_has_native_nulls_others_do_not() {
+        let (_c, doct) = Dataset::Doctors.generate(1000, 1);
+        let stats = doct.stats();
+        let null_share = stats.null_cells as f64 / (stats.null_cells + stats.const_cells) as f64;
+        assert!(
+            (0.12..0.30).contains(&null_share),
+            "doctors null share {null_share}"
+        );
+        let (_c, bike) = Dataset::Bikeshare.generate(1000, 1);
+        assert_eq!(bike.stats().null_cells, 0);
+    }
+
+    #[test]
+    fn distinct_value_profile_close_to_table1() {
+        // Check at the paper's default sizes (scaled down 10× for speed on
+        // the large datasets, which scales Unique/PerRow columns linearly).
+        let cases = [
+            (Dataset::Iris, 120, 76.0, 0.35),
+            (Dataset::Nba, 936, 1900.0, 0.55),
+        ];
+        for (d, rows, expect, tol) in cases {
+            let (_c, i) = d.generate(rows, 42);
+            let distinct = i.stats().distinct_consts as f64;
+            let rel_err = (distinct - expect).abs() / expect;
+            assert!(
+                rel_err < tol,
+                "{d:?}: distinct {distinct} vs expected {expect}"
+            );
+        }
+        // Doctors at full scale (fast enough): ~44.6k distinct.
+        let (_c, doct) = Dataset::Doctors.generate(20_000, 42);
+        let distinct = doct.stats().distinct_consts as f64;
+        assert!(
+            (30_000.0..60_000.0).contains(&distinct),
+            "doctors distinct {distinct}"
+        );
+    }
+
+    #[test]
+    fn zipf_columns_are_skewed() {
+        let spec = TableSpec {
+            table: "Z",
+            columns: vec![
+                ColumnSpec {
+                    name: "pop",
+                    card: Card::Zipf(1000, 1.1),
+                    null_rate: 0.0,
+                },
+                ColumnSpec {
+                    name: "flat",
+                    card: Card::Fixed(1000),
+                    null_rate: 0.0,
+                },
+            ],
+        };
+        let (c, i) = generate_table(&spec, 2000, 5);
+        let rel = c.schema().rel("Z").unwrap();
+        let count_top = |attr: u16| {
+            let mut counts: ic_model::FxHashMap<Value, usize> = ic_model::FxHashMap::default();
+            for t in i.tuples(rel) {
+                *counts.entry(t.value(ic_model::AttrId(attr))).or_default() += 1;
+            }
+            let distinct = counts.len();
+            let top = counts.values().copied().max().unwrap_or(0);
+            (distinct, top)
+        };
+        let (zipf_distinct, zipf_top) = count_top(0);
+        let (flat_distinct, flat_top) = count_top(1);
+        // The Zipf column concentrates mass on few values.
+        assert!(
+            zipf_top > flat_top * 5,
+            "zipf top {zipf_top} vs flat {flat_top}"
+        );
+        assert!(zipf_distinct < flat_distinct);
+    }
+
+    #[test]
+    fn zipf_samples_within_domain() {
+        let spec = TableSpec {
+            table: "Z",
+            columns: vec![ColumnSpec {
+                name: "p",
+                card: Card::Zipf(5, 1.0),
+                null_rate: 0.0,
+            }],
+        };
+        let (c, i) = generate_table(&spec, 500, 6);
+        let rel = c.schema().rel("Z").unwrap();
+        for t in i.tuples(rel) {
+            let s = c.render(t.value(ic_model::AttrId(0)));
+            let k: usize = s.strip_prefix("p_").unwrap().parse().unwrap();
+            assert!(k < 5);
+        }
+    }
+
+    #[test]
+    fn unique_columns_are_unique() {
+        let (c, i) = Dataset::Bikeshare.generate(500, 3);
+        let rel = c.schema().rel("Bike").unwrap();
+        let ids: ic_model::FxHashSet<Value> = i
+            .tuples(rel)
+            .iter()
+            .map(|t| t.value(ic_model::AttrId(0)))
+            .collect();
+        assert_eq!(ids.len(), 500);
+    }
+}

@@ -1,0 +1,186 @@
+//! Evolution chains: a sequence of dataset versions, each derived from the
+//! previous one by cell modifications, insertions and deletions — the data-
+//! versioning setting of the paper's introduction ("determine the order in
+//! which versions were created").
+
+use crate::datasets::{ColumnGen, Dataset, TableSpec};
+use ic_model::{AttrId, Catalog, Instance, RelId, Schema, TupleId, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters of one evolution step.
+#[derive(Debug, Clone, Copy)]
+pub struct EvolveParams {
+    /// Fraction of cells modified per step (null or new constant).
+    pub cell_noise: f64,
+    /// Fraction of tuples deleted per step.
+    pub delete_frac: f64,
+    /// Fraction of fresh tuples inserted per step.
+    pub insert_frac: f64,
+    /// Shuffle rows after each step.
+    pub shuffle: bool,
+}
+
+impl Default for EvolveParams {
+    fn default() -> Self {
+        Self {
+            cell_noise: 0.02,
+            delete_frac: 0.02,
+            insert_frac: 0.03,
+            shuffle: true,
+        }
+    }
+}
+
+/// An evolution chain: `versions[0]` is the original; `versions[i+1]` was
+/// derived from `versions[i]`.
+#[derive(Debug)]
+pub struct Chain {
+    /// Shared catalog.
+    pub catalog: Catalog,
+    /// The relation of the (single-relation) chain.
+    pub rel: RelId,
+    /// The versions, oldest first.
+    pub versions: Vec<Instance>,
+}
+
+/// Generates a chain of `steps + 1` versions of a dataset profile.
+pub fn evolve_chain(
+    dataset: Dataset,
+    rows: usize,
+    steps: usize,
+    params: &EvolveParams,
+    seed: u64,
+) -> Chain {
+    let spec = dataset.spec();
+    evolve_chain_from_spec(&spec, rows, steps, params, seed)
+}
+
+/// Generates a chain from an arbitrary table spec.
+pub fn evolve_chain_from_spec(
+    spec: &TableSpec,
+    rows: usize,
+    steps: usize,
+    params: &EvolveParams,
+    seed: u64,
+) -> Chain {
+    let attr_names: Vec<&str> = spec.columns.iter().map(|c| c.name).collect();
+    let mut catalog = Catalog::new(Schema::single(spec.table, &attr_names));
+    let rel = catalog.schema().rel(spec.table).expect("just created");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Version 0.
+    let gen = ColumnGen::new(spec, rows);
+    let mut v0 = Instance::new(format!("{}-v0", spec.table), &catalog);
+    for row in 0..rows {
+        let values = gen.row(row, &mut catalog, &mut rng);
+        v0.insert(rel, values);
+    }
+    let mut versions = vec![v0];
+
+    for step in 1..=steps {
+        let prev = versions.last().expect("at least v0");
+        let mut next = prev.clone();
+        next.set_name(format!("{}-v{step}", spec.table));
+        let arity = spec.arity();
+
+        // Deletions.
+        let ids: Vec<TupleId> = next.tuples(rel).iter().map(|t| t.id()).collect();
+        let n_delete = ((ids.len() as f64) * params.delete_frac).round() as usize;
+        let mut pool = ids;
+        for _ in 0..n_delete.min(pool.len()) {
+            let i = rng.random_range(0..pool.len());
+            let victim = pool.swap_remove(i);
+            next.remove(victim);
+        }
+
+        // Cell modifications.
+        let ids: Vec<TupleId> = next.tuples(rel).iter().map(|t| t.id()).collect();
+        if !ids.is_empty() {
+            let n_changes = ((ids.len() * arity) as f64 * params.cell_noise).round() as usize;
+            for k in 0..n_changes {
+                let tid = ids[rng.random_range(0..ids.len())];
+                let attr = AttrId(rng.random_range(0..arity) as u16);
+                let v = if rng.random::<f64>() < 0.5 {
+                    catalog.fresh_null()
+                } else {
+                    catalog.konst(&format!("upd_{step}_{k}"))
+                };
+                next.set_value(tid, attr, v);
+            }
+        }
+
+        // Insertions.
+        let n_insert = ((rows as f64) * params.insert_frac).round() as usize;
+        for k in 0..n_insert {
+            let values: Vec<Value> = spec
+                .columns
+                .iter()
+                .map(|col| {
+                    let r: u32 = rng.random_range(0..1_000_000);
+                    let _ = col;
+                    catalog.konst(&format!("new_{step}_{k}_{r}"))
+                })
+                .collect();
+            next.insert(rel, values);
+        }
+
+        if params.shuffle {
+            let n = next.tuples(rel).len();
+            let mut order: Vec<usize> = (0..n).collect();
+            order.shuffle(&mut rng);
+            next.permute(rel, &order);
+        }
+        versions.push(next);
+    }
+
+    Chain {
+        catalog,
+        rel,
+        versions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_has_requested_length() {
+        let c = evolve_chain(Dataset::Iris, 60, 3, &EvolveParams::default(), 1);
+        assert_eq!(c.versions.len(), 4);
+        assert_eq!(c.versions[0].num_tuples(), 60);
+    }
+
+    #[test]
+    fn each_step_changes_something() {
+        let c = evolve_chain(Dataset::Iris, 60, 2, &EvolveParams::default(), 2);
+        for w in c.versions.windows(2) {
+            let a: Vec<_> = w[0].tuples(c.rel).iter().map(|t| t.values()).collect();
+            let b: Vec<_> = w[1].tuples(c.rel).iter().map(|t| t.values()).collect();
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = evolve_chain(Dataset::Iris, 40, 2, &EvolveParams::default(), 3);
+        let b = evolve_chain(Dataset::Iris, 40, 2, &EvolveParams::default(), 3);
+        for (x, y) in a.versions.iter().zip(&b.versions) {
+            assert_eq!(x.num_tuples(), y.num_tuples());
+        }
+    }
+
+    #[test]
+    fn insert_and_delete_change_cardinality() {
+        let params = EvolveParams {
+            cell_noise: 0.0,
+            delete_frac: 0.10,
+            insert_frac: 0.0,
+            shuffle: false,
+        };
+        let c = evolve_chain(Dataset::Iris, 100, 1, &params, 4);
+        assert_eq!(c.versions[1].num_tuples(), 90);
+    }
+}

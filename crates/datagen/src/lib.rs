@@ -1,0 +1,22 @@
+//! # ic-datagen — workload generation for instance-comparison experiments
+//!
+//! Seeded synthetic datasets shaped like the paper's six evaluation datasets
+//! (Table 1) and the perturbation scenarios of Sec. 7.1 (*modCell*,
+//! *addRandomAndRedundant*) with known gold tuple mappings. The gold match's
+//! score is the paper's "score by construction", used as ground truth where
+//! the exact algorithm is infeasible.
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod evolve;
+pub mod multirel;
+pub mod scenario;
+
+pub use datasets::{generate_table, Card, ColumnGen, ColumnSpec, Dataset, TableSpec};
+pub use evolve::{evolve_chain, evolve_chain_from_spec, Chain, EvolveParams};
+pub use multirel::{conference_scenario, conference_schema, MultiRelScenario};
+pub use scenario::{
+    add_random_and_redundant, build_scenario, build_scenario_from_spec, mod_cell, mod_cell_typos,
+    Scenario, ScenarioParams,
+};

@@ -1,0 +1,424 @@
+//! The chase for source-to-target tgds.
+//!
+//! For s-t tgds a single pass suffices (heads only produce target atoms, so
+//! no firing enables another). For every tgd, all homomorphic matches of the
+//! body in the source instance are enumerated (backtracking join) and the
+//! head atoms are emitted with labeled nulls for existential variables.
+//!
+//! Two null strategies are supported:
+//!
+//! * [`NullStrategy::FreshPerFiring`] — the naive (oblivious) chase: every
+//!   firing allocates fresh nulls. Produces the *canonical universal
+//!   solution*, typically with redundancy when the source has duplicates.
+//! * [`NullStrategy::SkolemPerBinding`] — Skolem semantics: the null for
+//!   existential `y` of tgd `σ` under body binding `x̄ → ā` is `f_{σ,y}(ā)`,
+//!   so identical bindings reuse nulls and (with tuple dedup) repeated
+//!   source rows collapse. For the mappings used in our scenarios this
+//!   produces the **core** directly; [`crate::core_solution::core_of`]
+//!   verifies that claim on small inputs.
+
+use crate::tgd::{Atom, Term, Tgd};
+use ic_model::{Catalog, FxHashMap, Instance, RelId, Value};
+
+/// How existential variables materialize into labeled nulls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NullStrategy {
+    /// Fresh nulls per firing (naive chase / canonical universal solution).
+    FreshPerFiring,
+    /// One null per (tgd, existential variable, body binding); with tuple
+    /// deduplication this collapses duplicate firings.
+    SkolemPerBinding,
+}
+
+/// Chase configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaseConfig {
+    /// Null strategy for existential variables.
+    pub nulls: NullStrategy,
+    /// Deduplicate identical tuples in the produced target instance.
+    pub dedup: bool,
+}
+
+impl ChaseConfig {
+    /// Naive chase: fresh nulls, no dedup (canonical universal solution).
+    pub fn naive() -> Self {
+        Self {
+            nulls: NullStrategy::FreshPerFiring,
+            dedup: false,
+        }
+    }
+
+    /// Skolem chase with dedup (compact universal solution; the core for
+    /// the scenario mappings used in the evaluation).
+    pub fn skolem() -> Self {
+        Self {
+            nulls: NullStrategy::SkolemPerBinding,
+            dedup: true,
+        }
+    }
+}
+
+/// A variable binding during body matching.
+type Binding = FxHashMap<String, Value>;
+
+/// Enumerates all homomorphic matches of `body` in `source`, invoking
+/// `emit` for each complete binding.
+fn match_body(
+    body: &[Atom],
+    rels: &[RelId],
+    source: &Instance,
+    catalog: &Catalog,
+    binding: &mut Binding,
+    emit: &mut dyn FnMut(&Binding),
+) {
+    fn rec(
+        i: usize,
+        body: &[Atom],
+        rels: &[RelId],
+        source: &Instance,
+        catalog: &Catalog,
+        binding: &mut Binding,
+        emit: &mut dyn FnMut(&Binding),
+    ) {
+        let Some(atom) = body.get(i) else {
+            emit(binding);
+            return;
+        };
+        'tuples: for t in source.tuples(rels[i]) {
+            let mut bound: Vec<String> = Vec::new();
+            for (term, &v) in atom.terms.iter().zip(t.values()) {
+                match term {
+                    Term::Const(lit) => {
+                        let matches = catalog
+                            .interner()
+                            .get(lit)
+                            .map(Value::Const)
+                            .is_some_and(|c| c == v);
+                        if !matches {
+                            for b in bound.drain(..) {
+                                binding.remove(&b);
+                            }
+                            continue 'tuples;
+                        }
+                    }
+                    Term::Var(name) => match binding.get(name) {
+                        Some(&existing) => {
+                            if existing != v {
+                                for b in bound.drain(..) {
+                                    binding.remove(&b);
+                                }
+                                continue 'tuples;
+                            }
+                        }
+                        None => {
+                            binding.insert(name.clone(), v);
+                            bound.push(name.clone());
+                        }
+                    },
+                }
+            }
+            rec(i + 1, body, rels, source, catalog, binding, emit);
+            for b in bound {
+                binding.remove(&b);
+            }
+        }
+    }
+    rec(0, body, rels, source, catalog, binding, emit);
+}
+
+/// Runs the chase of `mapping` over `source`, producing a target instance
+/// named `name`. Source relations of the shared schema are left empty in the
+/// result; only head relations are populated.
+/// # Example
+///
+/// ```
+/// use ic_model::{Catalog, Instance, RelationSchema, Schema};
+/// use ic_exchange::{chase, Atom, ChaseConfig, Tgd};
+///
+/// let mut schema = Schema::new();
+/// schema.add_relation(RelationSchema::new("Src", &["name"]));
+/// schema.add_relation(RelationSchema::new("Tgt", &["name", "id"]));
+/// let mut cat = Catalog::new(schema);
+/// let src = cat.schema().rel("Src").unwrap();
+/// let mut source = Instance::new("S", &cat);
+/// let v = cat.konst("v");
+/// source.insert(src, vec![v]);
+///
+/// let tgd = Tgd::new(
+///     "copy",
+///     vec![Atom::new("Src", &["n"])],
+///     vec![Atom::new("Tgt", &["n", "k"])], // k is existential
+/// );
+/// let target = chase(&source, &[tgd], &mut cat, &ChaseConfig::naive(), "T");
+/// let tgt = cat.schema().rel("Tgt").unwrap();
+/// assert_eq!(target.tuples(tgt).len(), 1);
+/// assert!(target.tuples(tgt)[0].values()[1].is_null());
+/// ```
+pub fn chase(
+    source: &Instance,
+    mapping: &[Tgd],
+    catalog: &mut Catalog,
+    cfg: &ChaseConfig,
+    name: &str,
+) -> Instance {
+    let mut target = Instance::new(name, catalog);
+    // Skolem table: key → null. Default keys are (tgd-local function name,
+    // full body binding); explicit SkolemSpecs use (function name, arg
+    // values), which lets distinct firings and tgds share a surrogate.
+    let mut skolem: FxHashMap<(String, Vec<Value>), Value> = FxHashMap::default();
+    // Dedup set per relation.
+    let mut seen: FxHashMap<(RelId, Vec<Value>), ()> = FxHashMap::default();
+
+    for (ti, tgd) in mapping.iter().enumerate() {
+        let body_rels: Vec<RelId> = tgd.body.iter().map(|a| a.resolve(catalog)).collect();
+        let head_rels: Vec<RelId> = tgd.head.iter().map(|a| a.resolve(catalog)).collect();
+        let universal = tgd.universal_vars();
+
+        // Collect all bindings first (the chase may intern new symbols while
+        // emitting, which needs &mut catalog).
+        let mut bindings: Vec<Binding> = Vec::new();
+        let mut binding = Binding::default();
+        match_body(
+            &tgd.body,
+            &body_rels,
+            source,
+            catalog,
+            &mut binding,
+            &mut |b| bindings.push(b.clone()),
+        );
+
+        for b in bindings {
+            // Existential nulls for this firing.
+            let mut firing_nulls: FxHashMap<&str, Value> = FxHashMap::default();
+            for ev in tgd.existential_vars() {
+                let v = match cfg.nulls {
+                    NullStrategy::FreshPerFiring => catalog.fresh_null(),
+                    NullStrategy::SkolemPerBinding => {
+                        let key = match tgd.skolem.iter().find(|s| s.var == ev) {
+                            Some(spec) => (
+                                spec.function.clone(),
+                                spec.args.iter().map(|a| b[a]).collect::<Vec<Value>>(),
+                            ),
+                            None => (
+                                format!("__tgd{ti}::{ev}"),
+                                universal.iter().map(|uv| b[*uv]).collect(),
+                            ),
+                        };
+                        *skolem.entry(key).or_insert_with(|| catalog.fresh_null())
+                    }
+                };
+                firing_nulls.insert(ev, v);
+            }
+            for (atom, &rel) in tgd.head.iter().zip(&head_rels) {
+                let values: Vec<Value> = atom
+                    .terms
+                    .iter()
+                    .map(|term| match term {
+                        Term::Const(lit) => catalog.konst(lit),
+                        Term::Var(v) => b
+                            .get(v)
+                            .copied()
+                            .or_else(|| firing_nulls.get(v.as_str()).copied())
+                            .expect("head variable is universal or existential"),
+                    })
+                    .collect();
+                if cfg.dedup {
+                    let key = (rel, values.clone());
+                    if seen.contains_key(&key) {
+                        continue;
+                    }
+                    seen.insert(key, ());
+                }
+                target.insert(rel, values);
+            }
+        }
+    }
+    target
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_model::{RelationSchema, Schema};
+
+    fn setup() -> (Catalog, Instance) {
+        let mut s = Schema::new();
+        s.add_relation(RelationSchema::new("Visits", &["doc", "spec"]));
+        s.add_relation(RelationSchema::new("Doctors", &["name", "spec", "npi"]));
+        s.add_relation(RelationSchema::new("Pairs", &["a", "b"]));
+        s.add_relation(RelationSchema::new("Joined", &["a", "b", "c"]));
+        let mut cat = Catalog::new(s);
+        let visits = cat.schema().rel("Visits").unwrap();
+        let mut src = Instance::new("S", &cat);
+        let alice = cat.konst("alice");
+        let bob = cat.konst("bob");
+        let cardio = cat.konst("cardio");
+        let derm = cat.konst("derm");
+        src.insert(visits, vec![alice, cardio]);
+        src.insert(visits, vec![alice, cardio]); // duplicate row
+        src.insert(visits, vec![bob, derm]);
+        (cat, src)
+    }
+
+    fn mapping() -> Vec<Tgd> {
+        vec![Tgd::new(
+            "visits-to-doctors",
+            vec![Atom::new("Visits", &["d", "s"])],
+            vec![Atom::new("Doctors", &["d", "s", "n"])],
+        )]
+    }
+
+    #[test]
+    fn naive_chase_keeps_duplicates_with_fresh_nulls() {
+        let (mut cat, src) = setup();
+        let t = chase(&src, &mapping(), &mut cat, &ChaseConfig::naive(), "U");
+        let doctors = cat.schema().rel("Doctors").unwrap();
+        assert_eq!(t.tuples(doctors).len(), 3);
+        // Three distinct nulls.
+        assert_eq!(t.vars().len(), 3);
+    }
+
+    #[test]
+    fn skolem_chase_collapses_duplicates() {
+        let (mut cat, src) = setup();
+        let t = chase(&src, &mapping(), &mut cat, &ChaseConfig::skolem(), "C");
+        let doctors = cat.schema().rel("Doctors").unwrap();
+        assert_eq!(t.tuples(doctors).len(), 2);
+        assert_eq!(t.vars().len(), 2);
+    }
+
+    #[test]
+    fn skolem_reuses_null_for_equal_bindings_across_relations() {
+        // Head with two atoms sharing an existential: the shared null links
+        // the target tuples.
+        let mut s = Schema::new();
+        s.add_relation(RelationSchema::new("Src", &["x"]));
+        s.add_relation(RelationSchema::new("A", &["x", "k"]));
+        s.add_relation(RelationSchema::new("B", &["k"]));
+        let mut cat = Catalog::new(s);
+        let src_rel = cat.schema().rel("Src").unwrap();
+        let mut src = Instance::new("S", &cat);
+        let v = cat.konst("v");
+        src.insert(src_rel, vec![v]);
+        let tgd = Tgd::new(
+            "link",
+            vec![Atom::new("Src", &["x"])],
+            vec![Atom::new("A", &["x", "k"]), Atom::new("B", &["k"])],
+        );
+        let t = chase(&src, &[tgd], &mut cat, &ChaseConfig::skolem(), "T");
+        let a = cat.schema().rel("A").unwrap();
+        let b = cat.schema().rel("B").unwrap();
+        let ka = t.tuples(a)[0].values()[1];
+        let kb = t.tuples(b)[0].values()[0];
+        assert_eq!(ka, kb, "existential must be shared across head atoms");
+    }
+
+    #[test]
+    fn multi_atom_body_join() {
+        // Joined(a,b,c) :- Pairs(a,b), Pairs(b,c) — a two-step path.
+        let mut s = Schema::new();
+        s.add_relation(RelationSchema::new("Pairs", &["a", "b"]));
+        s.add_relation(RelationSchema::new("Joined", &["a", "b", "c"]));
+        let mut cat = Catalog::new(s);
+        let pairs = cat.schema().rel("Pairs").unwrap();
+        let mut src = Instance::new("S", &cat);
+        let (x, y, z) = (cat.konst("x"), cat.konst("y"), cat.konst("z"));
+        src.insert(pairs, vec![x, y]);
+        src.insert(pairs, vec![y, z]);
+        src.insert(pairs, vec![z, x]);
+        let tgd = Tgd::new(
+            "path2",
+            vec![
+                Atom::new("Pairs", &["a", "b"]),
+                Atom::new("Pairs", &["b", "c"]),
+            ],
+            vec![Atom::new("Joined", &["a", "b", "c"])],
+        );
+        let t = chase(&src, &[tgd], &mut cat, &ChaseConfig::naive(), "T");
+        let joined = cat.schema().rel("Joined").unwrap();
+        // x→y→z, y→z→x, z→x→y.
+        assert_eq!(t.tuples(joined).len(), 3);
+    }
+
+    #[test]
+    fn constant_literals_in_body_filter() {
+        let (mut cat, src) = setup();
+        let tgd = Tgd::new(
+            "cardio-only",
+            vec![Atom::new("Visits", &["d", "$cardio"])],
+            vec![Atom::new("Doctors", &["d", "$cardio", "n"])],
+        );
+        let t = chase(&src, &[tgd], &mut cat, &ChaseConfig::naive(), "T");
+        let doctors = cat.schema().rel("Doctors").unwrap();
+        assert_eq!(t.tuples(doctors).len(), 2); // the two alice/cardio rows
+    }
+
+    #[test]
+    fn unmatched_constant_literal_produces_nothing() {
+        let (mut cat, src) = setup();
+        let tgd = Tgd::new(
+            "none",
+            vec![Atom::new("Visits", &["d", "$neurology"])],
+            vec![Atom::new("Doctors", &["d", "$neurology", "n"])],
+        );
+        let t = chase(&src, &[tgd], &mut cat, &ChaseConfig::naive(), "T");
+        let doctors = cat.schema().rel("Doctors").unwrap();
+        assert!(t.tuples(doctors).is_empty());
+    }
+
+    #[test]
+    fn multiple_tgds_combine() {
+        let (mut cat, src) = setup();
+        let tgds = vec![
+            Tgd::new(
+                "m1",
+                vec![Atom::new("Visits", &["d", "$cardio"])],
+                vec![Atom::new("Doctors", &["d", "$cardio", "n"])],
+            ),
+            Tgd::new(
+                "m2",
+                vec![Atom::new("Visits", &["d", "$derm"])],
+                vec![Atom::new("Doctors", &["d", "$derm", "n"])],
+            ),
+        ];
+        let t = chase(&src, &tgds, &mut cat, &ChaseConfig::naive(), "T");
+        let doctors = cat.schema().rel("Doctors").unwrap();
+        assert_eq!(t.tuples(doctors).len(), 3);
+    }
+
+    #[test]
+    fn constant_literal_in_head_is_materialized() {
+        let (mut cat, src) = setup();
+        let tgd = Tgd::new(
+            "tag",
+            vec![Atom::new("Visits", &["d", "s"])],
+            vec![Atom::new("Doctors", &["d", "s", "$unlicensed"])],
+        );
+        let t = chase(&src, &[tgd], &mut cat, &ChaseConfig::skolem(), "T");
+        let doctors = cat.schema().rel("Doctors").unwrap();
+        let tag = cat.konst("unlicensed");
+        assert!(t.tuples(doctors).iter().all(|tp| tp.values()[2] == tag));
+        assert_eq!(t.vars().len(), 0);
+    }
+
+    #[test]
+    fn repeated_variable_in_body_enforces_equality() {
+        let mut s = Schema::new();
+        s.add_relation(RelationSchema::new("Pairs", &["a", "b"]));
+        s.add_relation(RelationSchema::new("Diag", &["a"]));
+        let mut cat = Catalog::new(s);
+        let pairs = cat.schema().rel("Pairs").unwrap();
+        let mut src = Instance::new("S", &cat);
+        let (x, y) = (cat.konst("x"), cat.konst("y"));
+        src.insert(pairs, vec![x, x]);
+        src.insert(pairs, vec![x, y]);
+        let tgd = Tgd::new(
+            "diag",
+            vec![Atom::new("Pairs", &["a", "a"])],
+            vec![Atom::new("Diag", &["a"])],
+        );
+        let t = chase(&src, &[tgd], &mut cat, &ChaseConfig::naive(), "T");
+        let diag = cat.schema().rel("Diag").unwrap();
+        assert_eq!(t.tuples(diag).len(), 1);
+    }
+}

@@ -1,0 +1,240 @@
+//! Core computation for universal solutions.
+//!
+//! The core of an instance `J` is the smallest retract of `J` — the unique
+//! (up to isomorphism) smallest universal solution (Fagin, Kolaitis, Popa,
+//! *Data Exchange: Getting to the Core*). We compute it by iterated
+//! *block folding*: the labeled nulls of a chase result partition the
+//! null-bearing tuples into blocks (connected components of null
+//! co-occurrence); a block that maps homomorphically into the rest of the
+//! instance is redundant and removed. For chase results of s-t tgds this
+//! reaches the core because every proper retraction folds at least one
+//! whole block.
+
+use ic_core::find_homomorphism;
+use ic_model::{Catalog, FxHashMap, Instance, NullId, TupleId};
+
+/// The blocks of an instance: connected components of tuples linked by
+/// shared labeled nulls. Ground tuples belong to no block.
+pub fn blocks(instance: &Instance) -> Vec<Vec<TupleId>> {
+    // Union-find over nulls.
+    let mut null_ids: FxHashMap<NullId, usize> = FxHashMap::default();
+    let mut parent: Vec<usize> = Vec::new();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut tuple_nulls: Vec<(TupleId, Vec<usize>)> = Vec::new();
+    for (_, t) in instance.iter_all() {
+        let mut ids = Vec::new();
+        for v in t.values() {
+            if let Some(n) = v.as_null() {
+                let id = *null_ids.entry(n).or_insert_with(|| {
+                    parent.push(parent.len());
+                    parent.len() - 1
+                });
+                ids.push(id);
+            }
+        }
+        if !ids.is_empty() {
+            for w in ids.windows(2) {
+                let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+            tuple_nulls.push((t.id(), ids));
+        }
+    }
+    let mut groups: FxHashMap<usize, Vec<TupleId>> = FxHashMap::default();
+    for (tid, ids) in tuple_nulls {
+        let root = find(&mut parent, ids[0]);
+        groups.entry(root).or_default().push(tid);
+    }
+    groups.into_values().collect()
+}
+
+/// Builds an instance containing exactly the given tuples of `from`.
+fn sub_instance(from: &Instance, catalog: &Catalog, keep: &[TupleId], name: &str) -> Instance {
+    let mut out = Instance::new(name, catalog);
+    for &tid in keep {
+        let rel = from.rel_of(tid).expect("tuple exists");
+        let t = from.tuple(tid).expect("tuple exists");
+        out.insert(rel, t.values().to_vec());
+    }
+    out
+}
+
+/// Builds an instance with the given tuples of `from` removed.
+fn without(from: &Instance, catalog: &Catalog, drop: &[TupleId], name: &str) -> Instance {
+    let dropset: ic_model::FxHashSet<TupleId> = drop.iter().copied().collect();
+    let mut out = Instance::new(name, catalog);
+    for (rel, t) in from.iter_all() {
+        if !dropset.contains(&t.id()) {
+            out.insert(rel, t.values().to_vec());
+        }
+    }
+    out
+}
+
+/// Computes the core of `instance` by iterated block folding, with exact
+/// duplicate tuples removed first (set semantics — the core is defined on
+/// set instances).
+/// # Example
+///
+/// ```
+/// use ic_model::{Catalog, Instance, Schema};
+/// use ic_exchange::core_of;
+///
+/// let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+/// let rel = cat.schema().rel("R").unwrap();
+/// let (a, b) = (cat.konst("a"), cat.konst("b"));
+/// let n = cat.fresh_null();
+/// let mut j = Instance::new("J", &cat);
+/// j.insert(rel, vec![a, n]); // folds onto the ground tuple
+/// j.insert(rel, vec![a, b]);
+/// let core = core_of(&j, &cat);
+/// assert_eq!(core.num_tuples(), 1);
+/// ```
+pub fn core_of(instance: &Instance, catalog: &Catalog) -> Instance {
+    // Set semantics: drop exact duplicate tuples first.
+    let mut current = instance.clone();
+    current.set_name(format!("core({})", instance.name()));
+    current.dedup_tuples();
+
+    loop {
+        let mut folded = false;
+        for block in blocks(&current) {
+            let block_inst = sub_instance(&current, catalog, &block, "block");
+            let rest = without(&current, catalog, &block, "rest");
+            if rest.num_tuples() == 0 {
+                continue;
+            }
+            if find_homomorphism(&block_inst, &rest).is_some() {
+                current = rest;
+                folded = true;
+                break;
+            }
+        }
+        if !folded {
+            return current;
+        }
+    }
+}
+
+/// Whether `instance` is its own core (no block folds).
+pub fn is_core(instance: &Instance, catalog: &Catalog) -> bool {
+    core_of(instance, catalog).num_tuples() == instance.num_tuples()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::{chase, ChaseConfig};
+    use crate::tgd::{Atom, Tgd};
+    use ic_core::isomorphic;
+    use ic_model::{RelationSchema, Schema};
+
+    #[test]
+    fn blocks_group_by_shared_nulls() {
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let rel = cat.schema().rel("R").unwrap();
+        let a = cat.konst("a");
+        let (n1, n2, n3) = (cat.fresh_null(), cat.fresh_null(), cat.fresh_null());
+        let mut inst = Instance::new("I", &cat);
+        inst.insert(rel, vec![n1, n2]); // block 1
+        inst.insert(rel, vec![n2, a]); // block 1 (shares n2)
+        inst.insert(rel, vec![n3, a]); // block 2
+        inst.insert(rel, vec![a, a]); // ground, no block
+        let mut bs = blocks(&inst);
+        bs.sort_by_key(|b| b.len());
+        assert_eq!(bs.len(), 2);
+        assert_eq!(bs[0].len(), 1);
+        assert_eq!(bs[1].len(), 2);
+    }
+
+    #[test]
+    fn core_folds_redundant_block() {
+        // J = {(a, N1), (a, b)}: the null tuple folds onto the ground one.
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let rel = cat.schema().rel("R").unwrap();
+        let (a, b) = (cat.konst("a"), cat.konst("b"));
+        let n1 = cat.fresh_null();
+        let mut inst = Instance::new("J", &cat);
+        inst.insert(rel, vec![a, n1]);
+        inst.insert(rel, vec![a, b]);
+        let core = core_of(&inst, &cat);
+        assert_eq!(core.num_tuples(), 1);
+        assert!(core.is_ground());
+    }
+
+    #[test]
+    fn core_keeps_non_redundant_nulls() {
+        // J = {(a, N1)} alone is its own core.
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let rel = cat.schema().rel("R").unwrap();
+        let a = cat.konst("a");
+        let n1 = cat.fresh_null();
+        let mut inst = Instance::new("J", &cat);
+        inst.insert(rel, vec![a, n1]);
+        assert!(is_core(&inst, &cat));
+    }
+
+    #[test]
+    fn duplicate_blocks_fold() {
+        // Two isomorphic blocks over the same constants: one folds away.
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let rel = cat.schema().rel("R").unwrap();
+        let a = cat.konst("a");
+        let (n1, n2) = (cat.fresh_null(), cat.fresh_null());
+        let mut inst = Instance::new("J", &cat);
+        inst.insert(rel, vec![a, n1]);
+        inst.insert(rel, vec![a, n2]);
+        let core = core_of(&inst, &cat);
+        assert_eq!(core.num_tuples(), 1);
+    }
+
+    #[test]
+    fn naive_chase_core_equals_skolem_chase() {
+        // The headline cross-validation: core(naive chase) ≅ skolem chase.
+        let mut s = Schema::new();
+        s.add_relation(RelationSchema::new("Visits", &["doc", "spec"]));
+        s.add_relation(RelationSchema::new("Doctors", &["name", "spec", "npi"]));
+        let mut cat = Catalog::new(s);
+        let visits = cat.schema().rel("Visits").unwrap();
+        let mut src = Instance::new("S", &cat);
+        let names = ["alice", "bob", "carol"];
+        let specs = ["cardio", "derm"];
+        for (i, &n) in names.iter().enumerate() {
+            let nv = cat.konst(n);
+            let sv = cat.konst(specs[i % 2]);
+            src.insert(visits, vec![nv, sv]);
+            src.insert(visits, vec![nv, sv]); // duplicates
+        }
+        let mapping = vec![Tgd::new(
+            "m",
+            vec![Atom::new("Visits", &["d", "s"])],
+            vec![Atom::new("Doctors", &["d", "s", "n"])],
+        )];
+        let naive = chase(&src, &mapping, &mut cat, &ChaseConfig::naive(), "U");
+        let skolem = chase(&src, &mapping, &mut cat, &ChaseConfig::skolem(), "C");
+        assert_eq!(naive.num_tuples(), 6);
+        assert_eq!(skolem.num_tuples(), 3);
+        let core = core_of(&naive, &cat);
+        assert!(isomorphic(&core, &skolem), "core(naive) must be ≅ skolem");
+    }
+
+    #[test]
+    fn ground_instance_is_its_own_core() {
+        let mut cat = Catalog::new(Schema::single("R", &["A"]));
+        let rel = cat.schema().rel("R").unwrap();
+        let a = cat.konst("a");
+        let b = cat.konst("b");
+        let mut inst = Instance::new("J", &cat);
+        inst.insert(rel, vec![a]);
+        inst.insert(rel, vec![b]);
+        assert!(is_core(&inst, &cat));
+    }
+}

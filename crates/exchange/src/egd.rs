@@ -1,0 +1,338 @@
+//! Equality-generating dependencies (egds) and the egd chase.
+//!
+//! An egd `∀x̄ φ_T(x̄) → x_i = x_j` asserts that whenever the target pattern
+//! `φ_T` matches, two positions hold the same value. Chasing an egd either
+//! *unifies* labeled nulls (replacing one with the other, or with a
+//! constant) or **fails** when two distinct constants are equated — exactly
+//! the standard-chase semantics (Fagin et al.). Target FDs are the typical
+//! source of egds; [`fd_egd`] builds one from an FD description.
+//!
+//! The paper's repair systems use labeled nulls to *mark* FD conflicts
+//! instead of failing; the egd chase is the strict alternative: it shows
+//! what data exchange does with the same constraints.
+
+use crate::tgd::{Atom, Term};
+use ic_model::{Catalog, FxHashMap, Instance, RelId, Value};
+
+/// An equality-generating dependency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Egd {
+    /// Human-readable name.
+    pub name: String,
+    /// Body atoms (over the target schema).
+    pub body: Vec<Atom>,
+    /// The two body variables asserted equal.
+    pub equal: (String, String),
+}
+
+impl Egd {
+    /// Creates an egd; the equated variables must occur in the body.
+    ///
+    /// # Panics
+    /// Panics if the body is empty or an equated variable is absent.
+    pub fn new(name: &str, body: Vec<Atom>, equal: (&str, &str)) -> Self {
+        assert!(!body.is_empty(), "egd body must not be empty");
+        for v in [equal.0, equal.1] {
+            let occurs = body.iter().any(|a| {
+                a.terms
+                    .iter()
+                    .any(|t| matches!(t, Term::Var(name) if name == v))
+            });
+            assert!(occurs, "equated variable {v:?} does not occur in the body");
+        }
+        Self {
+            name: name.to_string(),
+            body,
+            equal: (equal.0.to_string(), equal.1.to_string()),
+        }
+    }
+}
+
+/// Builds the egd expressing the FD `rel : lhs → rhs`:
+/// `R(…l̄…, y), R(…l̄…, y') → y = y'` with shared variables on `lhs` and on
+/// every other attribute left free.
+pub fn fd_egd(catalog: &Catalog, rel: &str, lhs: &[&str], rhs: &str) -> Egd {
+    let rel_id = catalog
+        .schema()
+        .rel(rel)
+        .unwrap_or_else(|| panic!("unknown relation {rel:?}"));
+    let schema = catalog.schema().relation(rel_id);
+    let mk_atom = |suffix: &str| -> Atom {
+        let vars: Vec<String> = schema
+            .attrs()
+            .map(|a| {
+                if lhs.contains(&a) {
+                    format!("l_{a}") // shared across the two atoms
+                } else if a == rhs {
+                    format!("r{suffix}")
+                } else {
+                    format!("f_{a}{suffix}") // free, per atom
+                }
+            })
+            .collect();
+        let refs: Vec<&str> = vars.iter().map(String::as_str).collect();
+        Atom::new(rel, &refs)
+    };
+    Egd::new(
+        &format!("fd:{rel}:{}->{rhs}", lhs.join(",")),
+        vec![mk_atom("1"), mk_atom("2")],
+        ("r1", "r2"),
+    )
+}
+
+/// Failure of the egd chase: two distinct constants were equated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EgdFailure {
+    /// The violated egd's name.
+    pub egd: String,
+    /// The conflicting constants (rendered).
+    pub left: String,
+    /// The second conflicting constant.
+    pub right: String,
+}
+
+impl std::fmt::Display for EgdFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "egd {:?} failed: cannot equate constants {:?} and {:?}",
+            self.egd, self.left, self.right
+        )
+    }
+}
+
+impl std::error::Error for EgdFailure {}
+
+/// Enumerates matches of `body` in `instance` and returns the first binding
+/// where the equated variables differ, if any.
+fn find_violation(
+    instance: &Instance,
+    catalog: &Catalog,
+    egd: &Egd,
+    rels: &[RelId],
+) -> Option<(Value, Value)> {
+    fn rec(
+        i: usize,
+        egd: &Egd,
+        rels: &[RelId],
+        instance: &Instance,
+        catalog: &Catalog,
+        binding: &mut FxHashMap<String, Value>,
+    ) -> Option<(Value, Value)> {
+        let Some(atom) = egd.body.get(i) else {
+            let a = binding[&egd.equal.0];
+            let b = binding[&egd.equal.1];
+            return if a != b { Some((a, b)) } else { None };
+        };
+        'tuples: for t in instance.tuples(rels[i]) {
+            let mut bound: Vec<String> = Vec::new();
+            for (term, &v) in atom.terms.iter().zip(t.values()) {
+                match term {
+                    Term::Const(lit) => {
+                        let ok = catalog
+                            .interner()
+                            .get(lit)
+                            .map(Value::Const)
+                            .is_some_and(|c| c == v);
+                        if !ok {
+                            for b in bound.drain(..) {
+                                binding.remove(&b);
+                            }
+                            continue 'tuples;
+                        }
+                    }
+                    Term::Var(name) => match binding.get(name) {
+                        Some(&existing) if existing != v => {
+                            for b in bound.drain(..) {
+                                binding.remove(&b);
+                            }
+                            continue 'tuples;
+                        }
+                        Some(_) => {}
+                        None => {
+                            binding.insert(name.clone(), v);
+                            bound.push(name.clone());
+                        }
+                    },
+                }
+            }
+            if let Some(hit) = rec(i + 1, egd, rels, instance, catalog, binding) {
+                return Some(hit);
+            }
+            for b in bound {
+                binding.remove(&b);
+            }
+        }
+        None
+    }
+    let mut binding = FxHashMap::default();
+    rec(0, egd, rels, instance, catalog, &mut binding)
+}
+
+/// Chases `egds` over `instance` to a fixpoint. On success the returned
+/// instance satisfies every egd (nulls were unified as needed, duplicates
+/// collapse is left to the caller); on failure the first constant conflict
+/// is reported.
+pub fn chase_egds(
+    instance: &Instance,
+    egds: &[Egd],
+    catalog: &Catalog,
+) -> Result<Instance, EgdFailure> {
+    let mut current = instance.clone();
+    let resolved: Vec<(usize, Vec<RelId>)> = egds
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (i, e.body.iter().map(|a| a.resolve(catalog)).collect()))
+        .collect();
+    loop {
+        let mut changed = false;
+        for (i, rels) in &resolved {
+            let egd = &egds[*i];
+            while let Some((a, b)) = find_violation(&current, catalog, egd, rels) {
+                match (a, b) {
+                    (Value::Const(x), Value::Const(y)) => {
+                        return Err(EgdFailure {
+                            egd: egd.name.clone(),
+                            left: catalog.resolve(x).to_string(),
+                            right: catalog.resolve(y).to_string(),
+                        });
+                    }
+                    // Replace the null by the other value everywhere.
+                    (Value::Null(_), other) => {
+                        current.map_values(|v| if v == a { other } else { v });
+                    }
+                    (other, Value::Null(_)) => {
+                        current.map_values(|v| if v == b { other } else { v });
+                    }
+                }
+                changed = true;
+            }
+        }
+        if !changed {
+            return Ok(current);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_model::{RelationSchema, Schema};
+
+    fn setup() -> (Catalog, Instance) {
+        let mut s = Schema::new();
+        s.add_relation(RelationSchema::new("Conf", &["Name", "Org"]));
+        let cat = Catalog::new(s);
+        let inst = Instance::new("J", &cat);
+        (cat, inst)
+    }
+
+    #[test]
+    fn fd_egd_unifies_nulls() {
+        let (mut cat, mut inst) = setup();
+        let rel = cat.schema().rel("Conf").unwrap();
+        let vldb = cat.konst("VLDB");
+        let (n1, n2) = (cat.fresh_null(), cat.fresh_null());
+        inst.insert(rel, vec![vldb, n1]);
+        inst.insert(rel, vec![vldb, n2]);
+        let egd = fd_egd(&cat, "Conf", &["Name"], "Org");
+        let out = chase_egds(&inst, &[egd], &cat).expect("chase succeeds");
+        let t = out.tuples(rel);
+        assert_eq!(t[0].values()[1], t[1].values()[1], "nulls must be unified");
+    }
+
+    #[test]
+    fn fd_egd_grounds_null_against_constant() {
+        let (mut cat, mut inst) = setup();
+        let rel = cat.schema().rel("Conf").unwrap();
+        let vldb = cat.konst("VLDB");
+        let end = cat.konst("VLDB End.");
+        let n = cat.fresh_null();
+        inst.insert(rel, vec![vldb, end]);
+        inst.insert(rel, vec![vldb, n]);
+        let egd = fd_egd(&cat, "Conf", &["Name"], "Org");
+        let out = chase_egds(&inst, &[egd], &cat).expect("chase succeeds");
+        assert!(out.is_ground());
+        assert_eq!(out.tuples(rel)[1].values()[1], end);
+    }
+
+    #[test]
+    fn fd_egd_fails_on_constant_conflict() {
+        let (mut cat, mut inst) = setup();
+        let rel = cat.schema().rel("Conf").unwrap();
+        let vldb = cat.konst("VLDB");
+        let a = cat.konst("VLDB End.");
+        let b = cat.konst("VLDB Endowment");
+        inst.insert(rel, vec![vldb, a]);
+        inst.insert(rel, vec![vldb, b]);
+        let egd = fd_egd(&cat, "Conf", &["Name"], "Org");
+        let err = chase_egds(&inst, &[egd], &cat).expect_err("must fail");
+        assert!(err.to_string().contains("cannot equate"));
+    }
+
+    #[test]
+    fn transitive_unification() {
+        // Three tuples, chained: N1~N2 via one pair, N2~const via another.
+        let (mut cat, mut inst) = setup();
+        let rel = cat.schema().rel("Conf").unwrap();
+        let vldb = cat.konst("VLDB");
+        let end = cat.konst("End");
+        let (n1, n2) = (cat.fresh_null(), cat.fresh_null());
+        inst.insert(rel, vec![vldb, n1]);
+        inst.insert(rel, vec![vldb, n2]);
+        inst.insert(rel, vec![vldb, end]);
+        let egd = fd_egd(&cat, "Conf", &["Name"], "Org");
+        let out = chase_egds(&inst, &[egd], &cat).expect("chase succeeds");
+        for t in out.tuples(rel) {
+            assert_eq!(t.values()[1], end);
+        }
+    }
+
+    #[test]
+    fn satisfied_egd_is_a_noop() {
+        let (mut cat, mut inst) = setup();
+        let rel = cat.schema().rel("Conf").unwrap();
+        let vldb = cat.konst("VLDB");
+        let end = cat.konst("End");
+        inst.insert(rel, vec![vldb, end]);
+        inst.insert(rel, vec![vldb, end]);
+        let egd = fd_egd(&cat, "Conf", &["Name"], "Org");
+        let out = chase_egds(&inst, &[egd], &cat).expect("chase succeeds");
+        assert_eq!(out.tuples(rel).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not occur")]
+    fn egd_requires_equated_vars_in_body() {
+        Egd::new("bad", vec![Atom::new("Conf", &["x", "y"])], ("x", "z"));
+    }
+
+    #[test]
+    fn egd_after_tgd_chase() {
+        // Full pipeline: s-t tgd chase, then target FD as egd.
+        use crate::chase::{chase, ChaseConfig};
+        use crate::tgd::Tgd;
+        let mut s = Schema::new();
+        s.add_relation(RelationSchema::new("Src", &["name", "org"]));
+        s.add_relation(RelationSchema::new("Conf", &["Name", "Org"]));
+        let mut cat = Catalog::new(s);
+        let src = cat.schema().rel("Src").unwrap();
+        let conf = cat.schema().rel("Conf").unwrap();
+        let vldb = cat.konst("VLDB");
+        let end = cat.konst("End");
+        let mut source = Instance::new("S", &cat);
+        let n = cat.fresh_null();
+        source.insert(src, vec![vldb, end]);
+        source.insert(src, vec![vldb, n]);
+        let tgd = Tgd::new(
+            "copy",
+            vec![Atom::new("Src", &["n", "o"])],
+            vec![Atom::new("Conf", &["n", "o"])],
+        );
+        let target = chase(&source, &[tgd], &mut cat, &ChaseConfig::naive(), "J");
+        let egd = fd_egd(&cat, "Conf", &["Name"], "Org");
+        let fixed = chase_egds(&target, &[egd], &cat).expect("consistent");
+        assert!(fixed.is_ground());
+        assert!(fixed.tuples(conf).iter().all(|t| t.values()[1] == end));
+    }
+}

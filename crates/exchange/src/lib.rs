@@ -1,0 +1,27 @@
+//! # ic-exchange — data-exchange substrate
+//!
+//! Source-to-target tgds, a chase engine with naive and Skolem null
+//! strategies, core computation by block folding, and the generator of the
+//! paper's Table 6 evaluation scenario (wrong / redundant / correct mappings
+//! compared against a core solution).
+
+#![warn(missing_docs)]
+
+pub mod chase;
+pub mod core_solution;
+pub mod egd;
+pub mod metrics;
+pub mod scenario;
+pub mod tgd;
+pub mod vertical;
+
+pub use chase::{chase, ChaseConfig, NullStrategy};
+pub use core_solution::{blocks, core_of, is_core};
+pub use egd::{chase_egds, fd_egd, Egd, EgdFailure};
+pub use metrics::{is_universal, missing_rows, row_score};
+pub use scenario::{
+    correct_mapping, doctors_scenario, exchange_schema, redundant_mapping, wrong_mapping,
+    ExchangeScenario,
+};
+pub use tgd::{Atom, SkolemSpec, Term, Tgd};
+pub use vertical::{vertical_mapping, vertical_scenario, vertical_schema, VerticalScenario};

@@ -1,0 +1,229 @@
+//! The data-exchange evaluation scenario (paper Table 6).
+//!
+//! A Doctors-style source is exchanged into a target schema under four
+//! regimes:
+//!
+//! * **Gold** — the core solution (Skolem chase with dedup);
+//! * **U2** — a correct user mapping chased naively: universal but
+//!   redundant (duplicate source rows produce duplicate target blocks);
+//! * **U1** — a correct but sloppier user mapping with an extra tgd that
+//!   emits partially-null duplicates: universal, more redundant;
+//! * **W** — a wrong mapping reading a different source table: the solution
+//!   contains constants not in the core (non-universal).
+//!
+//! The paper compares a *Row score* baseline (fraction of rows) against the
+//! signature similarity, showing the former fails to detect W.
+
+use crate::chase::{chase, ChaseConfig};
+use crate::metrics::{missing_rows, row_score};
+use crate::tgd::{Atom, Tgd};
+use ic_model::{Catalog, Instance, RelationSchema, Schema};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The generated scenario: one source, the gold core, and the three
+/// evaluated solutions.
+#[derive(Debug)]
+pub struct ExchangeScenario {
+    /// Shared catalog (holds both source and target relations).
+    pub catalog: Catalog,
+    /// The source instance (relations `Visits`, `Patients`).
+    pub source: Instance,
+    /// The core solution (gold standard).
+    pub gold: Instance,
+    /// Wrong mapping's solution (W).
+    pub wrong: Instance,
+    /// Redundant user mapping's solution (U1).
+    pub user1: Instance,
+    /// Correct user mapping chased naively (U2).
+    pub user2: Instance,
+}
+
+impl ExchangeScenario {
+    /// Evaluates one solution against the gold core, returning
+    /// `(missing_rows, row_score)`.
+    pub fn baseline_metrics(&self, solution: &Instance) -> (usize, f64) {
+        (
+            missing_rows(solution, &self.gold, &self.catalog),
+            row_score(solution, &self.gold),
+        )
+    }
+}
+
+/// The correct source-to-target mapping.
+pub fn correct_mapping() -> Vec<Tgd> {
+    vec![Tgd::new(
+        "visits-to-doctors",
+        vec![Atom::new("Visits", &["d", "s", "h", "c"])],
+        vec![Atom::new("DoctorsT", &["d", "s", "h", "c", "npi"])],
+    )]
+}
+
+/// The redundant user mapping (U1): the correct tgd plus one that emits the
+/// doctor again with an unknown city — universal, but doubles the rows.
+pub fn redundant_mapping() -> Vec<Tgd> {
+    let mut m = correct_mapping();
+    m.push(Tgd::new(
+        "visits-to-doctors-no-city",
+        vec![Atom::new("Visits", &["d", "s", "h", "c"])],
+        vec![Atom::new("DoctorsT", &["d", "s", "h", "city2", "npi2"])],
+    ));
+    m
+}
+
+/// The wrong mapping (W): reads the `Patients` table instead of `Visits`.
+pub fn wrong_mapping() -> Vec<Tgd> {
+    vec![Tgd::new(
+        "patients-as-doctors",
+        vec![Atom::new("Patients", &["n", "a", "c", "i"])],
+        vec![Atom::new("DoctorsT", &["n", "a", "c", "i", "npi"])],
+    )]
+}
+
+/// The schema shared by source and target.
+pub fn exchange_schema() -> Schema {
+    let mut s = Schema::new();
+    s.add_relation(RelationSchema::new(
+        "Visits",
+        &["doctor", "spec", "hospital", "city"],
+    ));
+    s.add_relation(RelationSchema::new(
+        "Patients",
+        &["name", "age", "city", "insurance"],
+    ));
+    s.add_relation(RelationSchema::new(
+        "DoctorsT",
+        &["name", "spec", "hospital", "city", "npi"],
+    ));
+    s
+}
+
+/// Generates the Doctors exchange scenario.
+///
+/// * `rows` — number of *distinct* visit rows;
+/// * `dup_rate` — fraction of additional duplicated visit rows (drives the
+///   redundancy of the naive solutions);
+/// * `seed` — RNG seed.
+pub fn doctors_scenario(rows: usize, dup_rate: f64, seed: u64) -> ExchangeScenario {
+    let mut catalog = Catalog::new(exchange_schema());
+    let visits = catalog.schema().rel("Visits").unwrap();
+    let patients = catalog.schema().rel("Patients").unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut source = Instance::new("source", &catalog);
+
+    // Distinct visit rows.
+    let mut visit_rows = Vec::with_capacity(rows);
+    for i in 0..rows {
+        let d = catalog.konst(&format!("doc_{i}"));
+        let s = catalog.konst(&format!("spec_{}", rng.random_range(0..60)));
+        let h = catalog.konst(&format!("hosp_{}", rng.random_range(0..300)));
+        let c = catalog.konst(&format!("city_{}", rng.random_range(0..150)));
+        visit_rows.push(vec![d, s, h, c]);
+        source.insert(visits, visit_rows[i].clone());
+    }
+    // Duplicates.
+    let dups = (rows as f64 * dup_rate).round() as usize;
+    for _ in 0..dups {
+        let row = visit_rows[rng.random_range(0..visit_rows.len())].clone();
+        source.insert(visits, row);
+    }
+    // Patients (for the wrong mapping), one per visit row.
+    for i in 0..rows {
+        let n = catalog.konst(&format!("patient_{i}"));
+        let a = catalog.konst(&format!("age_{}", rng.random_range(18..95)));
+        let c = catalog.konst(&format!("pcity_{}", rng.random_range(0..150)));
+        let ins = catalog.konst(&format!("ins_{}", rng.random_range(0..12)));
+        source.insert(patients, vec![n, a, c, ins]);
+    }
+
+    let gold = chase(
+        &source,
+        &correct_mapping(),
+        &mut catalog,
+        &ChaseConfig::skolem(),
+        "gold-core",
+    );
+    let user2 = chase(
+        &source,
+        &correct_mapping(),
+        &mut catalog,
+        &ChaseConfig::naive(),
+        "U2",
+    );
+    let user1 = chase(
+        &source,
+        &redundant_mapping(),
+        &mut catalog,
+        &ChaseConfig::naive(),
+        "U1",
+    );
+    let wrong = chase(
+        &source,
+        &wrong_mapping(),
+        &mut catalog,
+        &ChaseConfig::skolem(),
+        "W",
+    );
+
+    ExchangeScenario {
+        catalog,
+        source,
+        gold,
+        wrong,
+        user1,
+        user2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core_solution::is_core;
+    use ic_core::is_homomorphic;
+
+    #[test]
+    fn gold_is_core_and_solutions_are_universal() {
+        let sc = doctors_scenario(30, 0.2, 1);
+        assert!(is_core(&sc.gold, &sc.catalog), "gold must be a core");
+        // U1 and U2 are universal: they map homomorphically into the core.
+        assert!(is_homomorphic(&sc.user2, &sc.gold));
+        assert!(is_homomorphic(&sc.user1, &sc.gold));
+        // And the core maps into them (they are solutions).
+        assert!(is_homomorphic(&sc.gold, &sc.user2));
+        assert!(is_homomorphic(&sc.gold, &sc.user1));
+        // W is not universal.
+        assert!(!is_homomorphic(&sc.wrong, &sc.gold));
+    }
+
+    #[test]
+    fn redundancy_ordering() {
+        let sc = doctors_scenario(50, 0.2, 2);
+        let g = sc.gold.num_tuples();
+        let u2 = sc.user2.num_tuples();
+        let u1 = sc.user1.num_tuples();
+        assert!(g < u2, "naive chase must be bigger than the core");
+        assert!(u2 < u1, "the redundant mapping must be bigger still");
+    }
+
+    #[test]
+    fn baseline_metrics_shape() {
+        let sc = doctors_scenario(40, 0.2, 3);
+        let (miss_w, row_w) = sc.baseline_metrics(&sc.wrong);
+        let (miss_u2, row_u2) = sc.baseline_metrics(&sc.user2);
+        // W misses every gold row yet has a high row score — the paper's
+        // point about the baseline being misleading.
+        assert_eq!(miss_w, sc.gold.num_tuples());
+        assert!(row_w > 0.8);
+        // U2 misses nothing.
+        assert_eq!(miss_u2, 0);
+        assert!(row_u2 < 1.0);
+    }
+
+    #[test]
+    fn scenario_is_deterministic() {
+        let a = doctors_scenario(20, 0.2, 9);
+        let b = doctors_scenario(20, 0.2, 9);
+        assert_eq!(a.gold.num_tuples(), b.gold.num_tuples());
+        assert_eq!(a.user1.num_tuples(), b.user1.num_tuples());
+    }
+}

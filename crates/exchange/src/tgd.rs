@@ -1,0 +1,241 @@
+//! Source-to-target tuple-generating dependencies (s-t tgds).
+//!
+//! A schema mapping Σ is a set of tgds `∀x̄ φ_S(x̄) → ∃ȳ ψ_T(x̄, ȳ)` where
+//! `φ_S` is a conjunction of source atoms and `ψ_T` of target atoms
+//! (Fagin et al., *Data Exchange: Semantics and Query Answering*). Variables
+//! appearing only in the head are existential and materialize as labeled
+//! nulls during the chase.
+
+use ic_model::{Catalog, RelId};
+
+/// A term of an atom: a variable (by name) or a constant (by literal).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A variable, identified by name.
+    Var(String),
+    /// A constant literal.
+    Const(String),
+}
+
+impl Term {
+    /// Convenience constructor for a variable.
+    pub fn var(name: &str) -> Self {
+        Term::Var(name.to_string())
+    }
+
+    /// Convenience constructor for a constant literal.
+    pub fn konst(value: &str) -> Self {
+        Term::Const(value.to_string())
+    }
+}
+
+/// A relational atom `R(t_1, …, t_n)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// The relation name (resolved against the catalog at chase time).
+    pub relation: String,
+    /// Argument terms, one per attribute.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Builds an atom with variables named by `vars` (a `$`-prefix denotes a
+    /// constant literal, anything else a variable):
+    ///
+    /// ```
+    /// use ic_exchange::tgd::{Atom, Term};
+    /// let a = Atom::new("R", &["x", "$lit", "y"]);
+    /// assert_eq!(a.terms[1], Term::konst("lit"));
+    /// ```
+    pub fn new(relation: &str, vars: &[&str]) -> Self {
+        Self {
+            relation: relation.to_string(),
+            terms: vars
+                .iter()
+                .map(|v| match v.strip_prefix('$') {
+                    Some(lit) => Term::konst(lit),
+                    None => Term::var(v),
+                })
+                .collect(),
+        }
+    }
+
+    /// Resolves the relation id in `catalog`, panicking with a clear message
+    /// if it does not exist or the arity mismatches.
+    pub fn resolve(&self, catalog: &Catalog) -> RelId {
+        let rel = catalog
+            .schema()
+            .rel(&self.relation)
+            .unwrap_or_else(|| panic!("unknown relation {:?} in atom", self.relation));
+        assert_eq!(
+            catalog.schema().relation(rel).arity(),
+            self.terms.len(),
+            "arity mismatch for atom over {:?}",
+            self.relation
+        );
+        rel
+    }
+}
+
+/// Explicit Skolem term for one existential variable: under
+/// [`crate::chase::NullStrategy::SkolemPerBinding`], the variable's null is
+/// `function(args…)` — so tgds (or firings) with equal function names and
+/// argument values share the null. This is how data-exchange systems
+/// produce the *shared surrogate keys* of the paper's Fig. 4; without an
+/// explicit spec the default Skolem term is keyed by the tgd and the full
+/// body binding (standard skolemization).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkolemSpec {
+    /// The existential variable the spec applies to.
+    pub var: String,
+    /// Skolem function name (global: equal names share terms across tgds).
+    pub function: String,
+    /// Universal variables parametrizing the function.
+    pub args: Vec<String>,
+}
+
+/// A source-to-target tgd.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tgd {
+    /// Human-readable name (for reports).
+    pub name: String,
+    /// Source atoms (the premise `φ_S`).
+    pub body: Vec<Atom>,
+    /// Target atoms (the conclusion `ψ_T`).
+    pub head: Vec<Atom>,
+    /// Explicit Skolem terms for existential variables (may be empty).
+    pub skolem: Vec<SkolemSpec>,
+}
+
+impl Tgd {
+    /// Creates a named tgd.
+    ///
+    /// # Panics
+    /// Panics if the body is empty (full tgds only) or the head is empty.
+    pub fn new(name: &str, body: Vec<Atom>, head: Vec<Atom>) -> Self {
+        assert!(!body.is_empty(), "tgd body must not be empty");
+        assert!(!head.is_empty(), "tgd head must not be empty");
+        Self {
+            name: name.to_string(),
+            body,
+            head,
+            skolem: Vec::new(),
+        }
+    }
+
+    /// Attaches an explicit Skolem term `function(args…)` to existential
+    /// variable `var` (see [`SkolemSpec`]).
+    ///
+    /// # Panics
+    /// Panics if `var` is not existential or an argument is not universal.
+    pub fn with_skolem(mut self, var: &str, function: &str, args: &[&str]) -> Self {
+        assert!(
+            self.existential_vars().contains(&var),
+            "{var:?} is not an existential variable of this tgd"
+        );
+        let universal = self.universal_vars();
+        for a in args {
+            assert!(
+                universal.contains(a),
+                "skolem argument {a:?} is not universal in this tgd"
+            );
+        }
+        self.skolem.push(SkolemSpec {
+            var: var.to_string(),
+            function: function.to_string(),
+            args: args.iter().map(|s| s.to_string()).collect(),
+        });
+        self
+    }
+
+    /// The universally quantified variables (those occurring in the body),
+    /// in first-occurrence order.
+    pub fn universal_vars(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for atom in &self.body {
+            for term in &atom.terms {
+                if let Term::Var(v) = term {
+                    if !out.contains(&v.as_str()) {
+                        out.push(v);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The existential variables (head-only), in first-occurrence order.
+    pub fn existential_vars(&self) -> Vec<&str> {
+        let universal = self.universal_vars();
+        let mut out: Vec<&str> = Vec::new();
+        for atom in &self.head {
+            for term in &atom.terms {
+                if let Term::Var(v) = term {
+                    if !universal.contains(&v.as_str()) && !out.contains(&v.as_str()) {
+                        out.push(v);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_model::{RelationSchema, Schema};
+
+    fn catalog() -> Catalog {
+        let mut s = Schema::new();
+        s.add_relation(RelationSchema::new("Visits", &["doc", "spec"]));
+        s.add_relation(RelationSchema::new("Doctors", &["name", "spec", "npi"]));
+        Catalog::new(s)
+    }
+
+    #[test]
+    fn atom_parsing_and_resolution() {
+        let cat = catalog();
+        let a = Atom::new("Visits", &["d", "s"]);
+        assert_eq!(a.terms.len(), 2);
+        assert_eq!(a.resolve(&cat), cat.schema().rel("Visits").unwrap());
+        let b = Atom::new("Doctors", &["d", "$cardio", "n"]);
+        assert_eq!(b.terms[1], Term::konst("cardio"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown relation")]
+    fn unknown_relation_panics() {
+        let cat = catalog();
+        Atom::new("Nope", &["x"]).resolve(&cat);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let cat = catalog();
+        Atom::new("Visits", &["x"]).resolve(&cat);
+    }
+
+    #[test]
+    fn variable_classification() {
+        let tgd = Tgd::new(
+            "m",
+            vec![Atom::new("Visits", &["d", "s"])],
+            vec![Atom::new("Doctors", &["d", "s", "n"])],
+        );
+        assert_eq!(tgd.universal_vars(), vec!["d", "s"]);
+        assert_eq!(tgd.existential_vars(), vec!["n"]);
+    }
+
+    #[test]
+    fn constants_are_not_variables() {
+        let tgd = Tgd::new(
+            "m",
+            vec![Atom::new("Visits", &["d", "$surgery"])],
+            vec![Atom::new("Doctors", &["d", "$surgery", "n"])],
+        );
+        assert_eq!(tgd.universal_vars(), vec!["d"]);
+        assert_eq!(tgd.existential_vars(), vec!["n"]);
+    }
+}

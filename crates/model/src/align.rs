@@ -1,0 +1,231 @@
+//! Schema alignment for comparing instances of *different* schemas.
+//!
+//! The paper (Sec. 4.3) handles schema mismatch by padding: "if instance `I`
+//! has an attribute `A_i` not in `I'`, add a column to `I'` with distinct
+//! null values for each row". This module builds the union schema of two
+//! catalogs (relations matched by name, attributes matched by name) and
+//! copies both instances into it, filling every missing cell with a fresh
+//! labeled null. The aligned instances share one catalog and can be compared
+//! directly.
+
+use crate::instance::{Catalog, Instance};
+use crate::schema::{RelationSchema, Schema};
+use crate::value::{NullId, Value};
+use crate::FxHashMap;
+
+/// Result of aligning two instances into a union schema.
+#[derive(Debug)]
+pub struct Aligned {
+    /// The shared catalog over the union schema.
+    pub catalog: Catalog,
+    /// The left instance, padded.
+    pub left: Instance,
+    /// The right instance, padded.
+    pub right: Instance,
+}
+
+/// Builds the union schema of two schemas: relations matched by name;
+/// within a shared relation, left attributes first (in order), then the
+/// right-only attributes (in order).
+pub fn union_schema(a: &Schema, b: &Schema) -> Schema {
+    let mut out = Schema::new();
+    for rel in a.rel_ids() {
+        let ra = a.relation(rel);
+        let mut attrs: Vec<&str> = ra.attrs().collect();
+        if let Some(rb_id) = b.rel(ra.name()) {
+            for attr in b.relation(rb_id).attrs() {
+                if !attrs.contains(&attr) {
+                    attrs.push(attr);
+                }
+            }
+        }
+        out.add_relation(RelationSchema::new(ra.name(), &attrs));
+    }
+    for rel in b.rel_ids() {
+        let rb = b.relation(rel);
+        if a.rel(rb.name()).is_none() {
+            let attrs: Vec<&str> = rb.attrs().collect();
+            out.add_relation(RelationSchema::new(rb.name(), &attrs));
+        }
+    }
+    out
+}
+
+/// Copies `inst` (built against `src_cat`) into `dst_cat`'s union schema,
+/// padding attributes absent from the source schema with fresh nulls.
+/// Null sharing within the instance is preserved (each source null maps to
+/// one fresh destination null).
+fn copy_into(src_cat: &Catalog, inst: &Instance, dst_cat: &mut Catalog, name: &str) -> Instance {
+    let mut out = Instance::new(name, dst_cat);
+    let mut null_map: FxHashMap<NullId, Value> = FxHashMap::default();
+    for rel in src_cat.schema().rel_ids() {
+        let src_rel = src_cat.schema().relation(rel);
+        let dst_rel_id = dst_cat
+            .schema()
+            .rel(src_rel.name())
+            .expect("union schema contains every source relation");
+        // Positional map: for each destination attribute, the source
+        // attribute index (or None for padded columns).
+        let src_attr_names: Vec<String> = src_rel.attrs().map(str::to_string).collect();
+        let dst_attrs: Vec<String> = dst_cat
+            .schema()
+            .relation(dst_rel_id)
+            .attrs()
+            .map(str::to_string)
+            .collect();
+        let positions: Vec<Option<usize>> = dst_attrs
+            .iter()
+            .map(|d| src_attr_names.iter().position(|s| s == d))
+            .collect();
+        for t in inst.tuples(rel) {
+            let values: Vec<Value> = positions
+                .iter()
+                .map(|pos| match pos {
+                    Some(i) => match t.values()[*i] {
+                        Value::Const(sym) => dst_cat.konst(src_cat.resolve(sym)),
+                        Value::Null(n) => {
+                            *null_map.entry(n).or_insert_with(|| dst_cat.fresh_null())
+                        }
+                    },
+                    None => dst_cat.fresh_null(),
+                })
+                .collect();
+            out.insert(dst_rel_id, values);
+        }
+    }
+    out
+}
+
+/// Aligns two instances of possibly different schemas into one catalog over
+/// the union schema, padding missing columns with fresh labeled nulls.
+/// # Example
+///
+/// ```
+/// use ic_model::{align_instances, Catalog, Instance, Schema};
+///
+/// let mut a = Catalog::new(Schema::single("R", &["X", "Y"]));
+/// let mut left = Instance::new("L", &a);
+/// let (x, y) = (a.konst("x"), a.konst("y"));
+/// left.insert(a.schema().rel("R").unwrap(), vec![x, y]);
+///
+/// let mut b = Catalog::new(Schema::single("R", &["X"]));
+/// let mut right = Instance::new("R", &b);
+/// let x2 = b.konst("x");
+/// right.insert(b.schema().rel("R").unwrap(), vec![x2]);
+///
+/// let aligned = align_instances(&a, &left, &b, &right);
+/// let rel = aligned.catalog.schema().rel("R").unwrap();
+/// assert_eq!(aligned.catalog.schema().relation(rel).arity(), 2);
+/// assert!(aligned.right.tuples(rel)[0].values()[1].is_null()); // padded Y
+/// ```
+pub fn align_instances(
+    left_cat: &Catalog,
+    left: &Instance,
+    right_cat: &Catalog,
+    right: &Instance,
+) -> Aligned {
+    let schema = union_schema(left_cat.schema(), right_cat.schema());
+    let mut catalog = Catalog::new(schema);
+    let left_out = copy_into(left_cat, left, &mut catalog, left.name());
+    let right_out = copy_into(right_cat, right, &mut catalog, right.name());
+    Aligned {
+        catalog,
+        left: left_out,
+        right: right_out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrId;
+
+    #[test]
+    fn union_schema_merges_attributes() {
+        let a = Schema::single("R", &["X", "Y"]);
+        let b = Schema::single("R", &["Y", "Z"]);
+        let u = union_schema(&a, &b);
+        let rel = u.rel("R").unwrap();
+        let attrs: Vec<&str> = u.relation(rel).attrs().collect();
+        assert_eq!(attrs, vec!["X", "Y", "Z"]);
+    }
+
+    #[test]
+    fn union_schema_keeps_one_sided_relations() {
+        let mut a = Schema::new();
+        a.add_relation(RelationSchema::new("OnlyA", &["X"]));
+        let mut b = Schema::new();
+        b.add_relation(RelationSchema::new("OnlyB", &["Y"]));
+        let u = union_schema(&a, &b);
+        assert!(u.rel("OnlyA").is_some());
+        assert!(u.rel("OnlyB").is_some());
+    }
+
+    #[test]
+    fn align_pads_missing_columns_with_fresh_nulls() {
+        let mut cat_a = Catalog::new(Schema::single("R", &["X", "Y"]));
+        let rel_a = cat_a.schema().rel("R").unwrap();
+        let mut left = Instance::new("L", &cat_a);
+        let x = cat_a.konst("x");
+        let y = cat_a.konst("y");
+        left.insert(rel_a, vec![x, y]);
+
+        let mut cat_b = Catalog::new(Schema::single("R", &["X"]));
+        let rel_b = cat_b.schema().rel("R").unwrap();
+        let mut right = Instance::new("R", &cat_b);
+        let x2 = cat_b.konst("x");
+        right.insert(rel_b, vec![x2]);
+
+        let aligned = align_instances(&cat_a, &left, &cat_b, &right);
+        let rel = aligned.catalog.schema().rel("R").unwrap();
+        assert_eq!(aligned.catalog.schema().relation(rel).arity(), 2);
+        // Left keeps its constants.
+        let lt = &aligned.left.tuples(rel)[0];
+        assert_eq!(aligned.catalog.render(lt.value(AttrId(0))), "x");
+        assert_eq!(aligned.catalog.render(lt.value(AttrId(1))), "y");
+        // Right got a fresh null for the missing Y column, and the constant
+        // x is shared with the left instance (same symbol).
+        let rt = &aligned.right.tuples(rel)[0];
+        assert_eq!(rt.value(AttrId(0)), lt.value(AttrId(0)));
+        assert!(rt.value(AttrId(1)).is_null());
+    }
+
+    #[test]
+    fn null_sharing_is_preserved() {
+        let mut cat_a = Catalog::new(Schema::single("R", &["X", "Y"]));
+        let rel_a = cat_a.schema().rel("R").unwrap();
+        let n = cat_a.fresh_null();
+        let m = cat_a.fresh_null();
+        let mut left = Instance::new("L", &cat_a);
+        left.insert(rel_a, vec![n, n]);
+        left.insert(rel_a, vec![m, n]);
+        let cat_b = Catalog::new(Schema::single("R", &["X", "Y"]));
+        let right = Instance::new("R", &cat_b);
+        let aligned = align_instances(&cat_a, &left, &cat_b, &right);
+        let rel = aligned.catalog.schema().rel("R").unwrap();
+        let t0 = &aligned.left.tuples(rel)[0];
+        let t1 = &aligned.left.tuples(rel)[1];
+        assert_eq!(t0.value(AttrId(0)), t0.value(AttrId(1)));
+        assert_eq!(t0.value(AttrId(0)), t1.value(AttrId(1)));
+        assert_ne!(t1.value(AttrId(0)), t1.value(AttrId(1)));
+    }
+
+    #[test]
+    fn padded_cells_are_distinct_nulls_per_row() {
+        let cat_a = Catalog::new(Schema::single("R", &["X", "Extra"]));
+        let left = Instance::new("L", &cat_a);
+        let mut cat_b = Catalog::new(Schema::single("R", &["X"]));
+        let rel_b = cat_b.schema().rel("R").unwrap();
+        let mut right = Instance::new("R", &cat_b);
+        let v = cat_b.konst("v");
+        let w = cat_b.konst("w");
+        right.insert(rel_b, vec![v]);
+        right.insert(rel_b, vec![w]);
+        let aligned = align_instances(&cat_a, &left, &cat_b, &right);
+        let rel = aligned.catalog.schema().rel("R").unwrap();
+        let pad0 = aligned.right.tuples(rel)[0].value(AttrId(1));
+        let pad1 = aligned.right.tuples(rel)[1].value(AttrId(1));
+        assert!(pad0.is_null() && pad1.is_null());
+        assert_ne!(pad0, pad1, "paper requires distinct nulls per row");
+    }
+}

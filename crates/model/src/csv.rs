@@ -1,0 +1,397 @@
+//! Minimal CSV import/export for instances with labeled nulls.
+//!
+//! The format is RFC-4180-style: comma separated, `"`-quoted fields with
+//! doubled quotes for escapes, one header row with attribute names. Labeled
+//! nulls are serialized with a configurable marker prefix (default `_N:`),
+//! where equal labels within one file denote the *same* null; empty fields
+//! optionally parse as a *fresh* null each (the way SQL `NULL`s are promoted
+//! to distinct labeled nulls).
+//!
+//! Implemented locally because the `csv` crate is not part of the sanctioned
+//! offline dependency set; the subset needed here is small.
+
+use crate::hash::FxHashMap;
+use crate::instance::{Catalog, Instance};
+use crate::schema::{RelId, RelationSchema};
+use crate::value::Value;
+use std::fmt;
+
+/// Options controlling how cells map to values.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Prefix marking a labeled null, e.g. `_N:` so that `_N:x7` is the null
+    /// labeled `x7`. Equal labels share a null within one parsed file.
+    pub null_prefix: String,
+    /// If `true`, an empty unquoted field becomes a fresh labeled null
+    /// (distinct per occurrence). If `false`, it is the empty-string constant.
+    pub empty_is_fresh_null: bool,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        Self {
+            null_prefix: "_N:".to_string(),
+            empty_is_fresh_null: true,
+        }
+    }
+}
+
+/// Errors raised while parsing CSV data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The input had no header row.
+    MissingHeader,
+    /// A data row had a different number of fields than the header.
+    FieldCount {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Number of fields expected (header width).
+        expected: usize,
+        /// Number of fields found.
+        found: usize,
+    },
+    /// A quoted field was never closed.
+    UnterminatedQuote {
+        /// 1-based line number where the field started.
+        line: usize,
+    },
+    /// The header row contains a duplicate attribute name (schema inference
+    /// needs distinct names).
+    DuplicateHeader {
+        /// The repeated attribute name.
+        name: String,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::MissingHeader => write!(f, "CSV input has no header row"),
+            CsvError::FieldCount {
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "CSV line {line}: expected {expected} fields, found {found}"
+            ),
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "CSV line {line}: unterminated quoted field")
+            }
+            CsvError::DuplicateHeader { name } => {
+                write!(f, "CSV header: duplicate attribute name {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Splits raw CSV text into records of fields, handling quotes and embedded
+/// newlines inside quoted fields.
+fn parse_records(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut records = Vec::new();
+    let mut field = String::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut chars = text.chars().peekable();
+    let mut line = 1usize;
+    let mut in_quotes = false;
+    let mut quote_start_line = 1usize;
+    let mut any = false;
+
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push('\n');
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    in_quotes = true;
+                    quote_start_line = line;
+                }
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {} // tolerate CRLF
+                '\n' => {
+                    line += 1;
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote {
+            line: quote_start_line,
+        });
+    }
+    if any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Parses CSV text into tuples of relation `rel` of `instance`.
+///
+/// The header row is validated against the relation's arity (names are not
+/// required to match — the schema is authoritative). Returns the number of
+/// tuples inserted.
+pub fn read_csv_into(
+    text: &str,
+    catalog: &mut Catalog,
+    instance: &mut Instance,
+    rel: RelId,
+    opts: &CsvOptions,
+) -> Result<usize, CsvError> {
+    let records = parse_records(text)?;
+    let mut iter = records.into_iter();
+    let header = iter.next().ok_or(CsvError::MissingHeader)?;
+    let arity = catalog.schema().relation(rel).arity();
+    if header.len() != arity {
+        return Err(CsvError::FieldCount {
+            line: 1,
+            expected: arity,
+            found: header.len(),
+        });
+    }
+    let mut labels: FxHashMap<String, Value> = FxHashMap::default();
+    let mut inserted = 0usize;
+    for (i, rec) in iter.enumerate() {
+        if rec.len() != arity {
+            return Err(CsvError::FieldCount {
+                line: i + 2,
+                expected: arity,
+                found: rec.len(),
+            });
+        }
+        let values: Vec<Value> = rec
+            .iter()
+            .map(|cell| parse_cell(cell, catalog, opts, &mut labels))
+            .collect();
+        instance.insert(rel, values);
+        inserted += 1;
+    }
+    Ok(inserted)
+}
+
+fn parse_cell(
+    cell: &str,
+    catalog: &mut Catalog,
+    opts: &CsvOptions,
+    labels: &mut FxHashMap<String, Value>,
+) -> Value {
+    if cell.is_empty() && opts.empty_is_fresh_null {
+        return catalog.fresh_null();
+    }
+    if let Some(label) = cell.strip_prefix(opts.null_prefix.as_str()) {
+        return *labels
+            .entry(label.to_string())
+            .or_insert_with(|| catalog.fresh_null());
+    }
+    catalog.konst(cell)
+}
+
+/// Parses a standalone CSV file (header + rows) into a fresh single-relation
+/// instance, inferring the relation schema from the header.
+/// # Example
+///
+/// ```
+/// use ic_model::csv::{read_csv, CsvOptions};
+///
+/// // `_N:x` is a labeled null; the empty cell becomes a fresh null.
+/// let text = "Name,Org\nVLDB,_N:x\nSIGMOD,\n";
+/// let (cat, inst) = read_csv(text, "Conf", "I", &CsvOptions::default()).unwrap();
+/// assert_eq!(inst.num_tuples(), 2);
+/// assert_eq!(inst.num_null_cells(), 2);
+/// ```
+pub fn read_csv(
+    text: &str,
+    rel_name: &str,
+    instance_name: &str,
+    opts: &CsvOptions,
+) -> Result<(Catalog, Instance), CsvError> {
+    let records = parse_records(text)?;
+    let header = records.first().ok_or(CsvError::MissingHeader)?;
+    let attrs: Vec<&str> = header.iter().map(String::as_str).collect();
+    for (i, a) in attrs.iter().enumerate() {
+        if attrs[..i].contains(a) {
+            return Err(CsvError::DuplicateHeader {
+                name: a.to_string(),
+            });
+        }
+    }
+    let schema = crate::schema::Schema::single(rel_name, &attrs);
+    let mut catalog = Catalog::new(schema);
+    let mut instance = Instance::new(instance_name, &catalog);
+    let rel = catalog.schema().rel(rel_name).expect("just added");
+    read_csv_into(text, &mut catalog, &mut instance, rel, opts)?;
+    Ok((catalog, instance))
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Serializes one relation of an instance back to CSV text. Nulls are written
+/// as `<null_prefix><id>`, preserving shared labels.
+pub fn write_csv(instance: &Instance, catalog: &Catalog, rel: RelId, opts: &CsvOptions) -> String {
+    let rel_schema: &RelationSchema = catalog.schema().relation(rel);
+    let mut out = String::new();
+    let header: Vec<String> = rel_schema.attrs().map(escape).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for t in instance.tuples(rel) {
+        let row: Vec<String> = t
+            .values()
+            .iter()
+            .map(|&v| match v {
+                Value::Const(s) => escape(catalog.resolve(s)),
+                Value::Null(n) => format!("{}{}", opts.null_prefix, n.0),
+            })
+            .collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrId;
+
+    #[test]
+    fn roundtrip_simple() {
+        let text = "Name,Year\nVLDB,1975\nSIGMOD,1975\n";
+        let (cat, inst) = read_csv(text, "Conf", "I", &CsvOptions::default()).unwrap();
+        let rel = cat.schema().rel("Conf").unwrap();
+        assert_eq!(inst.num_tuples(), 2);
+        let back = write_csv(&inst, &cat, rel, &CsvOptions::default());
+        assert_eq!(back, text);
+    }
+
+    #[test]
+    fn shared_null_labels() {
+        let text = "A,B\n_N:x,_N:x\n_N:y,c\n";
+        let (_cat, inst) = read_csv(text, "R", "I", &CsvOptions::default()).unwrap();
+        let rel = RelId(0);
+        let t0 = &inst.tuples(rel)[0];
+        let t1 = &inst.tuples(rel)[1];
+        assert_eq!(t0.value(AttrId(0)), t0.value(AttrId(1)));
+        assert_ne!(t0.value(AttrId(0)), t1.value(AttrId(0)));
+        assert!(t1.value(AttrId(1)).is_const());
+        assert_eq!(inst.vars().len(), 2);
+    }
+
+    #[test]
+    fn empty_fields_become_fresh_nulls() {
+        let text = "A,B\n,\n";
+        let (_cat, inst) = read_csv(text, "R", "I", &CsvOptions::default()).unwrap();
+        let t = &inst.tuples(RelId(0))[0];
+        assert!(t.value(AttrId(0)).is_null());
+        assert!(t.value(AttrId(1)).is_null());
+        assert_ne!(t.value(AttrId(0)), t.value(AttrId(1)));
+    }
+
+    #[test]
+    fn empty_fields_as_empty_string_constant() {
+        let opts = CsvOptions {
+            empty_is_fresh_null: false,
+            ..CsvOptions::default()
+        };
+        let text = "A,B\n,x\n";
+        let (_cat, inst) = read_csv(text, "R", "I", &opts).unwrap();
+        let t = &inst.tuples(RelId(0))[0];
+        assert!(t.value(AttrId(0)).is_const());
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let text = "A,B\n\"a,b\",\"say \"\"hi\"\"\"\n";
+        let (cat, inst) = read_csv(text, "R", "I", &CsvOptions::default()).unwrap();
+        let t = &inst.tuples(RelId(0))[0];
+        assert_eq!(cat.render(t.value(AttrId(0))), "a,b");
+        assert_eq!(cat.render(t.value(AttrId(1))), "say \"hi\"");
+    }
+
+    #[test]
+    fn quoted_newline_roundtrip() {
+        let text = "A\n\"line1\nline2\"\n";
+        let (cat, inst) = read_csv(text, "R", "I", &CsvOptions::default()).unwrap();
+        let rel = cat.schema().rel("R").unwrap();
+        assert_eq!(inst.num_tuples(), 1);
+        let back = write_csv(&inst, &cat, rel, &CsvOptions::default());
+        assert_eq!(back, text);
+    }
+
+    #[test]
+    fn crlf_tolerated() {
+        let text = "A,B\r\n1,2\r\n";
+        let (_cat, inst) = read_csv(text, "R", "I", &CsvOptions::default()).unwrap();
+        assert_eq!(inst.num_tuples(), 1);
+    }
+
+    #[test]
+    fn missing_trailing_newline_tolerated() {
+        let text = "A,B\n1,2";
+        let (_cat, inst) = read_csv(text, "R", "I", &CsvOptions::default()).unwrap();
+        assert_eq!(inst.num_tuples(), 1);
+    }
+
+    #[test]
+    fn field_count_error_reports_line() {
+        let text = "A,B\n1,2,3\n";
+        let err = read_csv(text, "R", "I", &CsvOptions::default()).unwrap_err();
+        assert_eq!(
+            err,
+            CsvError::FieldCount {
+                line: 2,
+                expected: 2,
+                found: 3
+            }
+        );
+    }
+
+    #[test]
+    fn unterminated_quote_error() {
+        let text = "A\n\"oops\n";
+        let err = read_csv(text, "R", "I", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, CsvError::UnterminatedQuote { .. }));
+    }
+
+    #[test]
+    fn duplicate_header_is_an_error_not_a_panic() {
+        let err = read_csv("A,A\n1,2\n", "R", "I", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, CsvError::DuplicateHeader { .. }));
+        // Found by the metacharacter fuzz test: ",," infers two empty names.
+        let err = read_csv(",\nx,y\n", "R", "I", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, CsvError::DuplicateHeader { .. }));
+    }
+
+    #[test]
+    fn empty_input_is_missing_header() {
+        let err = read_csv("", "R", "I", &CsvOptions::default()).unwrap_err();
+        assert_eq!(err, CsvError::MissingHeader);
+    }
+}

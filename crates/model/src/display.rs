@@ -1,0 +1,118 @@
+//! Human-readable rendering of instances as aligned ASCII tables,
+//! mirroring the figures in the paper.
+
+use crate::instance::{Catalog, Instance};
+use crate::schema::RelId;
+use std::fmt::Write as _;
+
+/// Renders one relation of an instance as an aligned ASCII table with the
+/// tuple id in the first column, e.g.
+///
+/// ```text
+/// Conference
+/// id | Name   | Year | Org
+/// ---+--------+------+----------
+/// t0 | VLDB   | 1975 | VLDB End.
+/// t1 | SIGMOD | 1975 | ACM
+/// ```
+pub fn render_relation(instance: &Instance, catalog: &Catalog, rel: RelId) -> String {
+    let schema = catalog.schema().relation(rel);
+    let mut header: Vec<String> = vec!["id".to_string()];
+    header.extend(schema.attrs().map(str::to_string));
+
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(instance.tuples(rel).len());
+    for t in instance.tuples(rel) {
+        let mut row = vec![format!("t{}", t.id().0)];
+        row.extend(t.values().iter().map(|&v| catalog.render(v)));
+        rows.push(row);
+    }
+
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", schema.name());
+    let fmt_row = |row: &[String]| -> String {
+        row.iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join(" | ")
+            .trim_end()
+            .to_string()
+    };
+    let _ = writeln!(out, "{}", fmt_row(&header));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    let _ = writeln!(out, "{}", sep.join("-+-"));
+    for row in &rows {
+        let _ = writeln!(out, "{}", fmt_row(row));
+    }
+    out
+}
+
+/// Renders every relation of the instance, prefixed by the instance name.
+pub fn render_instance(instance: &Instance, catalog: &Catalog) -> String {
+    let mut out = format!("=== Instance {} ===\n", instance.name());
+    for rel in catalog.schema().rel_ids() {
+        out.push_str(&render_relation(instance, catalog, rel));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut cat = Catalog::new(Schema::single("Conf", &["Name", "Year"]));
+        let mut inst = Instance::new("I", &cat);
+        let r = cat.schema().rel("Conf").unwrap();
+        let vldb = cat.konst("VLDB");
+        let y = cat.konst("1975");
+        let n = cat.fresh_null();
+        inst.insert(r, vec![vldb, y]);
+        inst.insert(r, vec![n, y]);
+        let s = render_relation(&inst, &cat, r);
+        assert!(s.contains("Conf"));
+        assert!(s.contains("t0 | VLDB | 1975"));
+        assert!(s.contains("t1 | _N0  | 1975"));
+    }
+
+    #[test]
+    fn renders_after_removal() {
+        let mut cat = Catalog::new(Schema::single("R", &["A"]));
+        let mut inst = Instance::new("I", &cat);
+        let r = cat.schema().rel("R").unwrap();
+        let a = cat.konst("aaa");
+        let b = cat.konst("b");
+        let t0 = inst.insert(r, vec![a]);
+        inst.insert(r, vec![b]);
+        inst.remove(t0);
+        let s = render_relation(&inst, &cat, r);
+        assert!(!s.contains("aaa"));
+        assert!(s.contains("t1 | b"));
+    }
+
+    #[test]
+    fn renders_all_relations() {
+        let mut schema = Schema::new();
+        schema.add_relation(crate::schema::RelationSchema::new("A", &["X"]));
+        schema.add_relation(crate::schema::RelationSchema::new("B", &["Y"]));
+        let mut cat = Catalog::new(schema);
+        let mut inst = Instance::new("I", &cat);
+        let a = cat.schema().rel("A").unwrap();
+        let v = cat.konst("v");
+        inst.insert(a, vec![v]);
+        let s = render_instance(&inst, &cat);
+        assert!(s.contains("Instance I"));
+        assert!(s.contains("A\n"));
+        assert!(s.contains("B\n"));
+    }
+}

@@ -1,0 +1,139 @@
+//! A fast, non-cryptographic hasher for interned identifiers.
+//!
+//! The matching algorithms in `ic-core` are dominated by hash-table probes on
+//! small integer keys (interned symbols, null ids, tuple ids). The standard
+//! library's SipHash is collision-resistant but slow for such keys, so we use
+//! the FxHash multiply-and-rotate scheme (the algorithm popularized by the
+//! Rust compiler). HashDoS resistance is irrelevant here: all keys are
+//! produced by our own interner, never by an adversary.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A [`Hasher`] implementing the FxHash algorithm.
+///
+/// State is a single 64-bit word; each input word is combined with
+/// `rotate_left(5) ^ word` followed by a multiplication with a fixed
+/// odd constant derived from the golden ratio.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            self.add_to_hash(rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`]; drop-in replacement for
+/// `std::collections::HashMap` on trusted keys.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_for_equal_inputs() {
+        assert_eq!(hash_of(42u32), hash_of(42u32));
+        assert_eq!(hash_of("hello"), hash_of("hello"));
+        assert_eq!(hash_of((1u32, 2u32)), hash_of((1u32, 2u32)));
+    }
+
+    #[test]
+    fn distinguishes_different_inputs() {
+        assert_ne!(hash_of(1u32), hash_of(2u32));
+        assert_ne!(hash_of("a"), hash_of("b"));
+    }
+
+    #[test]
+    fn byte_stream_tail_is_length_sensitive() {
+        // "ab" vs "ab\0" would collide without the remainder-length mix-in.
+        let mut h1 = FxHasher::default();
+        h1.write(b"ab");
+        let mut h2 = FxHasher::default();
+        h2.write(b"ab\0");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        s.insert(7);
+        assert!(s.contains(&7));
+        assert!(!s.contains(&8));
+    }
+
+    #[test]
+    fn low_collision_rate_on_sequential_ints() {
+        let hashes: FxHashSet<u64> = (0u32..10_000).map(hash_of).collect();
+        assert_eq!(hashes.len(), 10_000);
+    }
+}

@@ -1,0 +1,38 @@
+//! # ic-model — relational instances with labeled nulls
+//!
+//! The data model underlying the EDBT 2024 paper *"Similarity Measures For
+//! Incomplete Database Instances"*: relational schemas, instances whose cells
+//! hold either interned constants (`Consts`) or labeled nulls (`Vars`),
+//! plus CSV import/export and display helpers.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ic_model::{Catalog, Instance, Schema};
+//!
+//! let mut cat = Catalog::new(Schema::single("Conference", &["Name", "Year", "Org"]));
+//! let mut inst = Instance::new("I", &cat);
+//! let rel = cat.schema().rel("Conference").unwrap();
+//! let vldb = cat.konst("VLDB");
+//! let year = cat.konst("1975");
+//! let org = cat.fresh_null(); // unknown organizer
+//! inst.insert(rel, vec![vldb, year, org]);
+//! assert_eq!(inst.num_tuples(), 1);
+//! assert!(!inst.is_ground());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod align;
+pub mod csv;
+pub mod display;
+pub mod hash;
+pub mod instance;
+pub mod schema;
+pub mod value;
+
+pub use align::{align_instances, union_schema, Aligned};
+pub use hash::{FxHashMap, FxHashSet};
+pub use instance::{Catalog, Instance, InstanceStats, Tuple, TupleId};
+pub use schema::{AttrId, RelId, RelationSchema, Schema};
+pub use value::{Interner, NullGen, NullId, Sym, Value};

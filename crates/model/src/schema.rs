@@ -1,0 +1,212 @@
+//! Relational schemas: relation symbols with fixed arities and named
+//! attributes.
+//!
+//! A schema `R = {R_1, …, R_k}` is a finite set of relation symbols, each
+//! with a fixed arity (paper Sec. 2). Attribute names are kept for display,
+//! CSV headers, and for expressing functional dependencies and signatures.
+
+use crate::hash::FxHashMap;
+
+/// Index of a relation within a [`Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(pub u16);
+
+/// Index of an attribute within a relation (0-based position).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub u16);
+
+/// A single relation symbol: a name plus ordered attribute names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationSchema {
+    name: String,
+    attrs: Vec<String>,
+}
+
+impl RelationSchema {
+    /// Creates a relation schema from a name and attribute names.
+    ///
+    /// # Panics
+    /// Panics if two attributes share a name, or if there are more than
+    /// `u16::MAX` attributes.
+    pub fn new(name: impl Into<String>, attrs: &[&str]) -> Self {
+        let attrs: Vec<String> = attrs.iter().map(|a| a.to_string()).collect();
+        assert!(attrs.len() <= u16::MAX as usize, "too many attributes");
+        for (i, a) in attrs.iter().enumerate() {
+            assert!(
+                !attrs[..i].contains(a),
+                "duplicate attribute name {a:?} in relation"
+            );
+        }
+        Self {
+            name: name.into(),
+            attrs,
+        }
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The arity (number of attributes).
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Attribute names in order.
+    pub fn attrs(&self) -> impl ExactSizeIterator<Item = &str> {
+        self.attrs.iter().map(String::as_str)
+    }
+
+    /// The name of attribute `a`.
+    pub fn attr_name(&self, a: AttrId) -> &str {
+        &self.attrs[a.0 as usize]
+    }
+
+    /// Finds an attribute by name.
+    pub fn attr(&self, name: &str) -> Option<AttrId> {
+        self.attrs
+            .iter()
+            .position(|a| a == name)
+            .map(|i| AttrId(i as u16))
+    }
+
+    /// All attribute ids in positional order.
+    pub fn attr_ids(&self) -> impl ExactSizeIterator<Item = AttrId> {
+        (0..self.attrs.len() as u16).map(AttrId)
+    }
+}
+
+/// A relational schema: an ordered collection of relation symbols.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    relations: Vec<RelationSchema>,
+    by_name: FxHashMap<String, RelId>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Convenience constructor for a schema with a single relation.
+    pub fn single(name: impl Into<String>, attrs: &[&str]) -> Self {
+        let mut s = Self::new();
+        s.add_relation(RelationSchema::new(name, attrs));
+        s
+    }
+
+    /// Adds a relation symbol, returning its id.
+    ///
+    /// # Panics
+    /// Panics if a relation with the same name exists, or if there are more
+    /// than `u16::MAX` relations.
+    pub fn add_relation(&mut self, rel: RelationSchema) -> RelId {
+        assert!(
+            !self.by_name.contains_key(rel.name()),
+            "duplicate relation name {:?}",
+            rel.name()
+        );
+        assert!(
+            self.relations.len() < u16::MAX as usize,
+            "too many relations"
+        );
+        let id = RelId(self.relations.len() as u16);
+        self.by_name.insert(rel.name().to_string(), id);
+        self.relations.push(rel);
+        id
+    }
+
+    /// Number of relation symbols.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the schema has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// The schema of relation `r`.
+    pub fn relation(&self, r: RelId) -> &RelationSchema {
+        &self.relations[r.0 as usize]
+    }
+
+    /// Finds a relation by name.
+    pub fn rel(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// All relation ids in declaration order.
+    pub fn rel_ids(&self) -> impl ExactSizeIterator<Item = RelId> {
+        (0..self.relations.len() as u16).map(RelId)
+    }
+
+    /// Sum of arities — useful for size computations.
+    pub fn total_arity(&self) -> usize {
+        self.relations.iter().map(|r| r.arity()).sum()
+    }
+
+    /// Returns `true` iff `other` has the same relations (names, order and
+    /// attributes). Instances can only be compared when their schemas agree.
+    pub fn compatible_with(&self, other: &Schema) -> bool {
+        self.relations == other.relations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conf_schema() -> Schema {
+        Schema::single("Conference", &["Name", "Year", "Place", "Org"])
+    }
+
+    #[test]
+    fn single_relation_roundtrip() {
+        let s = conf_schema();
+        assert_eq!(s.len(), 1);
+        let r = s.rel("Conference").unwrap();
+        let rel = s.relation(r);
+        assert_eq!(rel.name(), "Conference");
+        assert_eq!(rel.arity(), 4);
+        assert_eq!(rel.attr("Year"), Some(AttrId(1)));
+        assert_eq!(rel.attr_name(AttrId(3)), "Org");
+        assert_eq!(rel.attr("Missing"), None);
+    }
+
+    #[test]
+    fn multi_relation_lookup() {
+        let mut s = Schema::new();
+        let c = s.add_relation(RelationSchema::new("Conference", &["Id", "Name"]));
+        let p = s.add_relation(RelationSchema::new("Paper", &["Title", "ConfId"]));
+        assert_ne!(c, p);
+        assert_eq!(s.rel("Paper"), Some(p));
+        assert_eq!(s.total_arity(), 4);
+        assert_eq!(s.rel_ids().collect::<Vec<_>>(), vec![c, p]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate relation")]
+    fn duplicate_relation_panics() {
+        let mut s = Schema::new();
+        s.add_relation(RelationSchema::new("R", &["A"]));
+        s.add_relation(RelationSchema::new("R", &["B"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_attribute_panics() {
+        RelationSchema::new("R", &["A", "A"]);
+    }
+
+    #[test]
+    fn compatibility() {
+        let a = conf_schema();
+        let b = conf_schema();
+        assert!(a.compatible_with(&b));
+        let c = Schema::single("Conference", &["Name", "Year"]);
+        assert!(!a.compatible_with(&c));
+    }
+}

@@ -1,0 +1,193 @@
+//! Property-based tests of the model layer: CSV round-trips preserve
+//! instance structure; permutations and removals keep the id index
+//! consistent.
+
+use ic_model::csv::{read_csv, write_csv, CsvOptions};
+use ic_model::{Catalog, Instance, RelId, Schema, Value};
+use proptest::prelude::*;
+
+/// A random cell: a constant from a small alphabet (possibly containing CSV
+/// metacharacters) or a null index shared within the instance.
+#[derive(Debug, Clone)]
+enum Cell {
+    Const(String),
+    Null(u8),
+}
+
+fn cell_strategy() -> impl Strategy<Value = Cell> {
+    prop_oneof![
+        prop_oneof![
+            Just("plain".to_string()),
+            Just("with,comma".to_string()),
+            Just("with\"quote".to_string()),
+            Just("multi\nline".to_string()),
+            Just("x".to_string()),
+            Just("1975".to_string()),
+        ]
+        .prop_map(Cell::Const),
+        (0u8..3).prop_map(Cell::Null),
+    ]
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<[Cell; 2]>> {
+    prop::collection::vec(
+        (cell_strategy(), cell_strategy()).prop_map(|(a, b)| [a, b]),
+        0..6,
+    )
+}
+
+fn build(desc: &[[Cell; 2]]) -> (Catalog, Instance) {
+    let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+    let mut inst = Instance::new("I", &cat);
+    let mut nulls: Vec<Option<Value>> = vec![None; 3];
+    for row in desc {
+        let vals: Vec<Value> = row
+            .iter()
+            .map(|c| match c {
+                Cell::Const(s) => cat.konst(s),
+                Cell::Null(k) => *nulls[*k as usize].get_or_insert_with(|| cat.fresh_null()),
+            })
+            .collect();
+        inst.insert(RelId(0), vals);
+    }
+    (cat, inst)
+}
+
+/// Canonical "pattern" of an instance: constants as strings, nulls replaced
+/// by their first-occurrence index — invariant under null renaming.
+fn pattern(cat: &Catalog, inst: &Instance) -> Vec<Vec<String>> {
+    let mut next = 0usize;
+    let mut seen: std::collections::HashMap<Value, usize> = std::collections::HashMap::new();
+    inst.tuples(RelId(0))
+        .iter()
+        .map(|t| {
+            t.values()
+                .iter()
+                .map(|&v| match v {
+                    Value::Const(s) => format!("c:{}", cat.resolve(s)),
+                    Value::Null(_) => {
+                        let id = *seen.entry(v).or_insert_with(|| {
+                            next += 1;
+                            next - 1
+                        });
+                        format!("n:{id}")
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// write → read preserves the instance pattern exactly.
+    #[test]
+    fn csv_roundtrip_preserves_structure(desc in rows_strategy()) {
+        let (cat, inst) = build(&desc);
+        // Disable empty-as-null so empty-string constants survive; the
+        // alphabet above never produces empty strings anyway.
+        let opts = CsvOptions::default();
+        let text = write_csv(&inst, &cat, RelId(0), &opts);
+        let (cat2, inst2) = read_csv(&text, "R", "I2", &opts).unwrap();
+        prop_assert_eq!(pattern(&cat, &inst), pattern(&cat2, &inst2));
+    }
+
+    /// Serialization never panics and the header always survives.
+    #[test]
+    fn csv_header_roundtrip(desc in rows_strategy()) {
+        let (cat, inst) = build(&desc);
+        let text = write_csv(&inst, &cat, RelId(0), &CsvOptions::default());
+        prop_assert!(text.starts_with("A,B\n"));
+    }
+
+    /// Permuting rows preserves id-based lookup.
+    #[test]
+    fn permutation_preserves_lookup(desc in rows_strategy(), seed in 0u64..1000) {
+        let (cat, mut inst) = build(&desc);
+        let n = inst.tuples(RelId(0)).len();
+        // Deterministic pseudo-random permutation from the seed.
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut s = seed;
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let before: Vec<(u32, Vec<Value>)> = inst
+            .tuples(RelId(0))
+            .iter()
+            .map(|t| (t.id().0, t.values().to_vec()))
+            .collect();
+        inst.permute(RelId(0), &order);
+        for (id, values) in before {
+            let t = inst.tuple(ic_model::TupleId(id)).expect("still present");
+            prop_assert_eq!(t.values(), values.as_slice());
+        }
+        let _ = cat;
+    }
+
+    /// Removing tuples keeps remaining lookups valid and sizes consistent.
+    #[test]
+    fn removal_keeps_index_consistent(desc in rows_strategy(), victim in 0usize..6) {
+        let (_cat, mut inst) = build(&desc);
+        let ids: Vec<ic_model::TupleId> =
+            inst.tuples(RelId(0)).iter().map(|t| t.id()).collect();
+        if ids.is_empty() {
+            return Ok(());
+        }
+        let victim_id = ids[victim % ids.len()];
+        let before = inst.num_tuples();
+        prop_assert!(inst.remove(victim_id));
+        prop_assert_eq!(inst.num_tuples(), before - 1);
+        prop_assert!(inst.tuple(victim_id).is_none());
+        for &id in &ids {
+            if id != victim_id {
+                prop_assert!(inst.tuple(id).is_some());
+                prop_assert_eq!(inst.tuple(id).unwrap().id(), id);
+            }
+        }
+    }
+
+    /// Instance statistics are internally consistent.
+    #[test]
+    fn stats_are_consistent(desc in rows_strategy()) {
+        let (_cat, inst) = build(&desc);
+        let s = inst.stats();
+        prop_assert_eq!(s.const_cells + s.null_cells, inst.size());
+        prop_assert_eq!(s.tuples, inst.num_tuples());
+        prop_assert!(s.distinct_consts <= s.const_cells);
+        prop_assert!(s.distinct_nulls <= s.null_cells);
+        prop_assert_eq!(s.distinct_values, s.distinct_consts + s.distinct_nulls);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The CSV parser never panics on arbitrary input — it either parses or
+    /// returns a structured error.
+    #[test]
+    fn csv_parser_never_panics(text in ".{0,200}") {
+        let _ = read_csv(&text, "R", "I", &CsvOptions::default());
+    }
+
+    /// Arbitrary binary-ish input with CSV metacharacters sprinkled in.
+    #[test]
+    fn csv_parser_handles_metacharacter_soup(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just(",".to_string()),
+                Just("\"".to_string()),
+                Just("\n".to_string()),
+                Just("\r\n".to_string()),
+                Just("x".to_string()),
+                Just("_N:".to_string()),
+            ],
+            0..60,
+        )
+    ) {
+        let text: String = parts.concat();
+        let _ = read_csv(&text, "R", "I", &CsvOptions::default());
+    }
+}

@@ -1,0 +1,139 @@
+//! Version comparison: the signature algorithm vs the `diff` baseline
+//! (paper Table 7).
+//!
+//! Both tools are asked the same question about an original dataset and a
+//! derived version: how many tuples match (`#M`) and how many are left
+//! unmatched on either side (`#LNM`, `#RNM`). `diff` relies on line order
+//! and exact equality, so it fails on shuffles, placeholders, and schema
+//! changes; the instance match handles all of them.
+
+use crate::diff::{diff_versions, DiffStats};
+use crate::ops::Version;
+use ic_core::{signature_match, MatchMode, SignatureConfig};
+use ic_model::{Catalog, RelId};
+
+/// The `#M / #LNM / #RNM` triple for one tool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchCounts {
+    /// Matched tuples / lines.
+    pub matches: usize,
+    /// Unmatched on the original (left) side.
+    pub left_non_matching: usize,
+    /// Unmatched on the modified (right) side.
+    pub right_non_matching: usize,
+}
+
+/// Table 7 row: both tools on one (original, modified) pair.
+#[derive(Debug, Clone, Copy)]
+pub struct VersionComparison {
+    /// Tuples in the original (`#TO`).
+    pub original_tuples: usize,
+    /// Tuples in the modified version (`#TM`).
+    pub modified_tuples: usize,
+    /// The `diff` baseline's counts.
+    pub diff: MatchCounts,
+    /// The signature algorithm's counts.
+    pub signature: MatchCounts,
+    /// The signature similarity score (extra signal `diff` cannot give).
+    pub signature_score: f64,
+}
+
+/// Compares an original version with a modified one on relation `rel`,
+/// running both the diff baseline and the signature algorithm (fully
+/// injective mode, as tuples represent unique entities in versioning).
+pub fn compare_versions(
+    original: &Version,
+    modified: &Version,
+    catalog: &Catalog,
+    rel: RelId,
+) -> VersionComparison {
+    let d: DiffStats = diff_versions(original, modified, catalog, rel);
+
+    let cfg = SignatureConfig {
+        mode: MatchMode::one_to_one(),
+        ..Default::default()
+    };
+    let out = signature_match(&original.instance, &modified.instance, catalog, &cfg);
+    let matched = out.best.pairs.len();
+    let lt = original.instance.num_tuples();
+    let rt = modified.instance.num_tuples();
+
+    VersionComparison {
+        original_tuples: lt,
+        modified_tuples: rt,
+        diff: MatchCounts {
+            matches: d.matches,
+            left_non_matching: d.left_only,
+            right_non_matching: d.right_only,
+        },
+        signature: MatchCounts {
+            matches: matched,
+            left_non_matching: lt - matched,
+            right_non_matching: rt - matched,
+        },
+        signature_score: out.best.score(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Variant;
+    use ic_datagen::Dataset;
+    use ic_model::Catalog;
+
+    fn iris() -> (Catalog, Version, RelId) {
+        let (cat, inst) = Dataset::Iris.generate(120, 3);
+        let rel = cat.schema().rel("Iris").unwrap();
+        (cat, Version::plain(inst), rel)
+    }
+
+    #[test]
+    fn shuffle_defeats_diff_but_not_signature() {
+        let (mut cat, orig, rel) = iris();
+        let v = Variant::Shuffled.apply(&orig.instance, &mut cat, rel, 0.0, 0, 1);
+        let c = compare_versions(&orig, &v, &cat, rel);
+        // diff matches only a small LCS; signature matches everything.
+        assert!(c.diff.matches < 120, "diff should lose matches");
+        assert_eq!(c.signature.matches, 120);
+        assert_eq!(c.signature.left_non_matching, 0);
+        assert_eq!(c.signature.right_non_matching, 0);
+        assert!((c.signature_score - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn row_removal_matched_by_both() {
+        let (mut cat, orig, rel) = iris();
+        let v = Variant::RowsRemoved.apply(&orig.instance, &mut cat, rel, 0.175, 0, 2);
+        let c = compare_versions(&orig, &v, &cat, rel);
+        let removed = 120 - c.modified_tuples;
+        assert_eq!(c.diff.matches, c.modified_tuples);
+        assert_eq!(c.diff.left_non_matching, removed);
+        assert_eq!(c.signature.matches, c.modified_tuples);
+        assert_eq!(c.signature.left_non_matching, removed);
+        assert_eq!(c.signature.right_non_matching, 0);
+    }
+
+    #[test]
+    fn removal_plus_shuffle_defeats_diff_only() {
+        let (mut cat, orig, rel) = iris();
+        let v = Variant::RowsRemovedShuffled.apply(&orig.instance, &mut cat, rel, 0.175, 0, 3);
+        let c = compare_versions(&orig, &v, &cat, rel);
+        assert!(c.diff.matches < c.modified_tuples);
+        assert_eq!(c.signature.matches, c.modified_tuples);
+        assert_eq!(c.signature.right_non_matching, 0);
+    }
+
+    #[test]
+    fn column_removal_defeats_diff_completely() {
+        let (mut cat, orig, rel) = iris();
+        let v = Variant::ColumnsRemoved.apply(&orig.instance, &mut cat, rel, 0.0, 1, 4);
+        let c = compare_versions(&orig, &v, &cat, rel);
+        // Every serialized line differs (a whole column is gone)...
+        assert_eq!(c.diff.matches, 0);
+        assert_eq!(c.diff.left_non_matching, 120);
+        // ...but the signature matches every tuple through the nulls.
+        assert_eq!(c.signature.matches, 120);
+        assert!(c.signature_score > 0.5 && c.signature_score < 1.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Line-oriented diff baseline — a reimplementation of what the `diff`
+//! command-line tool computes for the paper's Table 7.
+//!
+//! Rows are serialized to comma-separated lines (dropped columns omitted,
+//! labeled nulls as `_N<i>`), and the number of matching lines is the
+//! length of the longest common subsequence, computed with the Myers O(ND)
+//! greedy algorithm (the same algorithm GNU diff uses). Only the counts are
+//! needed, so no edit-script trace is kept: `#M = (|a| + |b| − D) / 2`.
+
+use crate::ops::Version;
+use ic_model::{AttrId, Catalog, Instance, RelId};
+
+/// Match statistics of a line diff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiffStats {
+    /// Lines common to both files in sequence (LCS length), `#M`.
+    pub matches: usize,
+    /// Lines only in the left file, `#LNM`.
+    pub left_only: usize,
+    /// Lines only in the right file, `#RNM`.
+    pub right_only: usize,
+}
+
+/// Serializes one relation of a version to lines, skipping dropped columns.
+pub fn serialize_lines(version: &Version, catalog: &Catalog, rel: RelId) -> Vec<String> {
+    serialize_instance_lines(&version.instance, catalog, rel, &version.dropped_columns)
+}
+
+/// Serializes one relation of an instance to comma-joined value lines,
+/// omitting the given columns.
+pub fn serialize_instance_lines(
+    instance: &Instance,
+    catalog: &Catalog,
+    rel: RelId,
+    skip: &[AttrId],
+) -> Vec<String> {
+    instance
+        .tuples(rel)
+        .iter()
+        .map(|t| {
+            let cells: Vec<String> = t
+                .values()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !skip.contains(&AttrId(*i as u16)))
+                .map(|(_, &v)| catalog.render(v))
+                .collect();
+            cells.join(",")
+        })
+        .collect()
+}
+
+/// Myers O(ND) shortest edit distance between two sequences (insertions +
+/// deletions only, like `diff`). Linear space, no trace.
+fn myers_distance<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    let n = a.len();
+    let m = b.len();
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    let max = n + m;
+    // v[k + max] = furthest x on diagonal k.
+    let mut v = vec![0usize; 2 * max + 1];
+    for d in 0..=max {
+        let mut k = -(d as isize);
+        while k <= d as isize {
+            let idx = (k + max as isize) as usize;
+            let mut x = if k == -(d as isize) || (k != d as isize && v[idx - 1] < v[idx + 1]) {
+                v[idx + 1] // move down (insertion)
+            } else {
+                v[idx - 1] + 1 // move right (deletion)
+            };
+            let mut y = (x as isize - k) as usize;
+            while x < n && y < m && a[x] == b[y] {
+                x += 1;
+                y += 1;
+            }
+            v[idx] = x;
+            if x >= n && y >= m {
+                return d;
+            }
+            k += 2;
+        }
+    }
+    max
+}
+
+/// Diffs two line sequences, returning match statistics.
+/// # Example
+///
+/// ```
+/// use ic_versioning::diff_lines;
+///
+/// let a: Vec<String> = ["1", "2", "3"].iter().map(|s| s.to_string()).collect();
+/// let b: Vec<String> = ["1", "3"].iter().map(|s| s.to_string()).collect();
+/// let d = diff_lines(&a, &b);
+/// assert_eq!(d.matches, 2);
+/// assert_eq!(d.left_only, 1);
+/// ```
+pub fn diff_lines(a: &[String], b: &[String]) -> DiffStats {
+    let d = myers_distance(a, b);
+    let matches = (a.len() + b.len() - d) / 2;
+    DiffStats {
+        matches,
+        left_only: a.len() - matches,
+        right_only: b.len() - matches,
+    }
+}
+
+/// Convenience: diff two versions of one relation.
+pub fn diff_versions(left: &Version, right: &Version, catalog: &Catalog, rel: RelId) -> DiffStats {
+    let a = serialize_lines(left, catalog, rel);
+    let b = serialize_lines(right, catalog, rel);
+    diff_lines(&a, &b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn identical_sequences() {
+        let a = lines(&["x", "y", "z"]);
+        let s = diff_lines(&a, &a);
+        assert_eq!(
+            s,
+            DiffStats {
+                matches: 3,
+                left_only: 0,
+                right_only: 0
+            }
+        );
+    }
+
+    #[test]
+    fn disjoint_sequences() {
+        let a = lines(&["a", "b"]);
+        let b = lines(&["c", "d", "e"]);
+        let s = diff_lines(&a, &b);
+        assert_eq!(s.matches, 0);
+        assert_eq!(s.left_only, 2);
+        assert_eq!(s.right_only, 3);
+    }
+
+    #[test]
+    fn removal_keeps_order_matches_rest() {
+        let a = lines(&["1", "2", "3", "4", "5"]);
+        let b = lines(&["1", "3", "5"]);
+        let s = diff_lines(&a, &b);
+        assert_eq!(s.matches, 3);
+        assert_eq!(s.left_only, 2);
+        assert_eq!(s.right_only, 0);
+    }
+
+    #[test]
+    fn shuffle_breaks_sequence_matching() {
+        // Reversal: LCS of a sequence and its reverse is 1 (all distinct).
+        let a = lines(&["1", "2", "3", "4", "5"]);
+        let b = lines(&["5", "4", "3", "2", "1"]);
+        let s = diff_lines(&a, &b);
+        assert_eq!(s.matches, 1);
+        assert_eq!(s.left_only, 4);
+    }
+
+    #[test]
+    fn classic_myers_example() {
+        // ABCABBA vs CBABAC: edit distance 5, LCS 4.
+        let a: Vec<String> = "ABCABBA".chars().map(|c| c.to_string()).collect();
+        let b: Vec<String> = "CBABAC".chars().map(|c| c.to_string()).collect();
+        let s = diff_lines(&a, &b);
+        assert_eq!(s.matches, 4);
+        assert_eq!(s.left_only, 3);
+        assert_eq!(s.right_only, 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let e: Vec<String> = vec![];
+        let a = lines(&["x"]);
+        assert_eq!(diff_lines(&e, &e).matches, 0);
+        let s = diff_lines(&a, &e);
+        assert_eq!(s.left_only, 1);
+        assert_eq!(s.right_only, 0);
+    }
+
+    #[test]
+    fn serialization_skips_dropped_columns() {
+        use ic_model::{Catalog, Instance, Schema};
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let rel = cat.schema().rel("R").unwrap();
+        let mut inst = Instance::new("I", &cat);
+        let a = cat.konst("a");
+        let b = cat.konst("b");
+        inst.insert(rel, vec![a, b]);
+        let lines = serialize_instance_lines(&inst, &cat, rel, &[AttrId(0)]);
+        assert_eq!(lines, vec!["b".to_string()]);
+    }
+}

@@ -1,0 +1,227 @@
+//! Version operations (paper Table 7): given an original dataset, derive a
+//! modified version by shuffling rows (S), removing rows (R), removing and
+//! shuffling (RS), or removing columns (C).
+//!
+//! Removed columns are modeled with the paper's own schema-alignment trick
+//! (Sec. 4.3): the instance keeps its arity, but every cell of a dropped
+//! column is replaced by a fresh labeled null — "adding a column of
+//! distinct nulls" — while the [`Version`] records that the column is
+//! notionally absent so that the line-diff baseline serializes without it.
+
+use ic_model::{AttrId, Catalog, Instance, RelId, TupleId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// A derived version of a dataset.
+#[derive(Debug)]
+pub struct Version {
+    /// The instance (same schema as the original).
+    pub instance: Instance,
+    /// Columns notionally removed (their cells hold fresh nulls).
+    pub dropped_columns: Vec<AttrId>,
+}
+
+impl Version {
+    /// Wraps an unmodified instance.
+    pub fn plain(instance: Instance) -> Self {
+        Self {
+            instance,
+            dropped_columns: Vec::new(),
+        }
+    }
+}
+
+/// The four modification variants of Table 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Shuffle the rows.
+    Shuffled,
+    /// Remove a fraction of the rows (order preserved).
+    RowsRemoved,
+    /// Remove a fraction of the rows, then shuffle.
+    RowsRemovedShuffled,
+    /// Remove columns (replaced by fresh nulls; see module docs).
+    ColumnsRemoved,
+}
+
+impl Variant {
+    /// All variants with the paper's table labels.
+    pub const ALL: [(Variant, &'static str); 4] = [
+        (Variant::Shuffled, "S"),
+        (Variant::RowsRemoved, "R"),
+        (Variant::RowsRemovedShuffled, "RS"),
+        (Variant::ColumnsRemoved, "C"),
+    ];
+
+    /// Applies the variant to `original`.
+    ///
+    /// * `remove_frac` — fraction of rows removed by R / RS;
+    /// * `drop_cols` — number of columns dropped by C;
+    /// * `seed` — RNG seed.
+    pub fn apply(
+        &self,
+        original: &Instance,
+        catalog: &mut Catalog,
+        rel: RelId,
+        remove_frac: f64,
+        drop_cols: usize,
+        seed: u64,
+    ) -> Version {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut inst = original.clone();
+        inst.set_name(format!("{}-{:?}", original.name(), self));
+        match self {
+            Variant::Shuffled => {
+                shuffle_rows(&mut inst, rel, &mut rng);
+                Version::plain(inst)
+            }
+            Variant::RowsRemoved => {
+                remove_rows(&mut inst, rel, remove_frac, &mut rng);
+                Version::plain(inst)
+            }
+            Variant::RowsRemovedShuffled => {
+                remove_rows(&mut inst, rel, remove_frac, &mut rng);
+                shuffle_rows(&mut inst, rel, &mut rng);
+                Version::plain(inst)
+            }
+            Variant::ColumnsRemoved => {
+                let arity = catalog.schema().relation(rel).arity();
+                let dropped: Vec<AttrId> = (0..drop_cols.min(arity))
+                    .map(|i| AttrId(i as u16))
+                    .collect();
+                for attr in &dropped {
+                    let ids: Vec<TupleId> = inst.tuples(rel).iter().map(|t| t.id()).collect();
+                    for tid in ids {
+                        let n = catalog.fresh_null();
+                        inst.set_value(tid, *attr, n);
+                    }
+                }
+                Version {
+                    instance: inst,
+                    dropped_columns: dropped,
+                }
+            }
+        }
+    }
+}
+
+/// Shuffles the rows of `rel` in place.
+pub fn shuffle_rows(instance: &mut Instance, rel: RelId, rng: &mut StdRng) {
+    let n = instance.tuples(rel).len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    instance.permute(rel, &order);
+}
+
+/// Removes `frac` of the rows of `rel`, preserving the order of the rest.
+/// Returns the removed tuple ids.
+pub fn remove_rows(
+    instance: &mut Instance,
+    rel: RelId,
+    frac: f64,
+    rng: &mut StdRng,
+) -> Vec<TupleId> {
+    let ids: Vec<TupleId> = instance.tuples(rel).iter().map(|t| t.id()).collect();
+    let n_remove = (ids.len() as f64 * frac).round() as usize;
+    let mut chosen: Vec<TupleId> = Vec::with_capacity(n_remove);
+    let mut pool = ids;
+    for _ in 0..n_remove.min(pool.len()) {
+        let i = rng.random_range(0..pool.len());
+        chosen.push(pool.swap_remove(i));
+    }
+    for &tid in &chosen {
+        instance.remove(tid);
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_model::Schema;
+
+    fn setup(n: usize) -> (Catalog, Instance, RelId) {
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let rel = cat.schema().rel("R").unwrap();
+        let mut inst = Instance::new("orig", &cat);
+        for i in 0..n {
+            let a = cat.konst(&format!("a{i}"));
+            let b = cat.konst(&format!("b{i}"));
+            inst.insert(rel, vec![a, b]);
+        }
+        (cat, inst, rel)
+    }
+
+    #[test]
+    fn shuffled_keeps_all_rows() {
+        let (mut cat, inst, rel) = setup(50);
+        let v = Variant::Shuffled.apply(&inst, &mut cat, rel, 0.0, 0, 1);
+        assert_eq!(v.instance.num_tuples(), 50);
+        // Same multiset of rows, different order (with overwhelming prob.).
+        let orig: Vec<_> = inst
+            .tuples(rel)
+            .iter()
+            .map(|t| t.values().to_vec())
+            .collect();
+        let new: Vec<_> = v
+            .instance
+            .tuples(rel)
+            .iter()
+            .map(|t| t.values().to_vec())
+            .collect();
+        assert_ne!(orig, new);
+        let mut a = orig.clone();
+        let mut b = new.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rows_removed_preserves_order() {
+        let (mut cat, inst, rel) = setup(100);
+        let v = Variant::RowsRemoved.apply(&inst, &mut cat, rel, 0.2, 0, 2);
+        assert_eq!(v.instance.num_tuples(), 80);
+        // Remaining rows appear in original relative order.
+        let orig: Vec<_> = inst.tuples(rel).iter().map(|t| t.id()).collect();
+        let remaining: Vec<_> = v.instance.tuples(rel).iter().map(|t| t.id()).collect();
+        let mut pos = 0usize;
+        for id in &remaining {
+            let p = orig.iter().position(|o| o == id).expect("still exists");
+            assert!(p >= pos);
+            pos = p;
+        }
+    }
+
+    #[test]
+    fn columns_removed_nulls_cells_and_records() {
+        let (mut cat, inst, rel) = setup(10);
+        let v = Variant::ColumnsRemoved.apply(&inst, &mut cat, rel, 0.0, 1, 3);
+        assert_eq!(v.dropped_columns, vec![AttrId(0)]);
+        for t in v.instance.tuples(rel) {
+            assert!(t.value(AttrId(0)).is_null());
+            assert!(t.value(AttrId(1)).is_const());
+        }
+        // All fresh nulls are distinct.
+        assert_eq!(v.instance.vars().len(), 10);
+    }
+
+    #[test]
+    fn rs_removes_and_shuffles() {
+        let (mut cat, inst, rel) = setup(100);
+        let v = Variant::RowsRemovedShuffled.apply(&inst, &mut cat, rel, 0.1, 0, 4);
+        assert_eq!(v.instance.num_tuples(), 90);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (mut cat, inst, rel) = setup(30);
+        let v1 = Variant::RowsRemovedShuffled.apply(&inst, &mut cat, rel, 0.2, 0, 7);
+        let mut cat2 = cat.clone();
+        let v2 = Variant::RowsRemovedShuffled.apply(&inst, &mut cat2, rel, 0.2, 0, 7);
+        let a: Vec<_> = v1.instance.tuples(rel).iter().map(|t| t.id()).collect();
+        let b: Vec<_> = v2.instance.tuples(rel).iter().map(|t| t.id()).collect();
+        assert_eq!(a, b);
+    }
+}

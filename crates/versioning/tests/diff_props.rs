@@ -1,0 +1,46 @@
+//! Property test: the Myers O(ND) match count equals the classic quadratic
+//! LCS dynamic program on random sequences.
+
+use ic_versioning::diff_lines;
+use proptest::prelude::*;
+
+fn lcs_dp(a: &[String], b: &[String]) -> usize {
+    let n = a.len();
+    let m = b.len();
+    let mut dp = vec![vec![0usize; m + 1]; n + 1];
+    for i in 1..=n {
+        for j in 1..=m {
+            dp[i][j] = if a[i - 1] == b[j - 1] {
+                dp[i - 1][j - 1] + 1
+            } else {
+                dp[i - 1][j].max(dp[i][j - 1])
+            };
+        }
+    }
+    dp[n][m]
+}
+
+fn seq() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec((0u8..6).prop_map(|k| format!("line{k}")), 0..24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn myers_matches_equal_lcs(a in seq(), b in seq()) {
+        let d = diff_lines(&a, &b);
+        let lcs = lcs_dp(&a, &b);
+        prop_assert_eq!(d.matches, lcs, "a={:?} b={:?}", a, b);
+        prop_assert_eq!(d.left_only, a.len() - lcs);
+        prop_assert_eq!(d.right_only, b.len() - lcs);
+    }
+
+    #[test]
+    fn diff_is_symmetric_in_match_count(a in seq(), b in seq()) {
+        let ab = diff_lines(&a, &b);
+        let ba = diff_lines(&b, &a);
+        prop_assert_eq!(ab.matches, ba.matches);
+        prop_assert_eq!(ab.left_only, ba.right_only);
+    }
+}

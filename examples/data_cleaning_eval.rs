@@ -1,0 +1,57 @@
+//! Empirical evaluation of data-cleaning systems (paper Sec. 7.2, Table 5):
+//! four repair strategies clean the same dirty instance; the plain F1
+//! punishes systems that mark conflicts with labeled nulls, while the
+//! instance-similarity score credits them.
+//!
+//! Run with: `cargo run --release --example data_cleaning_eval`
+
+use instance_comparison::cleaning::{
+    bus_cleaning_dataset, inject_errors, instance_f1, repair_f1, violations, RepairSystem,
+};
+use instance_comparison::core::{signature_match, MatchMode, SignatureConfig};
+
+fn main() {
+    let rows = 5_000;
+    let (mut cat, clean, fds) = bus_cleaning_dataset(rows, 7);
+    let dirty = inject_errors(&clean, &fds, &mut cat, 0.05, 7);
+    println!(
+        "Bus dataset: {rows} rows, {} injected errors, {} FDs",
+        dirty.errors.len(),
+        fds.len()
+    );
+    let groups: usize = fds
+        .iter()
+        .map(|fd| violations(&dirty.instance, fd).len())
+        .sum();
+    println!("violation groups detected: {groups}\n");
+
+    let sig_cfg = SignatureConfig {
+        mode: MatchMode::one_to_one(),
+        ..Default::default()
+    };
+
+    println!(
+        "{:<10} {:>7} {:>9} {:>10} {:>11}",
+        "system", "F1", "F1 Inst.", "Sig Score", "nulls used"
+    );
+    for (name, system) in RepairSystem::all() {
+        let mut sys_cat = cat.clone();
+        let repaired = system.repair(&dirty.instance, &fds, &mut sys_cat, 7);
+        let f1 = repair_f1(&clean, &dirty.instance, &repaired, &dirty.errors).f1;
+        let f1i = instance_f1(&clean, &repaired).f1;
+        let sig = signature_match(&repaired, &clean, &sys_cat, &sig_cfg);
+        println!(
+            "{:<10} {:>7.3} {:>9.3} {:>10.3} {:>11}",
+            name,
+            f1,
+            f1i,
+            sig.best.score(),
+            repaired.num_null_cells(),
+        );
+    }
+
+    println!(
+        "\nNote how a system that replaces conflicts with labeled nulls keeps\n\
+         a high similarity score even though F1 counts every null as wrong."
+    );
+}

@@ -1,0 +1,53 @@
+//! Evaluating data-exchange solutions (paper Sec. 7.2, Table 6): chase a
+//! source under correct, redundant, and wrong schema mappings; compare each
+//! solution against the core with the Row-score baseline, homomorphism
+//! checks, and the signature similarity.
+//!
+//! Run with: `cargo run --release --example data_exchange_eval`
+
+use instance_comparison::core::{is_homomorphic, signature_match, MatchMode, SignatureConfig};
+use instance_comparison::exchange::{core_of, doctors_scenario};
+
+fn main() {
+    let sc = doctors_scenario(800, 0.2, 42);
+    println!(
+        "source: {} tuples; gold core: {} tuples",
+        sc.source.num_tuples(),
+        sc.gold.num_tuples()
+    );
+
+    // Cross-check: the Skolem-chased gold really is a core.
+    let refolded = core_of(&sc.gold, &sc.catalog);
+    println!(
+        "block-folding the gold removes {} tuples (0 = it is a core)\n",
+        sc.gold.num_tuples() - refolded.num_tuples()
+    );
+
+    let sig_cfg = SignatureConfig {
+        mode: MatchMode::left_functional(),
+        ..Default::default()
+    };
+    println!(
+        "{:<8} {:>7} {:>10} {:>10} {:>10} {:>10}",
+        "solution", "#T", "miss.rows", "row score", "sig score", "universal"
+    );
+    for (label, sol) in [("W", &sc.wrong), ("U1", &sc.user1), ("U2", &sc.user2)] {
+        let (missing, row) = sc.baseline_metrics(sol);
+        let sig = signature_match(sol, &sc.gold, &sc.catalog, &sig_cfg);
+        println!(
+            "{:<8} {:>7} {:>10} {:>10.3} {:>10.3} {:>10}",
+            label,
+            sol.num_tuples(),
+            missing,
+            row,
+            sig.best.score(),
+            is_homomorphic(sol, &sc.gold),
+        );
+    }
+
+    println!(
+        "\nThe wrong mapping W keeps a perfect Row score (same cardinality)\n\
+         while the similarity exposes it; the redundancy of U1 vs U2 shows\n\
+         up as a lower similarity to the core."
+    );
+}

@@ -1,0 +1,68 @@
+//! Data versioning (paper Sec. 7.2, Table 7): recover what changed between
+//! two versions of a dataset without shared keys, and see why a line-based
+//! `diff` cannot.
+//!
+//! Run with: `cargo run --release --example data_versioning`
+
+use instance_comparison::core::{ScoreConfig, SignatureConfig};
+use instance_comparison::datagen::{evolve_chain, mod_cell, Dataset, EvolveParams};
+use instance_comparison::versioning::{
+    compare_versions, find_endpoints, reconstruct_chain, similarity_matrix, Variant, Version,
+};
+
+fn main() {
+    // An Iris-shaped table and four derived versions.
+    let (mut cat, original) = Dataset::Iris.generate(120, 2024);
+    let rel = cat.schema().rel("Iris").unwrap();
+    let orig = Version::plain(original);
+
+    println!("original: {} tuples\n", orig.instance.num_tuples());
+    println!(
+        "{:<22} {:>6} {:>8} {:>9} {:>9} | {:>6} {:>8} {:>9} {:>9}",
+        "variant", "diff#M", "diff#LNM", "diff#RNM", "", "sig#M", "sig#LNM", "sig#RNM", "score"
+    );
+    for (variant, label) in Variant::ALL {
+        let v = variant.apply(&orig.instance, &mut cat, rel, 0.175, 1, 7);
+        let c = compare_versions(&orig, &v, &cat, rel);
+        println!(
+            "{:<22} {:>6} {:>8} {:>9} {:>9} | {:>6} {:>8} {:>9} {:>9.3}",
+            format!("{label} ({variant:?})"),
+            c.diff.matches,
+            c.diff.left_non_matching,
+            c.diff.right_non_matching,
+            "",
+            c.signature.matches,
+            c.signature.left_non_matching,
+            c.signature.right_non_matching,
+            c.signature_score,
+        );
+    }
+
+    // Which of two candidate versions is closer to the original? The
+    // similarity score orders them even when rows were shuffled and values
+    // were nulled out.
+    println!("\nOrdering versions by similarity (modCell noise):");
+    for noise in [0.02, 0.10, 0.30] {
+        let sc = mod_cell(Dataset::Iris, 120, noise, 99);
+        let score = sc.gold_score(&ScoreConfig::default());
+        println!(
+            "  {:>4.0}% cells changed -> gold similarity {score:.3}",
+            noise * 100.0
+        );
+    }
+
+    // Recover an unknown version history: five shuffled versions land in a
+    // data lake; the pairwise similarity matrix reveals the chain order.
+    println!("\nReconstructing a 5-version history from similarities:");
+    let chain = evolve_chain(Dataset::Bikeshare, 200, 4, &EvolveParams::default(), 2024);
+    let refs: Vec<&instance_comparison::model::Instance> = chain.versions.iter().collect();
+    let m = similarity_matrix(&refs, &chain.catalog, &SignatureConfig::default());
+    for (i, row) in m.iter().enumerate() {
+        let cells: Vec<String> = row.iter().map(|s| format!("{s:.3}")).collect();
+        println!("  v{i}: [{}]", cells.join(", "));
+    }
+    let (a, b) = find_endpoints(&m);
+    let order = reconstruct_chain(&m, a.min(b));
+    let labels: Vec<String> = order.iter().map(|i| format!("v{i}")).collect();
+    println!("  inferred chain: {}", labels.join(" -> "));
+}

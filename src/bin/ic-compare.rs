@@ -1,0 +1,237 @@
+//! `ic-compare` — compare two CSV files as incomplete database instances.
+//!
+//! ```text
+//! ic-compare <left.csv> <right.csv> [options]
+//!
+//! options:
+//!   --mode one-to-one|left-functional|general   tuple-mapping restriction
+//!   --lambda <0..1>                             null-vs-constant credit (default 0.5)
+//!   --exact                                     also run the exact algorithm
+//!   --budget <seconds>                          exact-search budget (default 10)
+//!   --partial                                   allow partial tuple matches
+//!   --explain                                   print the difference report
+//!   --null-prefix <str>                         labeled-null marker (default "_N:")
+//!   --empty-is-constant                         treat empty cells as "" instead of nulls
+//!   --mapping <out.csv>                         write the tuple mapping as CSV
+//! ```
+//!
+//! Files with different headers are aligned by attribute name; missing
+//! columns are padded with fresh labeled nulls (paper Sec. 4.3).
+
+use instance_comparison::core::{
+    exact_match, explain, render_diff, signature_match, ExactConfig, MatchMode, ScoreConfig,
+    SignatureConfig,
+};
+use instance_comparison::model::align::align_instances;
+use instance_comparison::model::csv::{read_csv, CsvOptions};
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Args {
+    left: String,
+    right: String,
+    mode: MatchMode,
+    lambda: f64,
+    exact: bool,
+    budget: f64,
+    partial: bool,
+    explain: bool,
+    mapping_out: Option<String>,
+    csv: CsvOptions,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ic-compare <left.csv> <right.csv> [--mode one-to-one|left-functional|general]\n\
+         \x20                [--lambda <0..1>] [--exact] [--budget <seconds>] [--partial]\n\
+         \x20                [--explain] [--null-prefix <str>] [--empty-is-constant]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        left: String::new(),
+        right: String::new(),
+        mode: MatchMode::one_to_one(),
+        lambda: 0.5,
+        exact: false,
+        budget: 10.0,
+        partial: false,
+        explain: false,
+        mapping_out: None,
+        csv: CsvOptions::default(),
+    };
+    let mut positional = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--mode" => {
+                args.mode = match it.next().as_deref() {
+                    Some("one-to-one") => MatchMode::one_to_one(),
+                    Some("left-functional") => MatchMode::left_functional(),
+                    Some("general") => MatchMode::general(),
+                    _ => usage(),
+                }
+            }
+            "--lambda" => {
+                args.lambda = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|l| (0.0..1.0).contains(l))
+                    .unwrap_or_else(|| usage())
+            }
+            "--exact" => args.exact = true,
+            "--budget" => {
+                args.budget = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--partial" => args.partial = true,
+            "--explain" => args.explain = true,
+            "--mapping" => args.mapping_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--null-prefix" => args.csv.null_prefix = it.next().unwrap_or_else(|| usage()),
+            "--empty-is-constant" => args.csv.empty_is_fresh_null = false,
+            "-h" | "--help" => usage(),
+            other if !other.starts_with('-') => positional.push(other.to_string()),
+            _ => usage(),
+        }
+    }
+    if positional.len() != 2 {
+        usage();
+    }
+    args.left = positional.remove(0);
+    args.right = positional.remove(0);
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let left_text = match std::fs::read_to_string(&args.left) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", args.left);
+            return ExitCode::FAILURE;
+        }
+    };
+    let right_text = match std::fs::read_to_string(&args.right) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", args.right);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (left_cat, left_inst) = match read_csv(&left_text, "T", "left", &args.csv) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error parsing {}: {e}", args.left);
+            return ExitCode::FAILURE;
+        }
+    };
+    let (right_cat, right_inst) = match read_csv(&right_text, "T", "right", &args.csv) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error parsing {}: {e}", args.right);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Align by attribute name (pads missing columns with fresh nulls).
+    let aligned = align_instances(&left_cat, &left_inst, &right_cat, &right_inst);
+    let (catalog, left, right) = (aligned.catalog, aligned.left, aligned.right);
+    println!(
+        "left:  {} tuples ({} null cells)",
+        left.num_tuples(),
+        left.num_null_cells()
+    );
+    println!(
+        "right: {} tuples ({} null cells)",
+        right.num_tuples(),
+        right.num_null_cells()
+    );
+
+    let score_cfg = ScoreConfig {
+        lambda: args.lambda,
+        string_sim_weight: None,
+    };
+    let sig_cfg = SignatureConfig {
+        mode: args.mode,
+        score: score_cfg,
+        partial: args.partial,
+        ..Default::default()
+    };
+    let sig = signature_match(&left, &right, &catalog, &sig_cfg);
+    println!(
+        "signature similarity: {:.4}   ({} matched pairs, {:.3}s)",
+        sig.best.score(),
+        sig.best.pairs.len(),
+        sig.elapsed.as_secs_f64()
+    );
+
+    if args.exact {
+        let cfg = ExactConfig {
+            mode: args.mode,
+            score: score_cfg,
+            budget: Some(Duration::from_secs_f64(args.budget)),
+            ..Default::default()
+        };
+        let out = exact_match(&left, &right, &catalog, &cfg);
+        println!(
+            "exact similarity:     {:.4}   (optimal: {}, {} nodes, {:.3}s)",
+            out.best.score(),
+            out.optimal,
+            out.nodes,
+            out.elapsed.as_secs_f64()
+        );
+    }
+
+    if args.explain {
+        let diff = explain(&sig.best, &left, &right);
+        println!("\n{}", render_diff(&diff, &catalog, &left, &right));
+    }
+
+    if let Some(path) = &args.mapping_out {
+        // One row per matched pair: left row number, right row number
+        // (1-based, in file order), plus the pair's full cell contents.
+        let rel = catalog.schema().rel_ids().next().expect("one relation");
+        let pos_of = |inst: &instance_comparison::model::Instance| {
+            inst.tuples(rel)
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (t.id(), i + 1))
+                .collect::<std::collections::HashMap<_, _>>()
+        };
+        let lpos = pos_of(&left);
+        let rpos = pos_of(&right);
+        let mut out = String::from("left_row,right_row,left_tuple,right_tuple\n");
+        let render = |inst: &instance_comparison::model::Instance,
+                      id: instance_comparison::model::TupleId| {
+            inst.tuple(id)
+                .map(|t| {
+                    t.values()
+                        .iter()
+                        .map(|&v| catalog.render(v))
+                        .collect::<Vec<_>>()
+                        .join("|")
+                })
+                .unwrap_or_default()
+        };
+        for p in &sig.best.pairs {
+            out.push_str(&format!(
+                "{},{},\"{}\",\"{}\"\n",
+                lpos.get(&p.left).copied().unwrap_or(0),
+                rpos.get(&p.right).copied().unwrap_or(0),
+                render(&left, p.left).replace('"', "\"\""),
+                render(&right, p.right).replace('"', "\"\"")
+            ));
+        }
+        if let Err(e) = std::fs::write(path, out) {
+            eprintln!("error writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("mapping written to {path}");
+    }
+    ExitCode::SUCCESS
+}

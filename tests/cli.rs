@@ -1,0 +1,148 @@
+//! Integration tests of the `ic-compare` command-line tool.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("ic_compare_test_{}_{}", std::process::id(), name));
+    let mut f = std::fs::File::create(&path).expect("create temp file");
+    f.write_all(contents.as_bytes()).expect("write temp file");
+    path
+}
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ic-compare"))
+        .args(args)
+        .output()
+        .expect("spawn ic-compare");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn compares_identical_files() {
+    let left = write_temp("id_l.csv", "A,B\nx,y\nz,w\n");
+    let right = write_temp("id_r.csv", "A,B\nz,w\nx,y\n");
+    let (stdout, _stderr, ok) = run(&[left.to_str().unwrap(), right.to_str().unwrap()]);
+    assert!(ok);
+    assert!(
+        stdout.contains("signature similarity: 1.0000"),
+        "stdout: {stdout}"
+    );
+    let _ = std::fs::remove_file(left);
+    let _ = std::fs::remove_file(right);
+}
+
+#[test]
+fn aligns_different_headers_and_explains() {
+    let left = write_temp("al_l.csv", "A,B\nx,y\n");
+    let right = write_temp("al_r.csv", "A\nx\n");
+    let (stdout, _stderr, ok) = run(&[
+        left.to_str().unwrap(),
+        right.to_str().unwrap(),
+        "--explain",
+        "--exact",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("signature similarity"));
+    assert!(stdout.contains("exact similarity"));
+    assert!(stdout.contains("updated") || stdout.contains("unchanged"));
+    let _ = std::fs::remove_file(left);
+    let _ = std::fs::remove_file(right);
+}
+
+#[test]
+fn nulls_in_csv_are_respected() {
+    let left = write_temp("nu_l.csv", "A,B\nx,1\n");
+    let right = write_temp("nu_r.csv", "A,B\nx,\n");
+    let (stdout, _stderr, ok) = run(&[left.to_str().unwrap(), right.to_str().unwrap()]);
+    assert!(ok);
+    // One cell becomes λ-credit: score strictly between 0.5 and 1.
+    let score: f64 = stdout
+        .lines()
+        .find(|l| l.contains("signature similarity"))
+        .and_then(|l| l.split_whitespace().nth(2))
+        .and_then(|s| s.parse().ok())
+        .expect("score line");
+    assert!(score > 0.5 && score < 1.0, "score {score}");
+    let _ = std::fs::remove_file(left);
+    let _ = std::fs::remove_file(right);
+}
+
+#[test]
+fn mode_and_lambda_flags_are_honored() {
+    let left = write_temp("fl_l.csv", "A
+x
+x
+");
+    let right = write_temp("fl_r.csv", "A
+x
+");
+    // general mode matches both left tuples to the single right tuple.
+    let (stdout, _stderr, ok) = run(&[
+        left.to_str().unwrap(),
+        right.to_str().unwrap(),
+        "--mode",
+        "general",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("2 matched pairs"), "stdout: {stdout}");
+    // λ = 0 gives no credit for null-vs-constant cells.
+    let left2 = write_temp("fl_l2.csv", "A,B
+x,1
+");
+    let right2 = write_temp("fl_r2.csv", "A,B
+x,
+");
+    let (s0, _, ok0) = run(&[
+        left2.to_str().unwrap(),
+        right2.to_str().unwrap(),
+        "--lambda",
+        "0.0",
+    ]);
+    assert!(ok0);
+    assert!(s0.contains("signature similarity: 0.5000"), "stdout: {s0}");
+    for f in [left, right, left2, right2] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn mapping_output_file_is_written() {
+    let left = write_temp("mp_l.csv", "A,B\nx,y\nz,w\n");
+    let right = write_temp("mp_r.csv", "A,B\nz,w\nx,y\n");
+    let mut map_path = std::env::temp_dir();
+    map_path.push(format!("ic_compare_map_{}.csv", std::process::id()));
+    let (stdout, _stderr, ok) = run(&[
+        left.to_str().unwrap(),
+        right.to_str().unwrap(),
+        "--mapping",
+        map_path.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("mapping written"));
+    let contents = std::fs::read_to_string(&map_path).unwrap();
+    assert!(contents.starts_with("left_row,right_row"));
+    assert_eq!(contents.lines().count(), 3); // header + 2 pairs
+    for f in [left, right, map_path] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn missing_file_fails_gracefully() {
+    let (_stdout, stderr, ok) = run(&["/nonexistent/left.csv", "/nonexistent/right.csv"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"));
+}
+
+#[test]
+fn bad_flag_shows_usage() {
+    let (_stdout, stderr, ok) = run(&["--bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"));
+}

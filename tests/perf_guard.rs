@@ -1,0 +1,36 @@
+//! Performance regression guards (release builds only — debug builds are
+//! 10–50× slower and would make the bounds meaningless, so the tests are
+//! ignored there).
+
+use instance_comparison::core::{signature_match, SignatureConfig};
+use instance_comparison::datagen::{mod_cell, Dataset};
+use std::time::{Duration, Instant};
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "timing guard only meaningful in release builds")]
+fn signature_5k_under_two_seconds() {
+    let sc = mod_cell(Dataset::Bikeshare, 5_000, 0.05, 4242);
+    let start = Instant::now();
+    let out = signature_match(&sc.source, &sc.target, &sc.catalog, &SignatureConfig::default());
+    let elapsed = start.elapsed();
+    assert!(out.best.pairs.len() > 2_500);
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "signature on 5k rows took {elapsed:?}"
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "timing guard only meaningful in release builds")]
+fn gold_scoring_5k_under_two_seconds() {
+    use instance_comparison::core::ScoreConfig;
+    let sc = mod_cell(Dataset::GitHub, 5_000, 0.05, 4242);
+    let start = Instant::now();
+    let score = sc.gold_score(&ScoreConfig::default());
+    let elapsed = start.elapsed();
+    assert!(score > 0.2);
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "gold scoring on 5k rows took {elapsed:?}"
+    );
+}

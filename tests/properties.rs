@@ -1,0 +1,366 @@
+//! Property-based tests of the similarity measure's axioms (paper Eq. 1–5)
+//! and of the exact algorithm's optimality, on randomly generated small
+//! instances.
+
+use instance_comparison::core::{
+    exact_match, ground_similarity, score_state, signature_match, ExactConfig, MatchMode,
+    MatchState, ScoreConfig, SignatureConfig,
+};
+use instance_comparison::model::{Catalog, Instance, RelId, Schema, TupleId, Value};
+use proptest::prelude::*;
+
+const EPS: f64 = 1e-9;
+
+/// Descriptor of a random cell: constant index or null index.
+#[derive(Debug, Clone, Copy)]
+enum Cell {
+    Const(u8),
+    Null(u8),
+}
+
+fn cell_strategy() -> impl Strategy<Value = Cell> {
+    prop_oneof![
+        (0u8..4).prop_map(Cell::Const),
+        (0u8..3).prop_map(Cell::Null),
+    ]
+}
+
+/// A random instance descriptor: up to 4 tuples of arity 2.
+fn instance_strategy() -> impl Strategy<Value = Vec<[Cell; 2]>> {
+    prop::collection::vec(
+        (cell_strategy(), cell_strategy()).prop_map(|(a, b)| [a, b]),
+        0..4,
+    )
+}
+
+/// Materializes a descriptor. Null indexes are instance-local (two
+/// descriptors never share nulls), constants are shared via the catalog.
+fn build(catalog: &mut Catalog, name: &str, desc: &[[Cell; 2]]) -> Instance {
+    let rel = RelId(0);
+    let mut nulls: Vec<Option<Value>> = vec![None; 4];
+    let mut inst = Instance::new(name, catalog);
+    for row in desc {
+        let vals: Vec<Value> = row
+            .iter()
+            .map(|c| match *c {
+                Cell::Const(k) => catalog.konst(&format!("c{k}")),
+                Cell::Null(k) => *nulls[k as usize].get_or_insert_with(|| catalog.fresh_null()),
+            })
+            .collect();
+        inst.insert(rel, vals);
+    }
+    inst
+}
+
+fn fresh_catalog() -> Catalog {
+    Catalog::new(Schema::single("R", &["A", "B"]))
+}
+
+/// Brute force: enumerate every 1-1 tuple mapping (over all pairs, not just
+/// compatible ones) and take the best feasible score.
+fn brute_force_one_to_one(left: &Instance, right: &Instance, catalog: &Catalog) -> f64 {
+    let rel = RelId(0);
+    let lids: Vec<TupleId> = left.tuples(rel).iter().map(|t| t.id()).collect();
+    let rids: Vec<TupleId> = right.tuples(rel).iter().map(|t| t.id()).collect();
+    let mut best = f64::MIN;
+    let cfg = ScoreConfig::default();
+
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        i: usize,
+        lids: &[TupleId],
+        rids: &[TupleId],
+        used: &mut Vec<bool>,
+        state: &mut MatchState<'_>,
+        cfg: &ScoreConfig,
+        catalog: &Catalog,
+        best: &mut f64,
+    ) {
+        if i == lids.len() {
+            let s = score_state(state, cfg, catalog).score;
+            if s > *best {
+                *best = s;
+            }
+            return;
+        }
+        // Skip tuple i.
+        rec(i + 1, lids, rids, used, state, cfg, catalog, best);
+        // Match tuple i with any unused right tuple.
+        for (j, &rid) in rids.iter().enumerate() {
+            if used[j] {
+                continue;
+            }
+            if state.try_push_pair(RelId(0), lids[i], rid, false).is_ok() {
+                used[j] = true;
+                rec(i + 1, lids, rids, used, state, cfg, catalog, best);
+                used[j] = false;
+                state.pop_pair();
+            }
+        }
+    }
+
+    let mut state = MatchState::new(left, right);
+    let mut used = vec![false; rids.len()];
+    rec(
+        0, &lids, &rids, &mut used, &mut state, &cfg, catalog, &mut best,
+    );
+    best
+}
+
+/// Brute force for the general (n-to-m) mode: enumerate every subset of the
+/// full pair grid (capped sizes keep this 2^9 at most).
+fn brute_force_general(left: &Instance, right: &Instance, catalog: &Catalog) -> f64 {
+    let rel = RelId(0);
+    let lids: Vec<TupleId> = left.tuples(rel).iter().map(|t| t.id()).collect();
+    let rids: Vec<TupleId> = right.tuples(rel).iter().map(|t| t.id()).collect();
+    let grid: Vec<(TupleId, TupleId)> = lids
+        .iter()
+        .flat_map(|&l| rids.iter().map(move |&r| (l, r)))
+        .collect();
+    assert!(grid.len() <= 12, "brute force grid too large");
+    let cfg = ScoreConfig::default();
+    let mut best = f64::MIN;
+    let mut state = MatchState::new(left, right);
+
+    fn rec(
+        i: usize,
+        grid: &[(TupleId, TupleId)],
+        state: &mut MatchState<'_>,
+        cfg: &ScoreConfig,
+        catalog: &Catalog,
+        best: &mut f64,
+    ) {
+        if i == grid.len() {
+            let s = score_state(state, cfg, catalog).score;
+            if s > *best {
+                *best = s;
+            }
+            return;
+        }
+        rec(i + 1, grid, state, cfg, catalog, best);
+        let (l, r) = grid[i];
+        if state.try_push_pair(RelId(0), l, r, false).is_ok() {
+            rec(i + 1, grid, state, cfg, catalog, best);
+            state.pop_pair();
+        }
+    }
+    rec(0, &grid, &mut state, &cfg, catalog, &mut best);
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eq. 1 / Eq. 2: an instance is maximally similar to itself (comparing
+    /// an instance with itself is an isomorphic comparison; shared nulls
+    /// are implicitly renamed apart).
+    #[test]
+    fn self_similarity_is_one(desc in instance_strategy()) {
+        let mut cat = fresh_catalog();
+        let inst = build(&mut cat, "I", &desc);
+        let out = exact_match(&inst, &inst, &cat, &ExactConfig::default());
+        prop_assert!(out.optimal);
+        prop_assert!((out.best.score() - 1.0).abs() < EPS,
+            "self similarity {}", out.best.score());
+    }
+
+    /// Eq. 2: isomorphic instances (nulls renamed) are maximally similar.
+    #[test]
+    fn isomorphic_instances_score_one(desc in instance_strategy()) {
+        let mut cat = fresh_catalog();
+        let left = build(&mut cat, "I", &desc);
+        let right = build(&mut cat, "J", &desc); // same shape, fresh nulls
+        let out = exact_match(&left, &right, &cat, &ExactConfig::default());
+        prop_assert!((out.best.score() - 1.0).abs() < EPS);
+    }
+
+    /// Eq. 5: the measure is symmetric.
+    #[test]
+    fn similarity_is_symmetric(a in instance_strategy(), b in instance_strategy()) {
+        let mut cat = fresh_catalog();
+        let left = build(&mut cat, "I", &a);
+        let right = build(&mut cat, "J", &b);
+        let lr = exact_match(&left, &right, &cat, &ExactConfig::default());
+        let rl = exact_match(&right, &left, &cat, &ExactConfig::default());
+        prop_assert!(lr.optimal && rl.optimal);
+        prop_assert!((lr.best.score() - rl.best.score()).abs() < EPS,
+            "{} vs {}", lr.best.score(), rl.best.score());
+    }
+
+    /// The score is always within [0, 1].
+    #[test]
+    fn score_in_unit_interval(a in instance_strategy(), b in instance_strategy()) {
+        let mut cat = fresh_catalog();
+        let left = build(&mut cat, "I", &a);
+        let right = build(&mut cat, "J", &b);
+        for mode in [MatchMode::one_to_one(), MatchMode::general()] {
+            let cfg = ExactConfig { mode, ..Default::default() };
+            let s = exact_match(&left, &right, &cat, &cfg).best.score();
+            prop_assert!((0.0..=1.0 + EPS).contains(&s), "score {s}");
+        }
+    }
+
+    /// The signature algorithm produces a feasible match, so it can never
+    /// exceed the exact optimum; and the general mode dominates 1-1.
+    #[test]
+    fn signature_bounded_by_exact(a in instance_strategy(), b in instance_strategy()) {
+        let mut cat = fresh_catalog();
+        let left = build(&mut cat, "I", &a);
+        let right = build(&mut cat, "J", &b);
+        let exact = exact_match(&left, &right, &cat, &ExactConfig::default());
+        let sig = signature_match(&left, &right, &cat, &SignatureConfig::default());
+        prop_assert!(exact.optimal);
+        prop_assert!(sig.best.score() <= exact.best.score() + EPS,
+            "sig {} > exact {}", sig.best.score(), exact.best.score());
+        let gen = exact_match(&left, &right, &cat, &ExactConfig {
+            mode: MatchMode::general(), ..Default::default()
+        });
+        prop_assert!(gen.best.score() + EPS >= exact.best.score());
+    }
+
+    /// The branch-and-bound equals a brute-force enumeration of all 1-1
+    /// matchings.
+    #[test]
+    fn exact_equals_brute_force(a in instance_strategy(), b in instance_strategy()) {
+        let mut cat = fresh_catalog();
+        let left = build(&mut cat, "I", &a);
+        let right = build(&mut cat, "J", &b);
+        let exact = exact_match(&left, &right, &cat, &ExactConfig::default());
+        let brute = brute_force_one_to_one(&left, &right, &cat);
+        prop_assert!(exact.optimal);
+        prop_assert!((exact.best.score() - brute).abs() < EPS,
+            "exact {} vs brute {}", exact.best.score(), brute);
+    }
+
+    /// The general-mode branch-and-bound equals brute-force enumeration of
+    /// every pair subset (tiny instances: ≤3 tuples per side).
+    #[test]
+    fn exact_general_equals_brute_force(
+        a in prop::collection::vec(
+            (cell_strategy(), cell_strategy()).prop_map(|(x, y)| [x, y]), 0..4),
+        b in prop::collection::vec(
+            (cell_strategy(), cell_strategy()).prop_map(|(x, y)| [x, y]), 0..4),
+    ) {
+        prop_assume!(a.len() * b.len() <= 12);
+        let mut cat = fresh_catalog();
+        let left = build(&mut cat, "I", &a);
+        let right = build(&mut cat, "J", &b);
+        let exact = exact_match(&left, &right, &cat, &ExactConfig {
+            mode: MatchMode::general(),
+            ..Default::default()
+        });
+        let brute = brute_force_general(&left, &right, &cat);
+        prop_assert!(exact.optimal);
+        prop_assert!((exact.best.score() - brute).abs() < EPS,
+            "exact {} vs brute {}", exact.best.score(), brute);
+    }
+
+    /// Eq. 4: disjoint ground instances are minimally similar. We force
+    /// disjointness by using distinct constant pools.
+    #[test]
+    fn disjoint_ground_instances_score_zero(n in 1usize..4, m in 1usize..4) {
+        let mut cat = fresh_catalog();
+        let rel = RelId(0);
+        let mut left = Instance::new("I", &cat);
+        for i in 0..n {
+            let v = cat.konst(&format!("l{i}"));
+            left.insert(rel, vec![v, v]);
+        }
+        let mut right = Instance::new("J", &cat);
+        for i in 0..m {
+            let v = cat.konst(&format!("r{i}"));
+            right.insert(rel, vec![v, v]);
+        }
+        let out = exact_match(&left, &right, &cat, &ExactConfig::default());
+        prop_assert!(out.best.score().abs() < EPS);
+    }
+
+    /// Thm. 5.11's tractable case: on ground instances the linear-time
+    /// algorithm equals the exact optimum.
+    #[test]
+    fn ground_algorithm_equals_exact(
+        a in prop::collection::vec(((0u8..4), (0u8..4)), 0..4),
+        b in prop::collection::vec(((0u8..4), (0u8..4)), 0..4),
+    ) {
+        let mut cat = fresh_catalog();
+        let rel = RelId(0);
+        let mut left = Instance::new("I", &cat);
+        for (x, y) in &a {
+            let vx = cat.konst(&format!("c{x}"));
+            let vy = cat.konst(&format!("c{y}"));
+            left.insert(rel, vec![vx, vy]);
+        }
+        let mut right = Instance::new("J", &cat);
+        for (x, y) in &b {
+            let vx = cat.konst(&format!("c{x}"));
+            let vy = cat.konst(&format!("c{y}"));
+            right.insert(rel, vec![vx, vy]);
+        }
+        let g = ground_similarity(&left, &right, &cat);
+        let e = exact_match(&left, &right, &cat, &ExactConfig::default());
+        prop_assert!(e.optimal);
+        prop_assert!((g - e.best.score()).abs() < EPS, "ground {g} vs exact {}", e.best.score());
+    }
+
+    /// The signature algorithm always returns a *valid* match: pairs
+    /// respect the mode's injectivity, replaying them is feasible, and the
+    /// reported score equals the replayed score.
+    #[test]
+    fn signature_output_is_valid(a in instance_strategy(), b in instance_strategy()) {
+        let mut cat = fresh_catalog();
+        let left = build(&mut cat, "I", &a);
+        let right = build(&mut cat, "J", &b);
+        for mode in [MatchMode::one_to_one(), MatchMode::left_functional(), MatchMode::general()] {
+            let cfg = SignatureConfig { mode, ..Default::default() };
+            let out = signature_match(&left, &right, &cat, &cfg);
+            if mode.left_injective {
+                prop_assert!(out.best.is_left_injective());
+            }
+            if mode.right_injective {
+                prop_assert!(out.best.is_right_injective());
+            }
+            // Replay: all pairs feasible, same score.
+            let mut st = MatchState::new(&left, &right);
+            for p in &out.best.pairs {
+                prop_assert!(st.try_push_pair(p.rel, p.left, p.right, false).is_ok());
+            }
+            let replayed = score_state(&st, &ScoreConfig::default(), &cat).score;
+            prop_assert!((replayed - out.best.score()).abs() < EPS);
+            // Determinism.
+            let again = signature_match(&left, &right, &cat, &cfg);
+            prop_assert_eq!(out.best.pairs.clone(), again.best.pairs);
+        }
+    }
+
+    /// Pushing and popping pairs leaves the match state equivalent to a
+    /// fresh one (rollback soundness), observed through scores.
+    #[test]
+    fn push_pop_is_identity(a in instance_strategy(), b in instance_strategy()) {
+        let mut cat = fresh_catalog();
+        let left = build(&mut cat, "I", &a);
+        let right = build(&mut cat, "J", &b);
+        let rel = RelId(0);
+        let cfg = ScoreConfig::default();
+        let baseline = {
+            let st = MatchState::new(&left, &right);
+            score_state(&st, &cfg, &cat).score
+        };
+        let mut st = MatchState::new(&left, &right);
+        let lids: Vec<TupleId> = left.tuples(rel).iter().map(|t| t.id()).collect();
+        let rids: Vec<TupleId> = right.tuples(rel).iter().map(|t| t.id()).collect();
+        let mut pushed = 0;
+        for &l in &lids {
+            for &r in &rids {
+                if st.try_push_pair(rel, l, r, false).is_ok() {
+                    pushed += 1;
+                }
+            }
+        }
+        for _ in 0..pushed {
+            st.pop_pair();
+        }
+        let after = score_state(&st, &cfg, &cat).score;
+        prop_assert!((baseline - after).abs() < EPS);
+        prop_assert_eq!(st.uf().unions(), 0);
+    }
+}
