@@ -5,15 +5,16 @@
 //! * signature matching modes (1-to-1 vs n-to-m removal of matched tuples,
 //!   paper's cases 1 vs 4);
 //! * λ's (non-)impact on runtime.
+//!
+//! Run: `cargo run -p ic-bench --release --bin bench_ablation`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ic_bench::harness::Suite;
 use ic_core::{signature_match, MatchMode, ScoreConfig, SignatureConfig};
 use ic_datagen::{mod_cell, Dataset};
-use std::hint::black_box;
 
-fn bench_subset_enumeration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/subset_enumeration");
-    group.sample_size(10);
+fn main() {
+    let mut suite = Suite::new("ablation");
+
     // GitHub's 19 attributes make the literal enumeration expensive.
     for dataset in [Dataset::Bikeshare, Dataset::GitHub] {
         let sc = mod_cell(dataset, 1_000, 0.05, 77);
@@ -23,21 +24,16 @@ fn bench_subset_enumeration(c: &mut Criterion) {
                 ..Default::default()
             };
             let label = if literal { "literal" } else { "mask-grouped" };
-            group.bench_with_input(
-                BenchmarkId::new(label, dataset.short_name()),
-                &literal,
-                |b, _| {
-                    b.iter(|| black_box(signature_match(&sc.source, &sc.target, &sc.catalog, &cfg)))
-                },
+            suite.measure(
+                &format!(
+                    "ablation/subset_enumeration/{label}/{}",
+                    dataset.short_name()
+                ),
+                || signature_match(&sc.source, &sc.target, &sc.catalog, &cfg),
             );
         }
     }
-    group.finish();
-}
 
-fn bench_match_modes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/match_modes");
-    group.sample_size(10);
     let sc = mod_cell(Dataset::Doctors, 2_000, 0.05, 78);
     for (label, mode) in [
         ("one_to_one", MatchMode::one_to_one()),
@@ -48,33 +44,21 @@ fn bench_match_modes(c: &mut Criterion) {
             mode,
             ..Default::default()
         };
-        group.bench_function(label, |b| {
-            b.iter(|| black_box(signature_match(&sc.source, &sc.target, &sc.catalog, &cfg)))
+        suite.measure(&format!("ablation/match_modes/{label}"), || {
+            signature_match(&sc.source, &sc.target, &sc.catalog, &cfg)
         });
     }
-    group.finish();
-}
 
-fn bench_lambda(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/lambda");
-    group.sample_size(10);
     let sc = mod_cell(Dataset::Doctors, 2_000, 0.05, 79);
     for lambda in [0.0f64, 0.5, 0.9] {
         let cfg = SignatureConfig {
             score: ScoreConfig::with_lambda(lambda),
             ..Default::default()
         };
-        group.bench_with_input(BenchmarkId::from_parameter(lambda), &lambda, |b, _| {
-            b.iter(|| black_box(signature_match(&sc.source, &sc.target, &sc.catalog, &cfg)))
+        suite.measure(&format!("ablation/lambda/{lambda}"), || {
+            signature_match(&sc.source, &sc.target, &sc.catalog, &cfg)
         });
     }
-    group.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_subset_enumeration,
-    bench_match_modes,
-    bench_lambda
-);
-criterion_main!(benches);
+    suite.finish();
+}

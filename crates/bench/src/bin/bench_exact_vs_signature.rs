@@ -1,0 +1,31 @@
+//! Exact vs Signature head-to-head on instances small enough for the exact
+//! branch-and-bound to terminate — the speed gap the paper quantifies as
+//! "up to three orders of magnitude".
+//!
+//! Run: `cargo run -p ic-bench --release --bin bench_exact_vs_signature`
+
+use ic_bench::harness::Suite;
+use ic_core::{exact_match, signature_match, ExactConfig, SignatureConfig};
+use ic_datagen::{mod_cell, Dataset};
+use std::time::Duration;
+
+fn main() {
+    let mut suite = Suite::new("exact_vs_signature").samples(5);
+
+    for rows in [30usize, 60, 120] {
+        let sc = mod_cell(Dataset::Bikeshare, rows, 0.05, 7);
+        let exact_cfg = ExactConfig {
+            budget: Some(Duration::from_secs(20)),
+            ..Default::default()
+        };
+        let sig_cfg = SignatureConfig::default();
+        suite.measure(&format!("exact_vs_signature/exact/{rows}"), || {
+            exact_match(&sc.source, &sc.target, &sc.catalog, &exact_cfg)
+        });
+        suite.measure(&format!("exact_vs_signature/signature/{rows}"), || {
+            signature_match(&sc.source, &sc.target, &sc.catalog, &sig_cfg)
+        });
+    }
+
+    suite.finish();
+}

@@ -1,0 +1,43 @@
+//! Scaling of the signature algorithm with instance size (the time columns
+//! of Tables 2–3): modCell and addRandomAndRedundant scenarios on the
+//! Doctors, Bikeshare and GitHub profiles.
+//!
+//! Run: `cargo run -p ic-bench --release --bin bench_signature_scaling`
+
+use ic_bench::harness::Suite;
+use ic_core::{signature_match, MatchMode, SignatureConfig};
+use ic_datagen::{add_random_and_redundant, mod_cell, Dataset};
+
+fn main() {
+    let mut suite = Suite::new("signature_scaling");
+
+    for dataset in [Dataset::Doctors, Dataset::Bikeshare, Dataset::GitHub] {
+        for rows in [500usize, 1_000, 2_000] {
+            let sc = mod_cell(dataset, rows, 0.05, 42);
+            let cfg = SignatureConfig::default();
+            suite.measure(
+                &format!("signature/mod_cell/{}/{rows}", dataset.short_name()),
+                || signature_match(&sc.source, &sc.target, &sc.catalog, &cfg),
+            );
+        }
+    }
+
+    for dataset in [Dataset::Doctors, Dataset::Bikeshare] {
+        for rows in [500usize, 2_000] {
+            let sc = add_random_and_redundant(dataset, rows, 0.05, 0.10, 0.10, 42);
+            let cfg = SignatureConfig {
+                mode: MatchMode::general(),
+                ..Default::default()
+            };
+            suite.measure(
+                &format!(
+                    "signature/add_random_redundant/{}/{rows}",
+                    dataset.short_name()
+                ),
+                || signature_match(&sc.source, &sc.target, &sc.catalog, &cfg),
+            );
+        }
+    }
+
+    suite.finish();
+}

@@ -1,48 +1,15 @@
 //! Benchmarks of the substrates: the chase and core computation
 //! (data exchange), homomorphism checking, repair systems (data cleaning),
 //! and the Myers line-diff baseline (data versioning).
+//!
+//! Run: `cargo run -p ic-bench --release --bin bench_substrates`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ic_bench::harness::Suite;
 use ic_cleaning::{bus_cleaning_dataset, inject_errors, RepairSystem};
 use ic_core::is_homomorphic;
 use ic_datagen::Dataset;
 use ic_exchange::{chase, core_of, doctors_scenario, ChaseConfig};
 use ic_versioning::{diff_lines, serialize_instance_lines};
-use std::hint::black_box;
-
-fn bench_chase(c: &mut Criterion) {
-    let mut group = c.benchmark_group("substrates/chase");
-    group.sample_size(10);
-    for rows in [500usize, 2_000] {
-        let sc = doctors_scenario(rows, 0.2, 3);
-        let mapping = ic_exchange::correct_mapping();
-        group.bench_with_input(BenchmarkId::new("naive", rows), &rows, |b, _| {
-            b.iter(|| {
-                let mut cat = sc.catalog.clone();
-                black_box(chase(
-                    &sc.source,
-                    &mapping,
-                    &mut cat,
-                    &ChaseConfig::naive(),
-                    "U",
-                ))
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("skolem", rows), &rows, |b, _| {
-            b.iter(|| {
-                let mut cat = sc.catalog.clone();
-                black_box(chase(
-                    &sc.source,
-                    &mapping,
-                    &mut cat,
-                    &ChaseConfig::skolem(),
-                    "C",
-                ))
-            })
-        });
-    }
-    group.finish();
-}
 
 /// A brute-force homomorphism check (the paper's [9] baseline): plain
 /// backtracking with *every* right tuple as a candidate — no candidate
@@ -108,60 +75,53 @@ fn is_homomorphic_brute(left: &ic_model::Instance, right: &ic_model::Instance) -
     rec(&work, 0, left, right, &mut assign)
 }
 
-fn bench_core_and_hom(c: &mut Criterion) {
-    let mut group = c.benchmark_group("substrates/core_hom");
-    group.sample_size(10);
-    let sc = doctors_scenario(150, 0.3, 5);
-    group.bench_function("core_of_naive_150", |b| {
-        b.iter(|| black_box(core_of(&sc.user2, &sc.catalog).num_tuples()))
-    });
-    group.bench_function("hom_check_indexed_150", |b| {
-        b.iter(|| black_box(is_homomorphic(&sc.user2, &sc.gold)))
-    });
-    group.bench_function("hom_check_brute_150", |b| {
-        b.iter(|| black_box(is_homomorphic_brute(&sc.user2, &sc.gold)))
-    });
-    group.finish();
-}
+fn main() {
+    let mut suite = Suite::new("substrates");
 
-fn bench_repair(c: &mut Criterion) {
-    let mut group = c.benchmark_group("substrates/repair");
-    group.sample_size(10);
+    for rows in [500usize, 2_000] {
+        let sc = doctors_scenario(rows, 0.2, 3);
+        let mapping = ic_exchange::correct_mapping();
+        suite.measure(&format!("substrates/chase/naive/{rows}"), || {
+            let mut cat = sc.catalog.clone();
+            chase(&sc.source, &mapping, &mut cat, &ChaseConfig::naive(), "U")
+        });
+        suite.measure(&format!("substrates/chase/skolem/{rows}"), || {
+            let mut cat = sc.catalog.clone();
+            chase(&sc.source, &mapping, &mut cat, &ChaseConfig::skolem(), "C")
+        });
+    }
+
+    let sc = doctors_scenario(150, 0.3, 5);
+    suite.measure("substrates/core_hom/core_of_naive_150", || {
+        core_of(&sc.user2, &sc.catalog).num_tuples()
+    });
+    suite.measure("substrates/core_hom/hom_check_indexed_150", || {
+        is_homomorphic(&sc.user2, &sc.gold)
+    });
+    suite.measure("substrates/core_hom/hom_check_brute_150", || {
+        is_homomorphic_brute(&sc.user2, &sc.gold)
+    });
+
     let (mut cat, clean, fds) = bus_cleaning_dataset(3_000, 11);
     let dirty = inject_errors(&clean, &fds, &mut cat, 0.05, 11);
     for (name, sys) in RepairSystem::all() {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut c2 = cat.clone();
-                black_box(sys.repair(&dirty.instance, &fds, &mut c2, 11).num_tuples())
-            })
+        suite.measure(&format!("substrates/repair/{name}"), || {
+            let mut c2 = cat.clone();
+            sys.repair(&dirty.instance, &fds, &mut c2, 11).num_tuples()
         });
     }
-    group.finish();
-}
 
-fn bench_diff(c: &mut Criterion) {
-    let mut group = c.benchmark_group("substrates/diff");
-    group.sample_size(10);
     let (cat, inst) = Dataset::Nba.generate(2_000, 13);
     let rel = cat.schema().rel("Nba").unwrap();
     let lines = serialize_instance_lines(&inst, &cat, rel, &[]);
     let mut shuffled = lines.clone();
     shuffled.reverse();
-    group.bench_function("myers_identical_2k", |b| {
-        b.iter(|| black_box(diff_lines(&lines, &lines).matches))
+    suite.measure("substrates/diff/myers_identical_2k", || {
+        diff_lines(&lines, &lines).matches
     });
-    group.bench_function("myers_reversed_2k", |b| {
-        b.iter(|| black_box(diff_lines(&lines, &shuffled).matches))
+    suite.measure("substrates/diff/myers_reversed_2k", || {
+        diff_lines(&lines, &shuffled).matches
     });
-    group.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_chase,
-    bench_core_and_hom,
-    bench_repair,
-    bench_diff
-);
-criterion_main!(benches);
+    suite.finish();
+}

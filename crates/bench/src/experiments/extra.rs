@@ -13,7 +13,9 @@
 use crate::fmt::{f3, secs, TextTable};
 use crate::scale::Scale;
 use ic_core::{signature_match, MatchMode, ScoreConfig, SignatureConfig};
-use ic_datagen::{build_scenario_from_spec, mod_cell_typos, Card, ColumnSpec, ScenarioParams, TableSpec};
+use ic_datagen::{
+    build_scenario_from_spec, mod_cell_typos, Card, ColumnSpec, ScenarioParams, TableSpec,
+};
 
 /// λ sweep on one modCell scenario.
 pub fn lambda_sweep(scale: Scale) -> String {

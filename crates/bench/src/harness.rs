@@ -1,0 +1,184 @@
+//! In-tree timing harness — the offline replacement for criterion.
+//!
+//! Each `bench_*` binary builds a [`Suite`], registers measurements with
+//! [`Suite::measure`], and calls [`Suite::finish`]. A measurement runs a
+//! fixed number of warmup iterations (discarded), then samples the closure
+//! N more times and reports the median, minimum and mean wall-clock time.
+//! Results print as a table and are written as JSON to
+//! `target/ic-bench/<suite>.json` (or a directory given as the first CLI
+//! argument), so successive runs can be diffed by later perf PRs.
+//!
+//! Medians over a small sample count are deliberately chosen over fancy
+//! statistics: the harness is for *order-of-magnitude* tracking of the
+//! paper's claims (e.g. signature vs exact), not microsecond rigor.
+
+use std::hint::black_box;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Default iterations discarded before sampling starts.
+pub const DEFAULT_WARMUP: u32 = 2;
+/// Default recorded samples per measurement.
+pub const DEFAULT_SAMPLES: u32 = 7;
+
+/// One measurement's aggregated timings.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Measurement id, e.g. `"mod_cell/doctors/1000"`.
+    pub id: String,
+    /// Number of recorded samples.
+    pub samples: u32,
+    /// Median sample.
+    pub median: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Arithmetic mean of samples.
+    pub mean: Duration,
+}
+
+/// A named collection of measurements, written out by [`Suite::finish`].
+pub struct Suite {
+    name: String,
+    warmup: u32,
+    samples: u32,
+    records: Vec<Record>,
+}
+
+impl Suite {
+    /// Creates a suite with default warmup/sample counts.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            warmup: DEFAULT_WARMUP,
+            samples: DEFAULT_SAMPLES,
+            records: Vec::new(),
+        }
+    }
+
+    /// Overrides the number of discarded warmup iterations.
+    pub fn warmup(mut self, w: u32) -> Self {
+        self.warmup = w;
+        self
+    }
+
+    /// Overrides the number of recorded samples.
+    pub fn samples(mut self, s: u32) -> Self {
+        assert!(s >= 1, "need at least one sample");
+        self.samples = s;
+        self
+    }
+
+    /// Times `f` (warmup + median-of-N) and records the result. The
+    /// closure's return value is passed through [`black_box`] so the
+    /// optimizer cannot elide the work.
+    pub fn measure<R>(&mut self, id: &str, mut f: impl FnMut() -> R) {
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        let mut times = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            times.push(start.elapsed());
+        }
+        times.sort();
+        let median = times[times.len() / 2];
+        let min = times[0];
+        let mean = times.iter().sum::<Duration>() / self.samples;
+        let rec = Record {
+            id: id.to_string(),
+            samples: self.samples,
+            median,
+            min,
+            mean,
+        };
+        eprintln!(
+            "{:<48} median {:>12?}  min {:>12?}  mean {:>12?}",
+            rec.id, rec.median, rec.min, rec.mean
+        );
+        self.records.push(rec);
+    }
+
+    /// Prints the summary table and writes `<out_dir>/<suite>.json`, where
+    /// `out_dir` is the first CLI argument or `target/ic-bench`. Returns
+    /// the path written.
+    pub fn finish(self) -> std::path::PathBuf {
+        let out_dir = std::env::args()
+            .nth(1)
+            .unwrap_or_else(|| "target/ic-bench".to_string());
+        let out_dir = std::path::PathBuf::from(out_dir);
+        std::fs::create_dir_all(&out_dir)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", out_dir.display()));
+        let path = out_dir.join(format!("{}.json", self.name));
+        let mut f = std::fs::File::create(&path)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+        write!(f, "{}", self.to_json()).expect("write bench json");
+        eprintln!(
+            "\n{} measurement(s) written to {}",
+            self.records.len(),
+            path.display()
+        );
+        path
+    }
+
+    /// Serializes the suite (hand-rolled JSON: offline policy, no serde).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"suite\": {},\n", json_string(&self.name)));
+        s.push_str(&format!("  \"warmup\": {},\n", self.warmup));
+        s.push_str("  \"results\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"id\": {}, \"samples\": {}, \"median_ns\": {}, \"min_ns\": {}, \"mean_ns\": {}}}{}\n",
+                json_string(&r.id),
+                r.samples,
+                r.median.as_nanos(),
+                r.min.as_nanos(),
+                r.mean.as_nanos(),
+                if i + 1 == self.records.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Escapes a string as a JSON literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_serializes() {
+        let mut suite = Suite::new("selftest").warmup(0).samples(3);
+        suite.measure("noop", || 1 + 1);
+        let json = suite.to_json();
+        assert!(json.contains("\"suite\": \"selftest\""));
+        assert!(json.contains("\"id\": \"noop\""));
+        assert!(json.contains("median_ns"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

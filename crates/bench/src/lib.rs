@@ -2,13 +2,16 @@
 //!
 //! Regenerates every table and figure of the paper's evaluation (Sec. 7):
 //! run `cargo run --release -p ic-bench --bin experiments -- all` or pick a
-//! single experiment (`table2`, `figure8`, …). Criterion microbenchmarks
-//! live under `benches/`.
+//! single experiment (`table2`, `figure8`, …). Timing microbenchmarks use
+//! the in-tree [`harness`] (offline replacement for criterion) and live in
+//! the `bench_*` binaries: `cargo run -p ic-bench --release --bin
+//! bench_<name>`.
 
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod fmt;
+pub mod harness;
 pub mod scale;
 
 pub use scale::Scale;

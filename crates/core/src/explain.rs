@@ -135,10 +135,7 @@ pub fn explain(m: &InstanceMatch, left: &Instance, right: &Instance) -> Instance
 /// Renders a realized value mapping as sorted `value -> image` lines,
 /// skipping constants (which map to themselves). Canonical nulls render as
 /// `V<class>`.
-pub fn render_value_mapping(
-    mapping: &crate::mapping::ValueMapping,
-    catalog: &Catalog,
-) -> String {
+pub fn render_value_mapping(mapping: &crate::mapping::ValueMapping, catalog: &Catalog) -> String {
     use crate::mapping::Mapped;
     let mut entries: Vec<(Value, Mapped)> = mapping
         .iter()

@@ -52,7 +52,9 @@ pub mod universe;
 
 pub use compat::{c_compatible, compatible_tuples, pair_compatible, CandidateIndex};
 pub use exact::{exact_match, ExactConfig, ExactOutcome};
-pub use explain::{explain, render_diff, render_value_mapping, CellChange, InstanceDiff, PairExplanation};
+pub use explain::{
+    explain, render_diff, render_value_mapping, CellChange, InstanceDiff, PairExplanation,
+};
 pub use ground::{ground_match, ground_similarity};
 pub use hom::{
     find_homomorphism, homomorphically_equivalent, is_homomorphic, isomorphic, Homomorphism,

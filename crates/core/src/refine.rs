@@ -70,8 +70,8 @@ pub fn refine_match(
     cfg: &RefineConfig,
 ) -> InstanceMatch {
     let mut pairs: Vec<Pair> = initial.pairs.clone();
-    let mut best_score = eval(left, right, catalog, &cfg.score, &pairs)
-        .expect("input match must be feasible");
+    let mut best_score =
+        eval(left, right, catalog, &cfg.score, &pairs).expect("input match must be feasible");
 
     // Candidate indexes per relation.
     let rels: Vec<ic_model::RelId> = catalog.schema().rel_ids().collect();
@@ -215,7 +215,12 @@ mod tests {
     fn refinement_never_decreases_score() {
         use ic_datagen::{mod_cell, Dataset};
         let sc = mod_cell(Dataset::Bikeshare, 120, 0.10, 31);
-        let greedy = signature_match(&sc.source, &sc.target, &sc.catalog, &SignatureConfig::default());
+        let greedy = signature_match(
+            &sc.source,
+            &sc.target,
+            &sc.catalog,
+            &SignatureConfig::default(),
+        );
         let refined = refine_match(
             &sc.source,
             &sc.target,
@@ -230,7 +235,12 @@ mod tests {
     fn refinement_preserves_injectivity() {
         use ic_datagen::{mod_cell, Dataset};
         let sc = mod_cell(Dataset::Iris, 60, 0.10, 33);
-        let greedy = signature_match(&sc.source, &sc.target, &sc.catalog, &SignatureConfig::default());
+        let greedy = signature_match(
+            &sc.source,
+            &sc.target,
+            &sc.catalog,
+            &SignatureConfig::default(),
+        );
         let refined = refine_match(
             &sc.source,
             &sc.target,

@@ -680,8 +680,9 @@ mod wide_relation_tests {
         let mut left = Instance::new("I", &cat);
         let mut right = Instance::new("J", &cat);
         for row in 0..5 {
-            let vals: Vec<ic_model::Value> =
-                (0..130).map(|c| cat.konst(&format!("v{row}_{c}"))).collect();
+            let vals: Vec<ic_model::Value> = (0..130)
+                .map(|c| cat.konst(&format!("v{row}_{c}")))
+                .collect();
             left.insert(rel, vals.clone());
             right.insert(rel, vals);
         }
@@ -707,9 +708,8 @@ mod wide_u128_tests {
         let mut left = Instance::new("I", &cat);
         let mut right = Instance::new("J", &cat);
         for row in 0..4 {
-            let mut vals: Vec<ic_model::Value> = (0..80)
-                .map(|c| cat.konst(&format!("v{row}_{c}")))
-                .collect();
+            let mut vals: Vec<ic_model::Value> =
+                (0..80).map(|c| cat.konst(&format!("v{row}_{c}"))).collect();
             left.insert(rel, vals.clone());
             // Right: null out a late attribute (position 79 needs the high
             // mask word).

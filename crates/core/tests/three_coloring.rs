@@ -30,11 +30,7 @@ fn encode_graph(catalog: &mut Catalog, edges: &[(usize, usize)]) -> (Instance, V
 /// distinct colors).
 fn k3(catalog: &mut Catalog) -> Instance {
     let rel = catalog.schema().rel("E").unwrap();
-    let colors = [
-        catalog.konst("r"),
-        catalog.konst("g"),
-        catalog.konst("b"),
-    ];
+    let colors = [catalog.konst("r"), catalog.konst("g"), catalog.konst("b")];
     let mut inst = Instance::new("K3", catalog);
     for &a in &colors {
         for &b in &colors {
@@ -66,7 +62,13 @@ fn k4_is_not_three_colorable() {
 
 #[test]
 fn odd_cycle_c5_is_three_colorable() {
-    assert!(is_three_colorable(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]));
+    assert!(is_three_colorable(&[
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (3, 4),
+        (4, 0)
+    ]));
 }
 
 #[test]

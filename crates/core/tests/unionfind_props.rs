@@ -4,7 +4,8 @@
 use ic_core::unionfind::RollbackUf;
 use ic_core::universe::{Side, Universe};
 use ic_model::{Catalog, Instance, Schema, Value};
-use proptest::prelude::*;
+use ic_testkit::{assume, Gen, Runner};
+use rand::RngExt;
 
 /// Builds a universe with `n_consts` shared constants, `n` left nulls and
 /// `n` right nulls; returns (uf, nodes) where nodes[0..n_consts] are the
@@ -97,80 +98,117 @@ impl NaiveModel {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+fn gen_ops(g: &mut Gen, max_len: usize, domain: usize) -> Vec<(usize, usize)> {
+    g.vec_of(max_len, |g| {
+        (
+            g.rng().random_range(0..domain),
+            g.rng().random_range(0..domain),
+        )
+    })
+}
 
-    /// A random union sequence produces the same partition as the naive
-    /// model, and conflicts are detected identically.
-    #[test]
-    fn matches_naive_model(ops in prop::collection::vec((0usize..10, 0usize..10), 0..25)) {
-        let n_consts = 3;
-        let n = 4; // + 4 left nulls within first 7... total nodes = 3 + 4 + 4 = 11
-        let (mut uf, nodes, _u) = setup(n_consts, n);
-        let total = nodes.len();
-        let mut model = NaiveModel::new(n_consts, total);
-        for (a, b) in ops {
-            let (a, b) = (a % total, b % total);
-            let uf_ok = uf.union(nodes[a], nodes[b]).is_ok();
-            let model_ok = model.union(a, b);
-            prop_assert_eq!(uf_ok, model_ok, "conflict detection diverged on ({}, {})", a, b);
-        }
-        for i in 0..total {
-            for j in 0..total {
-                prop_assert_eq!(
-                    uf.same(nodes[i], nodes[j]),
-                    model.same(i, j),
-                    "partition diverged at ({}, {})", i, j
-                );
+/// A random union sequence produces the same partition as the naive
+/// model, and conflicts are detected identically.
+#[test]
+fn matches_naive_model() {
+    Runner::new("matches_naive_model")
+        .cases(96)
+        .max_size(24)
+        .run(
+            |g| gen_ops(g, 24, 10),
+            |ops| {
+                let n_consts = 3;
+                let n = 4; // + 4 left nulls within first 7... total nodes = 3 + 4 + 4 = 11
+                let (mut uf, nodes, _u) = setup(n_consts, n);
+                let total = nodes.len();
+                let mut model = NaiveModel::new(n_consts, total);
+                for &(a, b) in ops {
+                    let (a, b) = (a % total, b % total);
+                    let uf_ok = uf.union(nodes[a], nodes[b]).is_ok();
+                    let model_ok = model.union(a, b);
+                    assert_eq!(uf_ok, model_ok, "conflict detection diverged on ({a}, {b})");
+                }
+                for i in 0..total {
+                    for j in 0..total {
+                        assert_eq!(
+                            uf.same(nodes[i], nodes[j]),
+                            model.same(i, j),
+                            "partition diverged at ({i}, {j})"
+                        );
+                    }
+                }
+            },
+        );
+}
+
+/// Rolling back to a checkpoint restores the exact partition.
+#[test]
+fn rollback_restores_partition() {
+    Runner::new("rollback_restores_partition")
+        .cases(96)
+        .max_size(11)
+        .run(
+            |g| (gen_ops(g, 11, 11), gen_ops(g, 11, 11)),
+            |(prefix, suffix)| {
+                let (mut uf, nodes, _u) = setup(3, 4);
+                let total = nodes.len();
+                for (a, b) in prefix {
+                    let _ = uf.union(nodes[a % total], nodes[b % total]);
+                }
+                // Snapshot the partition.
+                let snapshot: Vec<Vec<bool>> = (0..total)
+                    .map(|i| (0..total).map(|j| uf.same(nodes[i], nodes[j])).collect())
+                    .collect();
+                let sqcaps: Vec<(u32, u32)> = (0..total)
+                    .map(|i| {
+                        (
+                            uf.sqcap_null(nodes[i], Side::Left),
+                            uf.sqcap_null(nodes[i], Side::Right),
+                        )
+                    })
+                    .collect();
+                let cp = uf.checkpoint();
+                for (a, b) in suffix {
+                    let _ = uf.union(nodes[a % total], nodes[b % total]);
+                }
+                uf.rollback_to(cp);
+                for i in 0..total {
+                    for j in 0..total {
+                        assert_eq!(uf.same(nodes[i], nodes[j]), snapshot[i][j]);
+                    }
+                    assert_eq!(
+                        (
+                            uf.sqcap_null(nodes[i], Side::Left),
+                            uf.sqcap_null(nodes[i], Side::Right)
+                        ),
+                        sqcaps[i]
+                    );
+                }
+            },
+        );
+}
+
+/// Union is idempotent and never changes ⊓ for untouched classes.
+#[test]
+fn union_isolation() {
+    Runner::new("union_isolation").cases(96).run(
+        |g| {
+            (
+                g.rng().random_range(3..11usize),
+                g.rng().random_range(3..11usize),
+                g.rng().random_range(3..11usize),
+            )
+        },
+        |&(a, b, c)| {
+            assume(a != c && b != c);
+            let (mut uf, nodes, _u) = setup(3, 4);
+            let before_l = uf.sqcap_null(nodes[c], Side::Left);
+            let before_r = uf.sqcap_null(nodes[c], Side::Right);
+            let _ = uf.union(nodes[a], nodes[b]);
+            if !uf.same(nodes[a], nodes[c]) {
+                assert_eq!(uf.sqcap_null(nodes[c], Side::Left), before_l);
+                assert_eq!(uf.sqcap_null(nodes[c], Side::Right), before_r);
             }
-        }
-    }
-
-    /// Rolling back to a checkpoint restores the exact partition.
-    #[test]
-    fn rollback_restores_partition(
-        prefix in prop::collection::vec((0usize..11, 0usize..11), 0..12),
-        suffix in prop::collection::vec((0usize..11, 0usize..11), 0..12),
-    ) {
-        let (mut uf, nodes, _u) = setup(3, 4);
-        let total = nodes.len();
-        for (a, b) in &prefix {
-            let _ = uf.union(nodes[a % total], nodes[b % total]);
-        }
-        // Snapshot the partition.
-        let snapshot: Vec<Vec<bool>> = (0..total)
-            .map(|i| (0..total).map(|j| uf.same(nodes[i], nodes[j])).collect())
-            .collect();
-        let sqcaps: Vec<(u32, u32)> = (0..total)
-            .map(|i| (uf.sqcap_null(nodes[i], Side::Left), uf.sqcap_null(nodes[i], Side::Right)))
-            .collect();
-        let cp = uf.checkpoint();
-        for (a, b) in &suffix {
-            let _ = uf.union(nodes[a % total], nodes[b % total]);
-        }
-        uf.rollback_to(cp);
-        for i in 0..total {
-            for j in 0..total {
-                prop_assert_eq!(uf.same(nodes[i], nodes[j]), snapshot[i][j]);
-            }
-            prop_assert_eq!(
-                (uf.sqcap_null(nodes[i], Side::Left), uf.sqcap_null(nodes[i], Side::Right)),
-                sqcaps[i]
-            );
-        }
-    }
-
-    /// Union is idempotent and never changes ⊓ for untouched classes.
-    #[test]
-    fn union_isolation(a in 3usize..11, b in 3usize..11, c in 3usize..11) {
-        let (mut uf, nodes, _u) = setup(3, 4);
-        prop_assume!(a != c && b != c);
-        let before_l = uf.sqcap_null(nodes[c], Side::Left);
-        let before_r = uf.sqcap_null(nodes[c], Side::Right);
-        let _ = uf.union(nodes[a], nodes[b]);
-        if !uf.same(nodes[a], nodes[c]) {
-            prop_assert_eq!(uf.sqcap_null(nodes[c], Side::Left), before_l);
-            prop_assert_eq!(uf.sqcap_null(nodes[c], Side::Right), before_r);
-        }
-    }
+        },
+    );
 }

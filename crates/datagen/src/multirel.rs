@@ -36,7 +36,11 @@ impl MultiRelScenario {
         for &(l, r) in &self.gold {
             let rel = self.exchanged.rel_of(l).expect("tuple exists");
             if state.try_push_pair(rel, l, r, false).is_ok() {
-                pairs.push(Pair { rel, left: l, right: r });
+                pairs.push(Pair {
+                    rel,
+                    left: l,
+                    right: r,
+                });
             }
         }
         let details = score_state(&state, cfg, &self.catalog);
@@ -56,7 +60,10 @@ pub fn conference_schema() -> Schema {
         "Conference",
         &["Id", "Name", "Year", "Place", "Org"],
     ));
-    s.add_relation(RelationSchema::new("Paper", &["Authors", "Title", "ConfId"]));
+    s.add_relation(RelationSchema::new(
+        "Paper",
+        &["Authors", "Title", "ConfId"],
+    ));
     s
 }
 
@@ -168,7 +175,10 @@ mod tests {
             .iter()
             .filter(|m| matches!(m, Mapped::Const(_)))
             .count();
-        assert!(const_images >= 60, "only {const_images} surrogates grounded");
+        assert!(
+            const_images >= 60,
+            "only {const_images} surrogates grounded"
+        );
         assert!(
             out.best.score() >= sc.gold_score_for_test() - 1e-9,
             "greedy below gold"

@@ -51,7 +51,10 @@ pub fn vertical_schema() -> Schema {
         "Conference",
         &["Id", "Name", "Year", "Org"],
     ));
-    s.add_relation(RelationSchema::new("Paper", &["Authors", "Title", "ConfId"]));
+    s.add_relation(RelationSchema::new(
+        "Paper",
+        &["Authors", "Title", "ConfId"],
+    ));
     s
 }
 
@@ -129,10 +132,10 @@ mod tests {
         let sc = vertical_scenario(8, 4, 2);
         let conf = sc.catalog.schema().rel("Conference").unwrap();
         assert_eq!(sc.naive.tuples(conf).len(), 32); // one surrogate per row
-        // The canonical solution maps into the shared one (fold each row's
-        // surrogate onto the conference's), but not vice versa: the shared
-        // surrogate carries links to *all* the conference's papers, which no
-        // single naive surrogate has.
+                                                     // The canonical solution maps into the shared one (fold each row's
+                                                     // surrogate onto the conference's), but not vice versa: the shared
+                                                     // surrogate carries links to *all* the conference's papers, which no
+                                                     // single naive surrogate has.
         assert!(is_homomorphic(&sc.naive, &sc.shared));
         assert!(!is_homomorphic(&sc.shared, &sc.naive));
     }

@@ -1,10 +1,11 @@
 //! Property-based tests of the model layer: CSV round-trips preserve
 //! instance structure; permutations and removals keep the id index
-//! consistent.
+//! consistent. Runs on `ic-testkit` (seeded, `IC_TESTKIT_SEED`-reproducible).
 
 use ic_model::csv::{read_csv, write_csv, CsvOptions};
 use ic_model::{Catalog, Instance, RelId, Schema, Value};
-use proptest::prelude::*;
+use ic_testkit::{Gen, Runner};
+use rand::RngExt;
 
 /// A random cell: a constant from a small alphabet (possibly containing CSV
 /// metacharacters) or a null index shared within the instance.
@@ -14,26 +15,26 @@ enum Cell {
     Null(u8),
 }
 
-fn cell_strategy() -> impl Strategy<Value = Cell> {
-    prop_oneof![
-        prop_oneof![
-            Just("plain".to_string()),
-            Just("with,comma".to_string()),
-            Just("with\"quote".to_string()),
-            Just("multi\nline".to_string()),
-            Just("x".to_string()),
-            Just("1975".to_string()),
-        ]
-        .prop_map(Cell::Const),
-        (0u8..3).prop_map(Cell::Null),
-    ]
+const ALPHABET: [&str; 6] = [
+    "plain",
+    "with,comma",
+    "with\"quote",
+    "multi\nline",
+    "x",
+    "1975",
+];
+
+fn gen_cell(g: &mut Gen) -> Cell {
+    if g.rng().random_bool(0.5) {
+        Cell::Const(g.pick(&ALPHABET).to_string())
+    } else {
+        Cell::Null(g.rng().random_range(0..3u8))
+    }
 }
 
-fn rows_strategy() -> impl Strategy<Value = Vec<[Cell; 2]>> {
-    prop::collection::vec(
-        (cell_strategy(), cell_strategy()).prop_map(|(a, b)| [a, b]),
-        0..6,
-    )
+/// Up to 5 rows of arity 2 (the proptest suite's `0..6` bound).
+fn gen_rows(g: &mut Gen) -> Vec<[Cell; 2]> {
+    g.vec_of(5, |g| [gen_cell(g), gen_cell(g)])
 }
 
 fn build(desc: &[[Cell; 2]]) -> (Catalog, Instance) {
@@ -78,116 +79,170 @@ fn pattern(cat: &Catalog, inst: &Instance) -> Vec<Vec<String>> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// write → read preserves the instance pattern exactly.
-    #[test]
-    fn csv_roundtrip_preserves_structure(desc in rows_strategy()) {
-        let (cat, inst) = build(&desc);
-        // Disable empty-as-null so empty-string constants survive; the
-        // alphabet above never produces empty strings anyway.
-        let opts = CsvOptions::default();
-        let text = write_csv(&inst, &cat, RelId(0), &opts);
-        let (cat2, inst2) = read_csv(&text, "R", "I2", &opts).unwrap();
-        prop_assert_eq!(pattern(&cat, &inst), pattern(&cat2, &inst2));
-    }
-
-    /// Serialization never panics and the header always survives.
-    #[test]
-    fn csv_header_roundtrip(desc in rows_strategy()) {
-        let (cat, inst) = build(&desc);
-        let text = write_csv(&inst, &cat, RelId(0), &CsvOptions::default());
-        prop_assert!(text.starts_with("A,B\n"));
-    }
-
-    /// Permuting rows preserves id-based lookup.
-    #[test]
-    fn permutation_preserves_lookup(desc in rows_strategy(), seed in 0u64..1000) {
-        let (cat, mut inst) = build(&desc);
-        let n = inst.tuples(RelId(0)).len();
-        // Deterministic pseudo-random permutation from the seed.
-        let mut order: Vec<usize> = (0..n).collect();
-        let mut s = seed;
-        for i in (1..n).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let j = (s >> 33) as usize % (i + 1);
-            order.swap(i, j);
-        }
-        let before: Vec<(u32, Vec<Value>)> = inst
-            .tuples(RelId(0))
-            .iter()
-            .map(|t| (t.id().0, t.values().to_vec()))
-            .collect();
-        inst.permute(RelId(0), &order);
-        for (id, values) in before {
-            let t = inst.tuple(ic_model::TupleId(id)).expect("still present");
-            prop_assert_eq!(t.values(), values.as_slice());
-        }
-        let _ = cat;
-    }
-
-    /// Removing tuples keeps remaining lookups valid and sizes consistent.
-    #[test]
-    fn removal_keeps_index_consistent(desc in rows_strategy(), victim in 0usize..6) {
-        let (_cat, mut inst) = build(&desc);
-        let ids: Vec<ic_model::TupleId> =
-            inst.tuples(RelId(0)).iter().map(|t| t.id()).collect();
-        if ids.is_empty() {
-            return Ok(());
-        }
-        let victim_id = ids[victim % ids.len()];
-        let before = inst.num_tuples();
-        prop_assert!(inst.remove(victim_id));
-        prop_assert_eq!(inst.num_tuples(), before - 1);
-        prop_assert!(inst.tuple(victim_id).is_none());
-        for &id in &ids {
-            if id != victim_id {
-                prop_assert!(inst.tuple(id).is_some());
-                prop_assert_eq!(inst.tuple(id).unwrap().id(), id);
-            }
-        }
-    }
-
-    /// Instance statistics are internally consistent.
-    #[test]
-    fn stats_are_consistent(desc in rows_strategy()) {
-        let (_cat, inst) = build(&desc);
-        let s = inst.stats();
-        prop_assert_eq!(s.const_cells + s.null_cells, inst.size());
-        prop_assert_eq!(s.tuples, inst.num_tuples());
-        prop_assert!(s.distinct_consts <= s.const_cells);
-        prop_assert!(s.distinct_nulls <= s.null_cells);
-        prop_assert_eq!(s.distinct_values, s.distinct_consts + s.distinct_nulls);
-    }
+/// write → read preserves the instance pattern exactly.
+#[test]
+fn csv_roundtrip_preserves_structure() {
+    Runner::new("csv_roundtrip_preserves_structure")
+        .cases(128)
+        .run(
+            |g| gen_rows(g),
+            |desc| {
+                let (cat, inst) = build(desc);
+                // Disable empty-as-null so empty-string constants survive; the
+                // alphabet above never produces empty strings anyway.
+                let opts = CsvOptions::default();
+                let text = write_csv(&inst, &cat, RelId(0), &opts);
+                let (cat2, inst2) = read_csv(&text, "R", "I2", &opts).unwrap();
+                assert_eq!(pattern(&cat, &inst), pattern(&cat2, &inst2));
+            },
+        );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+/// Serialization never panics and the header always survives.
+#[test]
+fn csv_header_roundtrip() {
+    Runner::new("csv_header_roundtrip").cases(128).run(
+        |g| gen_rows(g),
+        |desc| {
+            let (cat, inst) = build(desc);
+            let text = write_csv(&inst, &cat, RelId(0), &CsvOptions::default());
+            assert!(text.starts_with("A,B\n"));
+        },
+    );
+}
 
-    /// The CSV parser never panics on arbitrary input — it either parses or
-    /// returns a structured error.
-    #[test]
-    fn csv_parser_never_panics(text in ".{0,200}") {
-        let _ = read_csv(&text, "R", "I", &CsvOptions::default());
-    }
+/// Permuting rows preserves id-based lookup.
+#[test]
+fn permutation_preserves_lookup() {
+    Runner::new("permutation_preserves_lookup").cases(128).run(
+        |g| (gen_rows(g), g.rng().random_range(0..1000u64)),
+        |(desc, seed)| {
+            let (cat, mut inst) = build(desc);
+            let n = inst.tuples(RelId(0)).len();
+            // Deterministic pseudo-random permutation from the seed.
+            let mut order: Vec<usize> = (0..n).collect();
+            let mut s = *seed;
+            for i in (1..n).rev() {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let j = (s >> 33) as usize % (i + 1);
+                order.swap(i, j);
+            }
+            let before: Vec<(u32, Vec<Value>)> = inst
+                .tuples(RelId(0))
+                .iter()
+                .map(|t| (t.id().0, t.values().to_vec()))
+                .collect();
+            inst.permute(RelId(0), &order);
+            for (id, values) in before {
+                let t = inst.tuple(ic_model::TupleId(id)).expect("still present");
+                assert_eq!(t.values(), values.as_slice());
+            }
+            let _ = cat;
+        },
+    );
+}
 
-    /// Arbitrary binary-ish input with CSV metacharacters sprinkled in.
-    #[test]
-    fn csv_parser_handles_metacharacter_soup(
-        parts in prop::collection::vec(
-            prop_oneof![
-                Just(",".to_string()),
-                Just("\"".to_string()),
-                Just("\n".to_string()),
-                Just("\r\n".to_string()),
-                Just("x".to_string()),
-                Just("_N:".to_string()),
-            ],
-            0..60,
-        )
-    ) {
-        let text: String = parts.concat();
-        let _ = read_csv(&text, "R", "I", &CsvOptions::default());
-    }
+/// Removing tuples keeps remaining lookups valid and sizes consistent.
+#[test]
+fn removal_keeps_index_consistent() {
+    Runner::new("removal_keeps_index_consistent")
+        .cases(128)
+        .run(
+            |g| (gen_rows(g), g.rng().random_range(0..6usize)),
+            |(desc, victim)| {
+                let (_cat, mut inst) = build(desc);
+                let ids: Vec<ic_model::TupleId> =
+                    inst.tuples(RelId(0)).iter().map(|t| t.id()).collect();
+                if ids.is_empty() {
+                    return;
+                }
+                let victim_id = ids[victim % ids.len()];
+                let before = inst.num_tuples();
+                assert!(inst.remove(victim_id));
+                assert_eq!(inst.num_tuples(), before - 1);
+                assert!(inst.tuple(victim_id).is_none());
+                for &id in &ids {
+                    if id != victim_id {
+                        assert!(inst.tuple(id).is_some());
+                        assert_eq!(inst.tuple(id).unwrap().id(), id);
+                    }
+                }
+            },
+        );
+}
+
+/// Instance statistics are internally consistent.
+#[test]
+fn stats_are_consistent() {
+    Runner::new("stats_are_consistent").cases(128).run(
+        |g| gen_rows(g),
+        |desc| {
+            let (_cat, inst) = build(desc);
+            let s = inst.stats();
+            assert_eq!(s.const_cells + s.null_cells, inst.size());
+            assert_eq!(s.tuples, inst.num_tuples());
+            assert!(s.distinct_consts <= s.const_cells);
+            assert!(s.distinct_nulls <= s.null_cells);
+            assert_eq!(s.distinct_values, s.distinct_consts + s.distinct_nulls);
+        },
+    );
+}
+
+/// The CSV parser never panics on arbitrary input — it either parses or
+/// returns a structured error.
+#[test]
+fn csv_parser_never_panics() {
+    Runner::new("csv_parser_never_panics")
+        .cases(512)
+        .max_size(200)
+        .run(
+            |g| {
+                let cap = g.size().min(200);
+                let len = g.rng().random_range(0..=cap);
+                (0..len)
+                    // Printable-ish ASCII plus the control chars CSV cares about.
+                    .map(|_| {
+                        let c = g.rng().random_range(0u32..96);
+                        match c {
+                            0 => '\n',
+                            1 => '\r',
+                            2 => '\t',
+                            _ => char::from_u32(29 + c).unwrap_or('x'),
+                        }
+                    })
+                    .collect::<String>()
+            },
+            |text| {
+                let _ = read_csv(text, "R", "I", &CsvOptions::default());
+            },
+        );
+}
+
+/// Arbitrary binary-ish input with CSV metacharacters sprinkled in.
+#[test]
+fn csv_parser_handles_metacharacter_soup() {
+    const PARTS: [&str; 6] = [",", "\"", "\n", "\r\n", "x", "_N:"];
+    Runner::new("csv_parser_handles_metacharacter_soup")
+        .cases(512)
+        .max_size(59)
+        .run(
+            |g| {
+                let parts = g.vec_of(59, |g| *g.pick(&PARTS));
+                parts.concat()
+            },
+            |text| {
+                let _ = read_csv(text, "R", "I", &CsvOptions::default());
+            },
+        );
+}
+
+/// Regression (converted from the retired `proptests.proptest-regressions`
+/// file): proptest once shrank `csv_parser_handles_metacharacter_soup` to
+/// `parts = [",", "\n", "\"", "\""]` — a record whose second field opens a
+/// quote that closes immediately at end of input.
+#[test]
+fn csv_parser_regression_comma_newline_quote_quote() {
+    let _ = read_csv(",\n\"\"", "R", "I", &CsvOptions::default());
 }

@@ -1,0 +1,111 @@
+//! Distributions: the "standard" per-type distribution behind
+//! [`crate::RngExt::random`], and uniform range sampling behind
+//! [`crate::RngExt::random_range`].
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Types samplable by [`crate::RngExt::random`].
+pub trait StandardSample {
+    /// Draws one value from the type's standard distribution.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Use the top bit; xoshiro's high bits are its strongest.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Unbiased uniform draw in `[0, span)` for `span ≥ 1` via Lemire's
+/// multiply-shift with rejection of the biased low zone.
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span >= 1);
+    // 2^64 mod span: draws whose low product-half lands below this would
+    // over-represent small quotients, so they are rejected.
+    let zone = span.wrapping_neg() % span;
+    loop {
+        let m = (rng.next_u64() as u128) * (span as u128);
+        if (m as u64) >= zone {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Ranges samplable by [`crate::RngExt::random_range`]. Implemented for
+/// `Range` and `RangeInclusive` over the primitive integers and floats.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range. Panics if it is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! range_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                // Width fits in u64 for every primitive ≤ 64 bits once
+                // computed in the unsigned twin via wrapping subtraction.
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                let off = uniform_u64(rng, span);
+                (self.start as $u).wrapping_add(off as $u) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in random_range");
+                let span = (end as $u).wrapping_sub(start as $u) as u64;
+                if span == u64::MAX {
+                    // Full 64-bit domain: every word is a valid draw.
+                    return rng.next_u64() as $t;
+                }
+                let off = uniform_u64(rng, span + 1);
+                (start as $u).wrapping_add(off as $u) as $t
+            }
+        }
+    )*};
+}
+range_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+macro_rules! range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let u = <$t as StandardSample>::sample(rng);
+                self.start + (self.end - self.start) * u
+            }
+        }
+    )*};
+}
+range_float!(f32, f64);

@@ -1,0 +1,92 @@
+//! In-tree, dependency-free drop-in for the subset of the `rand` crate this
+//! workspace uses. The build environment has no crates.io access, so the
+//! workspace resolves `rand` to this path crate (see the workspace
+//! `[workspace.dependencies]` table and the offline dependency policy in
+//! README.md).
+//!
+//! Scope: deterministic, seed-reproducible pseudo-randomness for data
+//! generation and tests — **not** cryptography. The generator behind
+//! [`rngs::StdRng`] is xoshiro256\*\* seeded through SplitMix64, so a fixed
+//! seed yields an identical stream on every platform and every run.
+//!
+//! Provided surface (mirroring `rand` 0.9+ naming):
+//!
+//! * [`rngs::StdRng`] and [`SeedableRng`] (`from_seed`, `seed_from_u64`);
+//! * [`RngExt`] with `random::<T>()`, `random_range(..)`, `random_bool(p)`;
+//! * [`seq::SliceRandom`] with `shuffle` and `choose`.
+
+#![warn(missing_docs)]
+
+pub mod rngs;
+pub mod seq;
+
+mod dist;
+
+pub use dist::{SampleRange, StandardSample};
+
+/// A source of random 64-bit words. All derived draws (floats, ranges,
+/// shuffles) reduce to [`RngCore::next_u64`], which keeps the whole crate's
+/// output a pure function of the seed.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (the high half of a 64-bit draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (full generator state entropy).
+    type Seed;
+
+    /// Builds a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds a generator from a single `u64`, expanding it to full state
+    /// via SplitMix64 (the expansion recommended by the xoshiro authors).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Convenience draws on top of [`RngCore`]. Blanket-implemented for every
+/// generator; import the trait and call the methods.
+pub trait RngExt: RngCore {
+    /// Samples a value of type `T` from its standard distribution:
+    /// uniform over all values for integers, uniform in `[0, 1)` for
+    /// floats, fair coin for `bool`.
+    fn random<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`). Panics if the
+    /// range is empty. Unbiased (Lemire rejection) for integers.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`. Panics unless `0 ≤ p ≤ 1`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore> RngExt for R {}

@@ -1,0 +1,36 @@
+//! Sequence-related randomness: shuffling and element choice.
+
+use crate::{RngCore, RngExt};
+
+/// Random operations on slices, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates, high-to-low), visiting
+    /// every permutation with equal probability. Deterministic for a fixed
+    /// generator state.
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+    /// Returns a uniformly chosen element, or `None` if the slice is empty.
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.random_range(0..self.len())])
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! `ic-testkit` — a minimal, dependency-free property-testing runner.
+//!
+//! The workspace's offline dependency policy (README.md) rules out
+//! `proptest`; this crate supplies the part of it the test suite actually
+//! needs, deterministically:
+//!
+//! * **Seeded generation.** A property receives values produced by a
+//!   generator closure `Fn(&mut Gen) -> T`. Each case has its own `u64`
+//!   case seed drawn from a per-property SplitMix64 stream, so runs are
+//!   bit-reproducible everywhere.
+//! * **Configurable case count** via [`Runner::cases`], overridable with
+//!   the `IC_TESTKIT_CASES` environment variable.
+//! * **Shrinking** by binary search over the generator's *size* parameter
+//!   ([`Gen::size`], which bounds collection lengths): the runner re-runs
+//!   the failing case seed at smaller sizes and reports the smallest
+//!   still-failing counterexample.
+//! * **Seed reproduction.** A failure prints an `IC_TESTKIT_SEED=0x…` line;
+//!   exporting that variable re-runs exactly the failing case (same value,
+//!   same shrink) instead of the whole battery.
+//!
+//! ```no_run
+//! use ic_testkit::{Runner, Gen};
+//! use rand::RngExt;
+//!
+//! Runner::new("addition_commutes").cases(256).run(
+//!     |g: &mut Gen| (g.rng().random_range(0..100u32), g.rng().random_range(0..100u32)),
+//!     |&(a, b)| assert_eq!(a + b, b + a),
+//! );
+//! ```
+//!
+//! Properties signal failure by panicking (`assert!` family); use
+//! [`assume`] to discard uninteresting cases (`prop_assume` equivalent).
+
+#![warn(missing_docs)]
+
+use rand::rngs::{SplitMix64, StdRng};
+use rand::{RngCore, RngExt, SeedableRng};
+use std::cell::Cell;
+use std::fmt::Debug;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+/// Environment variable: re-run a single case from its printed seed.
+pub const SEED_ENV: &str = "IC_TESTKIT_SEED";
+/// Environment variable: override every runner's case count.
+pub const CASES_ENV: &str = "IC_TESTKIT_CASES";
+
+/// Default size cap for generated collections (see [`Gen::size`]).
+const DEFAULT_MAX_SIZE: usize = 16;
+/// A case is discarded when [`assume`] fails; give up after this many
+/// discards per requested case to surface over-restrictive generators.
+const DISCARD_FACTOR: u32 = 20;
+
+// ---------------------------------------------------------------------------
+// Generation
+
+/// The value source handed to generator closures: a seeded [`StdRng`] plus
+/// a *size* bound that the shrinker lowers when hunting for a minimal
+/// counterexample. Generators should let `size` bound anything unbounded
+/// (collection lengths, recursion depth) and draw everything else from
+/// [`Gen::rng`].
+pub struct Gen {
+    rng: StdRng,
+    size: usize,
+}
+
+impl Gen {
+    /// Creates a generator state from a case seed and size bound.
+    pub fn new(seed: u64, size: usize) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            size,
+        }
+    }
+
+    /// The current size bound. Shrinking replays the same seed with a
+    /// smaller size, so respecting it is what makes counterexamples small.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The deterministic random stream for this case.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// A vector of `f`-generated elements with length uniform in
+    /// `0..=min(max_len, size)`.
+    pub fn vec_of<T>(&mut self, max_len: usize, mut f: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let cap = max_len.min(self.size);
+        let len = self.rng.random_range(0..=cap);
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(f(self));
+        }
+        out
+    }
+
+    /// A uniformly chosen reference into a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "Gen::pick on empty slice");
+        &items[self.rng.random_range(0..items.len())]
+    }
+}
+
+/// Discards the current case unless `cond` holds (the `prop_assume!`
+/// equivalent). Discarded cases do not count toward the case budget.
+pub fn assume(cond: bool) {
+    if !cond {
+        panic::panic_any(Discard);
+    }
+}
+
+/// Private panic payload marking a discarded case.
+struct Discard;
+
+// ---------------------------------------------------------------------------
+// Panic capture
+
+thread_local! {
+    /// While true, the installed panic hook swallows output: property
+    /// panics are expected control flow during runs and shrinks.
+    static QUIET: Cell<bool> = const { Cell::new(false) };
+}
+
+fn install_quiet_hook() {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f`, converting panics into results and keeping the console quiet.
+fn quiet_catch<T>(f: impl FnOnce() -> T) -> Result<T, Box<dyn std::any::Any + Send>> {
+    install_quiet_hook();
+    QUIET.with(|q| q.set(true));
+    let out = panic::catch_unwind(AssertUnwindSafe(f));
+    QUIET.with(|q| q.set(false));
+    out
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+
+enum CaseOutcome {
+    Pass,
+    Discard,
+    /// Failure message plus the `Debug` rendering of the generated value.
+    Fail(String, String),
+}
+
+/// A configured property run. Build with [`Runner::new`], adjust with
+/// [`Runner::cases`] / [`Runner::max_size`], execute with [`Runner::run`].
+pub struct Runner {
+    name: String,
+    cases: u32,
+    max_size: usize,
+    base_seed: u64,
+}
+
+impl Runner {
+    /// Creates a runner for the named property. The per-property base seed
+    /// is a fixed constant mixed with the name, so distinct properties
+    /// explore distinct streams while every run of the same suite is
+    /// identical.
+    pub fn new(name: &str) -> Self {
+        // FNV-1a over the name: stable, dependency-free.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self {
+            name: name.to_string(),
+            cases: 256,
+            max_size: DEFAULT_MAX_SIZE,
+            base_seed: h,
+        }
+    }
+
+    /// Sets how many (non-discarded) cases to run.
+    pub fn cases(mut self, n: u32) -> Self {
+        self.cases = n;
+        self
+    }
+
+    /// Sets the size bound handed to generators (see [`Gen::size`]).
+    pub fn max_size(mut self, s: usize) -> Self {
+        self.max_size = s;
+        self
+    }
+
+    /// Runs the property over generated cases; panics with a reproducible
+    /// report on the first (shrunk) failure.
+    ///
+    /// With `IC_TESTKIT_SEED` set in the environment, only that single
+    /// case is run (then shrunk if it fails) — the reproduction mode that
+    /// failure reports point at.
+    pub fn run<T, G, P>(self, generate: G, property: P)
+    where
+        T: Debug,
+        G: Fn(&mut Gen) -> T,
+        P: Fn(&T),
+    {
+        if let Some(seed) = env_seed() {
+            eprintln!(
+                "ic-testkit: '{}' reproducing case {SEED_ENV}={seed:#x}",
+                self.name
+            );
+            match self.run_case(&generate, &property, seed, self.max_size) {
+                CaseOutcome::Fail(..) => self.shrink_and_report(&generate, &property, seed),
+                CaseOutcome::Pass => {
+                    eprintln!("ic-testkit: '{}' passed under injected seed", self.name)
+                }
+                CaseOutcome::Discard => {
+                    eprintln!("ic-testkit: '{}' discarded under injected seed", self.name)
+                }
+            }
+            return;
+        }
+
+        let cases = env_cases().unwrap_or(self.cases);
+        let mut seed_stream = SplitMix64::new(self.base_seed);
+        let mut executed = 0u32;
+        let mut attempts = 0u32;
+        while executed < cases {
+            assert!(
+                attempts < cases.saturating_mul(DISCARD_FACTOR),
+                "ic-testkit: '{}' discarded too many cases ({attempts} attempts for \
+                 {executed}/{cases} executed) — loosen the generator or the assume()",
+                self.name
+            );
+            attempts += 1;
+            let case_seed = seed_stream.next_u64();
+            match self.run_case(&generate, &property, case_seed, self.max_size) {
+                CaseOutcome::Pass => executed += 1,
+                CaseOutcome::Discard => {}
+                CaseOutcome::Fail(..) => self.shrink_and_report(&generate, &property, case_seed),
+            }
+        }
+    }
+
+    /// Generates and checks one case. Generator and property panics are
+    /// both captured; [`assume`] discards propagate as `Discard`.
+    fn run_case<T, G, P>(&self, generate: &G, property: &P, seed: u64, size: usize) -> CaseOutcome
+    where
+        T: Debug,
+        G: Fn(&mut Gen) -> T,
+        P: Fn(&T),
+    {
+        let produced = quiet_catch(|| {
+            let mut g = Gen::new(seed, size);
+            let value = generate(&mut g);
+            let rendered = format!("{value:#?}");
+            (value, rendered)
+        });
+        let (value, rendered) = match produced {
+            Ok(v) => v,
+            Err(p) if p.downcast_ref::<Discard>().is_some() => return CaseOutcome::Discard,
+            Err(p) => {
+                return CaseOutcome::Fail(
+                    format!("generator panicked: {}", payload_message(&*p)),
+                    "<generator did not finish>".to_string(),
+                )
+            }
+        };
+        match quiet_catch(|| property(&value)) {
+            Ok(()) => CaseOutcome::Pass,
+            Err(p) if p.downcast_ref::<Discard>().is_some() => CaseOutcome::Discard,
+            Err(p) => CaseOutcome::Fail(payload_message(&*p), rendered),
+        }
+    }
+
+    /// Binary-searches the smallest failing size for `seed` (the same seed
+    /// replayed at a smaller size yields a smaller value), then prints the
+    /// report and panics. `self.max_size` is known to fail on entry.
+    fn shrink_and_report<T, G, P>(&self, generate: &G, property: &P, seed: u64) -> !
+    where
+        T: Debug,
+        G: Fn(&mut Gen) -> T,
+        P: Fn(&T),
+    {
+        let mut lo = 0usize;
+        let mut hi = self.max_size;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.run_case(generate, property, seed, mid) {
+                CaseOutcome::Fail(..) => hi = mid,
+                _ => lo = mid + 1,
+            }
+        }
+        // `hi` is the smallest size bisection found failing; re-run it to
+        // recover the counterexample and message.
+        let (message, rendered) = match self.run_case(generate, property, seed, hi) {
+            CaseOutcome::Fail(m, r) => (m, r),
+            // Non-monotone property (fails at max_size, passes at hi after
+            // the search) — fall back to the original size.
+            _ => match self.run_case(generate, property, seed, self.max_size) {
+                CaseOutcome::Fail(m, r) => {
+                    hi = self.max_size;
+                    (m, r)
+                }
+                _ => unreachable!("case stopped failing on replay; property is nondeterministic"),
+            },
+        };
+        eprintln!(
+            "\nic-testkit: property '{}' FAILED (case seed {seed:#x}, shrunk size {hi} of {})",
+            self.name, self.max_size
+        );
+        eprintln!("counterexample: {rendered}");
+        eprintln!("failure: {message}");
+        eprintln!("reproduce: {SEED_ENV}={seed:#x} cargo test {}", self.name);
+        panic!(
+            "property '{}' failed: {message} [reproduce with {SEED_ENV}={seed:#x}]",
+            self.name
+        );
+    }
+}
+
+fn env_seed() -> Option<u64> {
+    let raw = std::env::var(SEED_ENV).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("ic-testkit: cannot parse {SEED_ENV}={raw:?} as u64"),
+    }
+}
+
+fn env_cases() -> Option<u32> {
+    let raw = std::env::var(CASES_ENV).ok()?;
+    match raw.trim().parse() {
+        Ok(v) => Some(v),
+        Err(_) => panic!("ic-testkit: cannot parse {CASES_ENV}={raw:?} as u32"),
+    }
+}

@@ -135,8 +135,8 @@ mod tests {
     fn ranking_prefers_the_near_duplicate() {
         let query = table(&[("x1", "y1"), ("x2", "y2"), ("x3", "y3")]);
         let lake = vec![
-            table(&[("u", "v")]),                           // unrelated
-            table(&[("x1", "y1"), ("x2", ""), ("x3", "y3")]), // near-dup (one null)
+            table(&[("u", "v")]),                               // unrelated
+            table(&[("x1", "y1"), ("x2", ""), ("x3", "y3")]),   // near-dup (one null)
             table(&[("x1", "y1"), ("x2", "y2"), ("x3", "y3")]), // exact dup
         ];
         let ranked = rank_by_similarity(&query, &lake, &SignatureConfig::default());
@@ -165,11 +165,11 @@ mod tests {
     #[test]
     fn duplicate_groups_cluster_transitively() {
         let lake = vec![
-            table(&[("a", "1"), ("b", "2")]),   // 0: group A
-            table(&[("a", "1"), ("b", "")]),    // 1: near 0
-            table(&[("z", "9"), ("w", "8")]),   // 2: group B
-            table(&[("z", "9"), ("w", "8")]),   // 3: dup of 2
-            table(&[("solo", "42")]),           // 4: alone
+            table(&[("a", "1"), ("b", "2")]), // 0: group A
+            table(&[("a", "1"), ("b", "")]),  // 1: near 0
+            table(&[("z", "9"), ("w", "8")]), // 2: group B
+            table(&[("z", "9"), ("w", "8")]), // 3: dup of 2
+            table(&[("solo", "42")]),         // 4: alone
         ];
         let groups = find_duplicate_groups(&lake, 0.8, &SignatureConfig::default());
         assert_eq!(groups, vec![vec![0, 1], vec![2, 3]]);

@@ -1,8 +1,9 @@
 //! Property test: the Myers O(ND) match count equals the classic quadratic
-//! LCS dynamic program on random sequences.
+//! LCS dynamic program on random sequences. Runs on `ic-testkit`.
 
+use ic_testkit::{Gen, Runner};
 use ic_versioning::diff_lines;
-use proptest::prelude::*;
+use rand::RngExt;
 
 fn lcs_dp(a: &[String], b: &[String]) -> usize {
     let n = a.len();
@@ -20,27 +21,43 @@ fn lcs_dp(a: &[String], b: &[String]) -> usize {
     dp[n][m]
 }
 
-fn seq() -> impl Strategy<Value = Vec<String>> {
-    prop::collection::vec((0u8..6).prop_map(|k| format!("line{k}")), 0..24)
+/// Up to 23 lines from a 6-symbol alphabet (the proptest suite's `0..24`).
+fn gen_seq(g: &mut Gen) -> Vec<String> {
+    g.vec_of(23, |g| {
+        let k = g.rng().random_range(0..6u8);
+        format!("line{k}")
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+#[test]
+fn myers_matches_equal_lcs() {
+    Runner::new("myers_matches_equal_lcs")
+        .cases(256)
+        .max_size(23)
+        .run(
+            |g| (gen_seq(g), gen_seq(g)),
+            |(a, b)| {
+                let d = diff_lines(a, b);
+                let lcs = lcs_dp(a, b);
+                assert_eq!(d.matches, lcs, "a={a:?} b={b:?}");
+                assert_eq!(d.left_only, a.len() - lcs);
+                assert_eq!(d.right_only, b.len() - lcs);
+            },
+        );
+}
 
-    #[test]
-    fn myers_matches_equal_lcs(a in seq(), b in seq()) {
-        let d = diff_lines(&a, &b);
-        let lcs = lcs_dp(&a, &b);
-        prop_assert_eq!(d.matches, lcs, "a={:?} b={:?}", a, b);
-        prop_assert_eq!(d.left_only, a.len() - lcs);
-        prop_assert_eq!(d.right_only, b.len() - lcs);
-    }
-
-    #[test]
-    fn diff_is_symmetric_in_match_count(a in seq(), b in seq()) {
-        let ab = diff_lines(&a, &b);
-        let ba = diff_lines(&b, &a);
-        prop_assert_eq!(ab.matches, ba.matches);
-        prop_assert_eq!(ab.left_only, ba.right_only);
-    }
+#[test]
+fn diff_is_symmetric_in_match_count() {
+    Runner::new("diff_is_symmetric_in_match_count")
+        .cases(256)
+        .max_size(23)
+        .run(
+            |g| (gen_seq(g), gen_seq(g)),
+            |(a, b)| {
+                let ab = diff_lines(a, b);
+                let ba = diff_lines(b, a);
+                assert_eq!(ab.matches, ba.matches);
+                assert_eq!(ab.left_only, ba.right_only);
+            },
+        );
 }

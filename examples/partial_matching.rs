@@ -5,9 +5,7 @@
 //!
 //! Run with: `cargo run --release --example partial_matching`
 
-use instance_comparison::core::{
-    compare, explain, CellChange, ScoreConfig, SignatureConfig,
-};
+use instance_comparison::core::{compare, explain, CellChange, ScoreConfig, SignatureConfig};
 use instance_comparison::datagen::{mod_cell_typos, Dataset};
 
 fn main() {
@@ -49,10 +47,7 @@ fn main() {
         ..SignatureConfig::default()
     };
     let strsim = compare(&sc.source, &sc.target, &sc.catalog, &strsim_cfg);
-    println!(
-        "partial + levenshtein:    score {:.3}",
-        strsim.score()
-    );
+    println!("partial + levenshtein:    score {:.3}", strsim.score());
 
     // Show a couple of the conflicts the partial match surfaced.
     let diff = explain(&partial.outcome.best, &sc.source, &sc.target);

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the instance-comparison workspace.
+#
+# The build environment is fully offline: every dependency is an in-tree
+# path crate (see "Offline dependency policy" in README.md), so --offline
+# must always succeed. Run from anywhere; the script cd's to the repo root.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+if rustfmt --version >/dev/null 2>&1; then
+    echo "==> cargo fmt --check"
+    cargo fmt --check
+else
+    echo "==> rustfmt not installed; skipping format check"
+fi
+
+echo "==> ci.sh: all checks passed"

@@ -75,13 +75,17 @@ fn nulls_in_csv_are_respected() {
 
 #[test]
 fn mode_and_lambda_flags_are_honored() {
-    let left = write_temp("fl_l.csv", "A
+    let left = write_temp(
+        "fl_l.csv", "A
 x
 x
-");
-    let right = write_temp("fl_r.csv", "A
+",
+    );
+    let right = write_temp(
+        "fl_r.csv", "A
 x
-");
+",
+    );
     // general mode matches both left tuples to the single right tuple.
     let (stdout, _stderr, ok) = run(&[
         left.to_str().unwrap(),
@@ -92,12 +96,18 @@ x
     assert!(ok);
     assert!(stdout.contains("2 matched pairs"), "stdout: {stdout}");
     // λ = 0 gives no credit for null-vs-constant cells.
-    let left2 = write_temp("fl_l2.csv", "A,B
+    let left2 = write_temp(
+        "fl_l2.csv",
+        "A,B
 x,1
-");
-    let right2 = write_temp("fl_r2.csv", "A,B
+",
+    );
+    let right2 = write_temp(
+        "fl_r2.csv",
+        "A,B
 x,
-");
+",
+    );
     let (s0, _, ok0) = run(&[
         left2.to_str().unwrap(),
         right2.to_str().unwrap(),

@@ -2,16 +2,54 @@
 //! 10–50× slower and would make the bounds meaningless, so the tests are
 //! ignored there).
 
-use instance_comparison::core::{signature_match, SignatureConfig};
+use instance_comparison::core::{signature_match, ScoreConfig, SignatureConfig};
 use instance_comparison::datagen::{mod_cell, Dataset};
 use std::time::{Duration, Instant};
 
+/// Debug-safe companion to the timing guards below: a tiny `mod_cell`
+/// scenario with fully pinned expected output and no timing assertions, so
+/// the hot path is exercised even where the release-only guards are
+/// ignored. The constants come from the deterministic in-tree `rand`
+/// stream; they are identical in debug and release builds.
 #[test]
-#[cfg_attr(debug_assertions, ignore = "timing guard only meaningful in release builds")]
+fn signature_smoke_deterministic() {
+    let sc = mod_cell(Dataset::Doctors, 40, 0.05, 4242);
+    assert_eq!(sc.source.num_tuples(), 40);
+    assert_eq!(sc.target.num_tuples(), 40);
+    let out = signature_match(
+        &sc.source,
+        &sc.target,
+        &sc.catalog,
+        &SignatureConfig::default(),
+    );
+    assert_eq!(out.best.pairs.len(), 33, "matched-pair count drifted");
+    let score = out.best.score();
+    assert!(
+        (score - 0.7958333333333334).abs() < 1e-15,
+        "score drifted: {score:.17}"
+    );
+    // On this scenario the greedy signature match recovers the gold score.
+    let gold = sc.gold_score(&ScoreConfig::default());
+    assert!(
+        (score - gold).abs() < 1e-15,
+        "gold {gold:.17} vs {score:.17}"
+    );
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "timing guard only meaningful in release builds"
+)]
 fn signature_5k_under_two_seconds() {
     let sc = mod_cell(Dataset::Bikeshare, 5_000, 0.05, 4242);
     let start = Instant::now();
-    let out = signature_match(&sc.source, &sc.target, &sc.catalog, &SignatureConfig::default());
+    let out = signature_match(
+        &sc.source,
+        &sc.target,
+        &sc.catalog,
+        &SignatureConfig::default(),
+    );
     let elapsed = start.elapsed();
     assert!(out.best.pairs.len() > 2_500);
     assert!(
@@ -21,7 +59,10 @@ fn signature_5k_under_two_seconds() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "timing guard only meaningful in release builds")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "timing guard only meaningful in release builds"
+)]
 fn gold_scoring_5k_under_two_seconds() {
     use instance_comparison::core::ScoreConfig;
     let sc = mod_cell(Dataset::GitHub, 5_000, 0.05, 4242);

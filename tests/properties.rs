@@ -1,13 +1,15 @@
 //! Property-based tests of the similarity measure's axioms (paper Eq. 1–5)
 //! and of the exact algorithm's optimality, on randomly generated small
-//! instances.
+//! instances. Runs on `ic-testkit`: every property is seeded and
+//! reproducible via the `IC_TESTKIT_SEED` environment variable.
 
+use ic_testkit::{assume, Gen, Runner};
 use instance_comparison::core::{
     exact_match, ground_similarity, score_state, signature_match, ExactConfig, MatchMode,
     MatchState, ScoreConfig, SignatureConfig,
 };
 use instance_comparison::model::{Catalog, Instance, RelId, Schema, TupleId, Value};
-use proptest::prelude::*;
+use rand::RngExt;
 
 const EPS: f64 = 1e-9;
 
@@ -18,19 +20,18 @@ enum Cell {
     Null(u8),
 }
 
-fn cell_strategy() -> impl Strategy<Value = Cell> {
-    prop_oneof![
-        (0u8..4).prop_map(Cell::Const),
-        (0u8..3).prop_map(Cell::Null),
-    ]
+fn gen_cell(g: &mut Gen) -> Cell {
+    if g.rng().random_bool(0.5) {
+        Cell::Const(g.rng().random_range(0..4u8))
+    } else {
+        Cell::Null(g.rng().random_range(0..3u8))
+    }
 }
 
-/// A random instance descriptor: up to 4 tuples of arity 2.
-fn instance_strategy() -> impl Strategy<Value = Vec<[Cell; 2]>> {
-    prop::collection::vec(
-        (cell_strategy(), cell_strategy()).prop_map(|(a, b)| [a, b]),
-        0..4,
-    )
+/// A random instance descriptor: up to 3 tuples of arity 2 (the proptest
+/// suite's `0..4` row bound), further capped by the shrinker's size.
+fn gen_instance(g: &mut Gen) -> Vec<[Cell; 2]> {
+    g.vec_of(3, |g| [gen_cell(g), gen_cell(g)])
 }
 
 /// Materializes a descriptor. Null indexes are instance-local (two
@@ -148,219 +149,373 @@ fn brute_force_general(left: &Instance, right: &Instance, catalog: &Catalog) -> 
     best
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Eq. 1 / Eq. 2: an instance is maximally similar to itself (comparing
+/// an instance with itself is an isomorphic comparison; shared nulls
+/// are implicitly renamed apart).
+#[test]
+fn self_similarity_is_one() {
+    Runner::new("self_similarity_is_one").cases(64).run(
+        |g| gen_instance(g),
+        |desc| {
+            let mut cat = fresh_catalog();
+            let inst = build(&mut cat, "I", desc);
+            let out = exact_match(&inst, &inst, &cat, &ExactConfig::default());
+            assert!(out.optimal);
+            assert!(
+                (out.best.score() - 1.0).abs() < EPS,
+                "self similarity {}",
+                out.best.score()
+            );
+        },
+    );
+}
 
-    /// Eq. 1 / Eq. 2: an instance is maximally similar to itself (comparing
-    /// an instance with itself is an isomorphic comparison; shared nulls
-    /// are implicitly renamed apart).
-    #[test]
-    fn self_similarity_is_one(desc in instance_strategy()) {
-        let mut cat = fresh_catalog();
-        let inst = build(&mut cat, "I", &desc);
-        let out = exact_match(&inst, &inst, &cat, &ExactConfig::default());
-        prop_assert!(out.optimal);
-        prop_assert!((out.best.score() - 1.0).abs() < EPS,
-            "self similarity {}", out.best.score());
-    }
+/// Eq. 2: isomorphic instances (nulls renamed) are maximally similar.
+#[test]
+fn isomorphic_instances_score_one() {
+    Runner::new("isomorphic_instances_score_one").cases(64).run(
+        |g| gen_instance(g),
+        |desc| {
+            let mut cat = fresh_catalog();
+            let left = build(&mut cat, "I", desc);
+            let right = build(&mut cat, "J", desc); // same shape, fresh nulls
+            let out = exact_match(&left, &right, &cat, &ExactConfig::default());
+            assert!((out.best.score() - 1.0).abs() < EPS);
+        },
+    );
+}
 
-    /// Eq. 2: isomorphic instances (nulls renamed) are maximally similar.
-    #[test]
-    fn isomorphic_instances_score_one(desc in instance_strategy()) {
-        let mut cat = fresh_catalog();
-        let left = build(&mut cat, "I", &desc);
-        let right = build(&mut cat, "J", &desc); // same shape, fresh nulls
-        let out = exact_match(&left, &right, &cat, &ExactConfig::default());
-        prop_assert!((out.best.score() - 1.0).abs() < EPS);
-    }
+/// Eq. 5: the measure is symmetric.
+#[test]
+fn similarity_is_symmetric() {
+    Runner::new("similarity_is_symmetric").cases(64).run(
+        |g| (gen_instance(g), gen_instance(g)),
+        |(a, b)| {
+            let mut cat = fresh_catalog();
+            let left = build(&mut cat, "I", a);
+            let right = build(&mut cat, "J", b);
+            let lr = exact_match(&left, &right, &cat, &ExactConfig::default());
+            let rl = exact_match(&right, &left, &cat, &ExactConfig::default());
+            assert!(lr.optimal && rl.optimal);
+            assert!(
+                (lr.best.score() - rl.best.score()).abs() < EPS,
+                "{} vs {}",
+                lr.best.score(),
+                rl.best.score()
+            );
+        },
+    );
+}
 
-    /// Eq. 5: the measure is symmetric.
-    #[test]
-    fn similarity_is_symmetric(a in instance_strategy(), b in instance_strategy()) {
-        let mut cat = fresh_catalog();
-        let left = build(&mut cat, "I", &a);
-        let right = build(&mut cat, "J", &b);
-        let lr = exact_match(&left, &right, &cat, &ExactConfig::default());
-        let rl = exact_match(&right, &left, &cat, &ExactConfig::default());
-        prop_assert!(lr.optimal && rl.optimal);
-        prop_assert!((lr.best.score() - rl.best.score()).abs() < EPS,
-            "{} vs {}", lr.best.score(), rl.best.score());
-    }
-
-    /// The score is always within [0, 1].
-    #[test]
-    fn score_in_unit_interval(a in instance_strategy(), b in instance_strategy()) {
-        let mut cat = fresh_catalog();
-        let left = build(&mut cat, "I", &a);
-        let right = build(&mut cat, "J", &b);
-        for mode in [MatchMode::one_to_one(), MatchMode::general()] {
-            let cfg = ExactConfig { mode, ..Default::default() };
-            let s = exact_match(&left, &right, &cat, &cfg).best.score();
-            prop_assert!((0.0..=1.0 + EPS).contains(&s), "score {s}");
-        }
-    }
-
-    /// The signature algorithm produces a feasible match, so it can never
-    /// exceed the exact optimum; and the general mode dominates 1-1.
-    #[test]
-    fn signature_bounded_by_exact(a in instance_strategy(), b in instance_strategy()) {
-        let mut cat = fresh_catalog();
-        let left = build(&mut cat, "I", &a);
-        let right = build(&mut cat, "J", &b);
-        let exact = exact_match(&left, &right, &cat, &ExactConfig::default());
-        let sig = signature_match(&left, &right, &cat, &SignatureConfig::default());
-        prop_assert!(exact.optimal);
-        prop_assert!(sig.best.score() <= exact.best.score() + EPS,
-            "sig {} > exact {}", sig.best.score(), exact.best.score());
-        let gen = exact_match(&left, &right, &cat, &ExactConfig {
-            mode: MatchMode::general(), ..Default::default()
-        });
-        prop_assert!(gen.best.score() + EPS >= exact.best.score());
-    }
-
-    /// The branch-and-bound equals a brute-force enumeration of all 1-1
-    /// matchings.
-    #[test]
-    fn exact_equals_brute_force(a in instance_strategy(), b in instance_strategy()) {
-        let mut cat = fresh_catalog();
-        let left = build(&mut cat, "I", &a);
-        let right = build(&mut cat, "J", &b);
-        let exact = exact_match(&left, &right, &cat, &ExactConfig::default());
-        let brute = brute_force_one_to_one(&left, &right, &cat);
-        prop_assert!(exact.optimal);
-        prop_assert!((exact.best.score() - brute).abs() < EPS,
-            "exact {} vs brute {}", exact.best.score(), brute);
-    }
-
-    /// The general-mode branch-and-bound equals brute-force enumeration of
-    /// every pair subset (tiny instances: ≤3 tuples per side).
-    #[test]
-    fn exact_general_equals_brute_force(
-        a in prop::collection::vec(
-            (cell_strategy(), cell_strategy()).prop_map(|(x, y)| [x, y]), 0..4),
-        b in prop::collection::vec(
-            (cell_strategy(), cell_strategy()).prop_map(|(x, y)| [x, y]), 0..4),
-    ) {
-        prop_assume!(a.len() * b.len() <= 12);
-        let mut cat = fresh_catalog();
-        let left = build(&mut cat, "I", &a);
-        let right = build(&mut cat, "J", &b);
-        let exact = exact_match(&left, &right, &cat, &ExactConfig {
-            mode: MatchMode::general(),
-            ..Default::default()
-        });
-        let brute = brute_force_general(&left, &right, &cat);
-        prop_assert!(exact.optimal);
-        prop_assert!((exact.best.score() - brute).abs() < EPS,
-            "exact {} vs brute {}", exact.best.score(), brute);
-    }
-
-    /// Eq. 4: disjoint ground instances are minimally similar. We force
-    /// disjointness by using distinct constant pools.
-    #[test]
-    fn disjoint_ground_instances_score_zero(n in 1usize..4, m in 1usize..4) {
-        let mut cat = fresh_catalog();
-        let rel = RelId(0);
-        let mut left = Instance::new("I", &cat);
-        for i in 0..n {
-            let v = cat.konst(&format!("l{i}"));
-            left.insert(rel, vec![v, v]);
-        }
-        let mut right = Instance::new("J", &cat);
-        for i in 0..m {
-            let v = cat.konst(&format!("r{i}"));
-            right.insert(rel, vec![v, v]);
-        }
-        let out = exact_match(&left, &right, &cat, &ExactConfig::default());
-        prop_assert!(out.best.score().abs() < EPS);
-    }
-
-    /// Thm. 5.11's tractable case: on ground instances the linear-time
-    /// algorithm equals the exact optimum.
-    #[test]
-    fn ground_algorithm_equals_exact(
-        a in prop::collection::vec(((0u8..4), (0u8..4)), 0..4),
-        b in prop::collection::vec(((0u8..4), (0u8..4)), 0..4),
-    ) {
-        let mut cat = fresh_catalog();
-        let rel = RelId(0);
-        let mut left = Instance::new("I", &cat);
-        for (x, y) in &a {
-            let vx = cat.konst(&format!("c{x}"));
-            let vy = cat.konst(&format!("c{y}"));
-            left.insert(rel, vec![vx, vy]);
-        }
-        let mut right = Instance::new("J", &cat);
-        for (x, y) in &b {
-            let vx = cat.konst(&format!("c{x}"));
-            let vy = cat.konst(&format!("c{y}"));
-            right.insert(rel, vec![vx, vy]);
-        }
-        let g = ground_similarity(&left, &right, &cat);
-        let e = exact_match(&left, &right, &cat, &ExactConfig::default());
-        prop_assert!(e.optimal);
-        prop_assert!((g - e.best.score()).abs() < EPS, "ground {g} vs exact {}", e.best.score());
-    }
-
-    /// The signature algorithm always returns a *valid* match: pairs
-    /// respect the mode's injectivity, replaying them is feasible, and the
-    /// reported score equals the replayed score.
-    #[test]
-    fn signature_output_is_valid(a in instance_strategy(), b in instance_strategy()) {
-        let mut cat = fresh_catalog();
-        let left = build(&mut cat, "I", &a);
-        let right = build(&mut cat, "J", &b);
-        for mode in [MatchMode::one_to_one(), MatchMode::left_functional(), MatchMode::general()] {
-            let cfg = SignatureConfig { mode, ..Default::default() };
-            let out = signature_match(&left, &right, &cat, &cfg);
-            if mode.left_injective {
-                prop_assert!(out.best.is_left_injective());
+/// The score is always within [0, 1].
+#[test]
+fn score_in_unit_interval() {
+    Runner::new("score_in_unit_interval").cases(64).run(
+        |g| (gen_instance(g), gen_instance(g)),
+        |(a, b)| {
+            let mut cat = fresh_catalog();
+            let left = build(&mut cat, "I", a);
+            let right = build(&mut cat, "J", b);
+            for mode in [MatchMode::one_to_one(), MatchMode::general()] {
+                let cfg = ExactConfig {
+                    mode,
+                    ..Default::default()
+                };
+                let s = exact_match(&left, &right, &cat, &cfg).best.score();
+                assert!((0.0..=1.0 + EPS).contains(&s), "score {s}");
             }
-            if mode.right_injective {
-                prop_assert!(out.best.is_right_injective());
+        },
+    );
+}
+
+/// The signature algorithm produces a feasible match, so it can never
+/// exceed the exact optimum; and the general mode dominates 1-1.
+#[test]
+fn signature_bounded_by_exact() {
+    Runner::new("signature_bounded_by_exact").cases(64).run(
+        |g| (gen_instance(g), gen_instance(g)),
+        |(a, b)| {
+            let mut cat = fresh_catalog();
+            let left = build(&mut cat, "I", a);
+            let right = build(&mut cat, "J", b);
+            let exact = exact_match(&left, &right, &cat, &ExactConfig::default());
+            let sig = signature_match(&left, &right, &cat, &SignatureConfig::default());
+            assert!(exact.optimal);
+            assert!(
+                sig.best.score() <= exact.best.score() + EPS,
+                "sig {} > exact {}",
+                sig.best.score(),
+                exact.best.score()
+            );
+            let gen = exact_match(
+                &left,
+                &right,
+                &cat,
+                &ExactConfig {
+                    mode: MatchMode::general(),
+                    ..Default::default()
+                },
+            );
+            assert!(gen.best.score() + EPS >= exact.best.score());
+        },
+    );
+}
+
+/// The branch-and-bound equals a brute-force enumeration of all 1-1
+/// matchings.
+#[test]
+fn exact_equals_brute_force() {
+    Runner::new("exact_equals_brute_force").cases(64).run(
+        |g| (gen_instance(g), gen_instance(g)),
+        |(a, b)| {
+            let mut cat = fresh_catalog();
+            let left = build(&mut cat, "I", a);
+            let right = build(&mut cat, "J", b);
+            let exact = exact_match(&left, &right, &cat, &ExactConfig::default());
+            let brute = brute_force_one_to_one(&left, &right, &cat);
+            assert!(exact.optimal);
+            assert!(
+                (exact.best.score() - brute).abs() < EPS,
+                "exact {} vs brute {}",
+                exact.best.score(),
+                brute
+            );
+        },
+    );
+}
+
+/// The general-mode branch-and-bound equals brute-force enumeration of
+/// every pair subset (tiny instances: ≤3 tuples per side).
+#[test]
+fn exact_general_equals_brute_force() {
+    Runner::new("exact_general_equals_brute_force")
+        .cases(64)
+        .run(
+            |g| (gen_instance(g), gen_instance(g)),
+            |(a, b)| {
+                assume(a.len() * b.len() <= 12);
+                let mut cat = fresh_catalog();
+                let left = build(&mut cat, "I", a);
+                let right = build(&mut cat, "J", b);
+                let exact = exact_match(
+                    &left,
+                    &right,
+                    &cat,
+                    &ExactConfig {
+                        mode: MatchMode::general(),
+                        ..Default::default()
+                    },
+                );
+                let brute = brute_force_general(&left, &right, &cat);
+                assert!(exact.optimal);
+                assert!(
+                    (exact.best.score() - brute).abs() < EPS,
+                    "exact {} vs brute {}",
+                    exact.best.score(),
+                    brute
+                );
+            },
+        );
+}
+
+/// Eq. 4: disjoint ground instances are minimally similar. We force
+/// disjointness by using distinct constant pools.
+#[test]
+fn disjoint_ground_instances_score_zero() {
+    Runner::new("disjoint_ground_instances_score_zero")
+        .cases(64)
+        .run(
+            |g| {
+                (
+                    g.rng().random_range(1..4usize),
+                    g.rng().random_range(1..4usize),
+                )
+            },
+            |&(n, m)| {
+                let mut cat = fresh_catalog();
+                let rel = RelId(0);
+                let mut left = Instance::new("I", &cat);
+                for i in 0..n {
+                    let v = cat.konst(&format!("l{i}"));
+                    left.insert(rel, vec![v, v]);
+                }
+                let mut right = Instance::new("J", &cat);
+                for i in 0..m {
+                    let v = cat.konst(&format!("r{i}"));
+                    right.insert(rel, vec![v, v]);
+                }
+                let out = exact_match(&left, &right, &cat, &ExactConfig::default());
+                assert!(out.best.score().abs() < EPS);
+            },
+        );
+}
+
+/// A random ground-instance descriptor: rows of constant index pairs.
+fn gen_ground(g: &mut Gen) -> Vec<(u8, u8)> {
+    g.vec_of(3, |g| {
+        (g.rng().random_range(0..4u8), g.rng().random_range(0..4u8))
+    })
+}
+
+fn build_ground(cat: &mut Catalog, name: &str, rows: &[(u8, u8)]) -> Instance {
+    let rel = RelId(0);
+    let mut inst = Instance::new(name, cat);
+    for (x, y) in rows {
+        let vx = cat.konst(&format!("c{x}"));
+        let vy = cat.konst(&format!("c{y}"));
+        inst.insert(rel, vec![vx, vy]);
+    }
+    inst
+}
+
+/// Thm. 5.11's tractable case: on ground instances the linear-time
+/// algorithm equals the exact optimum.
+#[test]
+fn ground_algorithm_equals_exact() {
+    Runner::new("ground_algorithm_equals_exact").cases(64).run(
+        |g| (gen_ground(g), gen_ground(g)),
+        |(a, b)| {
+            let mut cat = fresh_catalog();
+            let left = build_ground(&mut cat, "I", a);
+            let right = build_ground(&mut cat, "J", b);
+            let g = ground_similarity(&left, &right, &cat);
+            let e = exact_match(&left, &right, &cat, &ExactConfig::default());
+            assert!(e.optimal);
+            assert!(
+                (g - e.best.score()).abs() < EPS,
+                "ground {g} vs exact {}",
+                e.best.score()
+            );
+        },
+    );
+}
+
+/// Eq. 1 on the tractable path: a non-empty ground instance compared with
+/// itself scores exactly 1 under the linear-time ground algorithm.
+#[test]
+fn ground_self_similarity_is_one() {
+    Runner::new("ground_self_similarity_is_one").cases(64).run(
+        |g| {
+            let mut rows = gen_ground(g);
+            if rows.is_empty() {
+                rows.push((g.rng().random_range(0..4u8), g.rng().random_range(0..4u8)));
             }
-            // Replay: all pairs feasible, same score.
+            rows
+        },
+        |rows| {
+            let mut cat = fresh_catalog();
+            let inst = build_ground(&mut cat, "I", rows);
+            let s = ground_similarity(&inst, &inst, &cat);
+            assert!((s - 1.0).abs() < EPS, "ground self similarity {s}");
+        },
+    );
+}
+
+/// λ-penalty monotonicity: λ is the credit a matched null earns, so for
+/// the *optimal* match the similarity is non-decreasing in λ (each fixed
+/// match state's score is non-decreasing in λ, and max preserves that).
+#[test]
+fn lambda_penalty_is_monotone() {
+    Runner::new("lambda_penalty_is_monotone").cases(64).run(
+        |g| (gen_instance(g), gen_instance(g)),
+        |(a, b)| {
+            let mut cat = fresh_catalog();
+            let left = build(&mut cat, "I", a);
+            let right = build(&mut cat, "J", b);
+            let mut prev = -1.0f64;
+            for lambda in [0.0, 0.25, 0.5, 0.9] {
+                let cfg = ExactConfig {
+                    score: ScoreConfig::with_lambda(lambda),
+                    ..Default::default()
+                };
+                let out = exact_match(&left, &right, &cat, &cfg);
+                assert!(out.optimal);
+                let s = out.best.score();
+                assert!(
+                    s + EPS >= prev,
+                    "score decreased as λ grew: {prev} -> {s} at λ={lambda}"
+                );
+                prev = s;
+            }
+        },
+    );
+}
+
+/// The signature algorithm always returns a *valid* match: pairs
+/// respect the mode's injectivity, replaying them is feasible, and the
+/// reported score equals the replayed score.
+#[test]
+fn signature_output_is_valid() {
+    Runner::new("signature_output_is_valid").cases(64).run(
+        |g| (gen_instance(g), gen_instance(g)),
+        |(a, b)| {
+            let mut cat = fresh_catalog();
+            let left = build(&mut cat, "I", a);
+            let right = build(&mut cat, "J", b);
+            for mode in [
+                MatchMode::one_to_one(),
+                MatchMode::left_functional(),
+                MatchMode::general(),
+            ] {
+                let cfg = SignatureConfig {
+                    mode,
+                    ..Default::default()
+                };
+                let out = signature_match(&left, &right, &cat, &cfg);
+                if mode.left_injective {
+                    assert!(out.best.is_left_injective());
+                }
+                if mode.right_injective {
+                    assert!(out.best.is_right_injective());
+                }
+                // Replay: all pairs feasible, same score.
+                let mut st = MatchState::new(&left, &right);
+                for p in &out.best.pairs {
+                    assert!(st.try_push_pair(p.rel, p.left, p.right, false).is_ok());
+                }
+                let replayed = score_state(&st, &ScoreConfig::default(), &cat).score;
+                assert!((replayed - out.best.score()).abs() < EPS);
+                // Determinism.
+                let again = signature_match(&left, &right, &cat, &cfg);
+                assert_eq!(out.best.pairs, again.best.pairs);
+            }
+        },
+    );
+}
+
+/// Pushing and popping pairs leaves the match state equivalent to a
+/// fresh one (rollback soundness), observed through scores.
+#[test]
+fn push_pop_is_identity() {
+    Runner::new("push_pop_is_identity").cases(64).run(
+        |g| (gen_instance(g), gen_instance(g)),
+        |(a, b)| {
+            let mut cat = fresh_catalog();
+            let left = build(&mut cat, "I", a);
+            let right = build(&mut cat, "J", b);
+            let rel = RelId(0);
+            let cfg = ScoreConfig::default();
+            let baseline = {
+                let st = MatchState::new(&left, &right);
+                score_state(&st, &cfg, &cat).score
+            };
             let mut st = MatchState::new(&left, &right);
-            for p in &out.best.pairs {
-                prop_assert!(st.try_push_pair(p.rel, p.left, p.right, false).is_ok());
-            }
-            let replayed = score_state(&st, &ScoreConfig::default(), &cat).score;
-            prop_assert!((replayed - out.best.score()).abs() < EPS);
-            // Determinism.
-            let again = signature_match(&left, &right, &cat, &cfg);
-            prop_assert_eq!(out.best.pairs.clone(), again.best.pairs);
-        }
-    }
-
-    /// Pushing and popping pairs leaves the match state equivalent to a
-    /// fresh one (rollback soundness), observed through scores.
-    #[test]
-    fn push_pop_is_identity(a in instance_strategy(), b in instance_strategy()) {
-        let mut cat = fresh_catalog();
-        let left = build(&mut cat, "I", &a);
-        let right = build(&mut cat, "J", &b);
-        let rel = RelId(0);
-        let cfg = ScoreConfig::default();
-        let baseline = {
-            let st = MatchState::new(&left, &right);
-            score_state(&st, &cfg, &cat).score
-        };
-        let mut st = MatchState::new(&left, &right);
-        let lids: Vec<TupleId> = left.tuples(rel).iter().map(|t| t.id()).collect();
-        let rids: Vec<TupleId> = right.tuples(rel).iter().map(|t| t.id()).collect();
-        let mut pushed = 0;
-        for &l in &lids {
-            for &r in &rids {
-                if st.try_push_pair(rel, l, r, false).is_ok() {
-                    pushed += 1;
+            let lids: Vec<TupleId> = left.tuples(rel).iter().map(|t| t.id()).collect();
+            let rids: Vec<TupleId> = right.tuples(rel).iter().map(|t| t.id()).collect();
+            let mut pushed = 0;
+            for &l in &lids {
+                for &r in &rids {
+                    if st.try_push_pair(rel, l, r, false).is_ok() {
+                        pushed += 1;
+                    }
                 }
             }
-        }
-        for _ in 0..pushed {
-            st.pop_pair();
-        }
-        let after = score_state(&st, &cfg, &cat).score;
-        prop_assert!((baseline - after).abs() < EPS);
-        prop_assert_eq!(st.uf().unions(), 0);
-    }
+            for _ in 0..pushed {
+                st.pop_pair();
+            }
+            let after = score_state(&st, &cfg, &cat).score;
+            assert!((baseline - after).abs() < EPS);
+            assert_eq!(st.uf().unions(), 0);
+        },
+    );
 }
