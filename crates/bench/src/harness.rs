@@ -42,16 +42,25 @@ pub struct Suite {
     warmup: u32,
     samples: u32,
     records: Vec<Record>,
+    /// Free-form `key: value` annotations serialized into the JSON header
+    /// (e.g. thread counts, speedups, dataset parameters).
+    meta: Vec<(String, String)>,
 }
 
 impl Suite {
-    /// Creates a suite with default warmup/sample counts.
+    /// Creates a suite with default warmup/sample counts. The worker-pool
+    /// size ([`ic_pool::configured_threads`]) is recorded as `pool_threads`
+    /// metadata so perf diffs across machines stay interpretable.
     pub fn new(name: &str) -> Self {
         Self {
             name: name.to_string(),
             warmup: DEFAULT_WARMUP,
             samples: DEFAULT_SAMPLES,
             records: Vec::new(),
+            meta: vec![(
+                "pool_threads".to_string(),
+                ic_pool::configured_threads().to_string(),
+            )],
         }
     }
 
@@ -66,6 +75,21 @@ impl Suite {
         assert!(s >= 1, "need at least one sample");
         self.samples = s;
         self
+    }
+
+    /// Attaches (or replaces) a `key: value` metadata annotation.
+    pub fn set_meta(&mut self, key: &str, value: &str) {
+        if let Some(slot) = self.meta.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value.to_string();
+        } else {
+            self.meta.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// The measurements recorded so far — lets callers derive metadata from
+    /// earlier records (e.g. speedup relative to a 1-thread baseline).
+    pub fn records(&self) -> &[Record] {
+        &self.records
     }
 
     /// Times `f` (warmup + median-of-N) and records the result. The
@@ -127,6 +151,14 @@ impl Suite {
         s.push_str("{\n");
         s.push_str(&format!("  \"suite\": {},\n", json_string(&self.name)));
         s.push_str(&format!("  \"warmup\": {},\n", self.warmup));
+        s.push_str("  \"meta\": {");
+        for (i, (k, v)) in self.meta.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("{}: {}", json_string(k), json_string(v)));
+        }
+        s.push_str("},\n");
         s.push_str("  \"results\": [\n");
         for (i, r) in self.records.iter().enumerate() {
             s.push_str(&format!(
@@ -175,6 +207,18 @@ mod tests {
         assert!(json.contains("\"suite\": \"selftest\""));
         assert!(json.contains("\"id\": \"noop\""));
         assert!(json.contains("median_ns"));
+        assert!(json.contains("\"pool_threads\""));
+        assert_eq!(suite.records().len(), 1);
+    }
+
+    #[test]
+    fn meta_set_and_replace() {
+        let mut suite = Suite::new("selftest").warmup(0).samples(1);
+        suite.set_meta("speedup_4t", "2.5");
+        suite.set_meta("speedup_4t", "3.0");
+        let json = suite.to_json();
+        assert!(json.contains("\"speedup_4t\": \"3.0\""));
+        assert!(!json.contains("\"2.5\""));
     }
 
     #[test]

@@ -21,11 +21,11 @@
 
 use crate::compat::CandidateIndex;
 use crate::mapping::{InstanceMatch, MatchMode, Pair};
-use crate::score::{score_state, ScoreConfig};
+use crate::score::{optimistic_pair_score, score_state, ConfigError, ScoreConfig};
 use crate::signature::{signature_match, SignatureConfig};
 use crate::state::MatchState;
 use crate::universe::Side;
-use ic_model::{Catalog, Instance, RelId, Tuple, TupleId, Value};
+use ic_model::{Catalog, Instance, RelId, TupleId};
 use std::time::{Duration, Instant};
 
 /// Configuration of the exact algorithm.
@@ -72,23 +72,6 @@ struct CandPair {
     left: TupleId,
     right: TupleId,
     optimistic: f64,
-}
-
-/// Optimistic upper bound of the score a pair can ever achieve:
-/// equal constants score 1, null/null cells at most 1, mixed cells at most λ.
-fn optimistic_pair_score(lt: &Tuple, rt: &Tuple, lambda: f64) -> f64 {
-    lt.values()
-        .iter()
-        .zip(rt.values())
-        .map(|(&a, &b)| match (a, b) {
-            (Value::Const(x), Value::Const(y)) => {
-                debug_assert_eq!(x, y, "pair must be c-compatible");
-                1.0
-            }
-            (Value::Null(_), Value::Null(_)) => 1.0,
-            _ => lambda,
-        })
-        .sum()
 }
 
 struct Search<'a, 'c> {
@@ -251,6 +234,21 @@ impl<'a, 'c> Search<'a, 'c> {
 /// assert!((out.best.score() - 1.0).abs() < 1e-12); // isomorphic
 /// ```
 /// Runs the exact algorithm on two instances sharing `catalog`'s schema.
+///
+/// Like [`exact_match`], but validates `cfg.score` first: a NaN or
+/// out-of-range λ (or a degenerate string-similarity weight) is rejected
+/// with a [`ConfigError`] instead of producing meaningless scores.
+pub fn exact_match_checked(
+    left: &Instance,
+    right: &Instance,
+    catalog: &Catalog,
+    cfg: &ExactConfig,
+) -> Result<ExactOutcome, ConfigError> {
+    cfg.score.validate()?;
+    Ok(exact_match(left, right, catalog, cfg))
+}
+
+/// Runs the exact algorithm on two instances sharing `catalog`'s schema.
 pub fn exact_match(
     left: &Instance,
     right: &Instance,
@@ -283,11 +281,13 @@ pub fn exact_match(
     for p in &pairs {
         cand_count[p.left.0 as usize] += 1;
     }
+    // `total_cmp`, not `partial_cmp(..).expect(..)`: a degenerate λ that
+    // slipped past validation (e.g. through the unchecked entry point)
+    // must not panic mid-search — NaN sorts to a fixed position instead.
     pairs.sort_by(|a, b| {
         let ka = (cand_count[a.left.0 as usize], a.left.0);
         let kb = (cand_count[b.left.0 as usize], b.left.0);
-        ka.cmp(&kb)
-            .then(b.optimistic.partial_cmp(&a.optimistic).expect("finite"))
+        ka.cmp(&kb).then(b.optimistic.total_cmp(&a.optimistic))
     });
 
     // Per-tuple caps and alive counts for the bound.
@@ -387,7 +387,44 @@ pub fn exact_match(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ic_model::Schema;
+    use ic_model::{Schema, Value};
+
+    #[test]
+    fn nan_lambda_is_rejected_at_entry_not_mid_search() {
+        // Regression: a caller-supplied NaN λ used to reach the candidate
+        // ordering's `partial_cmp(..).expect("finite")` and panic there.
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let rel = RelId(0);
+        let a = cat.konst("a");
+        let (n, m) = (cat.fresh_null(), cat.fresh_null());
+        let mut l = Instance::new("I", &cat);
+        l.insert(rel, vec![a, n]);
+        let mut r = Instance::new("J", &cat);
+        r.insert(rel, vec![a, m]);
+        let cfg = ExactConfig {
+            score: ScoreConfig {
+                lambda: f64::NAN,
+                string_sim_weight: None,
+            },
+            ..Default::default()
+        };
+        let err = exact_match_checked(&l, &r, &cat, &cfg).unwrap_err();
+        assert!(matches!(err, ConfigError::NonFiniteLambda(_)));
+        // Degenerate but finite λ values are rejected too.
+        for bad in [-0.5, 1.0, 2.0, f64::INFINITY] {
+            let cfg = ExactConfig {
+                score: ScoreConfig {
+                    lambda: bad,
+                    string_sim_weight: None,
+                },
+                ..Default::default()
+            };
+            assert!(exact_match_checked(&l, &r, &cat, &cfg).is_err(), "{bad}");
+        }
+        // And a valid config passes through unchanged.
+        let ok = exact_match_checked(&l, &r, &cat, &ExactConfig::default()).unwrap();
+        assert!(ok.optimal);
+    }
 
     #[test]
     fn bijective_mode_finds_total_match_on_isomorphic_instances() {

@@ -51,7 +51,7 @@ pub mod unionfind;
 pub mod universe;
 
 pub use compat::{c_compatible, compatible_tuples, pair_compatible, CandidateIndex};
-pub use exact::{exact_match, ExactConfig, ExactOutcome};
+pub use exact::{exact_match, exact_match_checked, ExactConfig, ExactOutcome};
 pub use explain::{
     explain, render_diff, render_value_mapping, CellChange, InstanceDiff, PairExplanation,
 };
@@ -61,11 +61,13 @@ pub use hom::{
 };
 pub use mapping::{InstanceMatch, Mapped, MatchMode, Pair, ScoreDetails, ValueMapping};
 pub use refine::{refine_match, RefineConfig};
-pub use score::{score_state, ScoreConfig};
-pub use signature::{signature_match, SignatureConfig, SignatureOutcome, SignatureStats};
+pub use score::{score_state, ConfigError, ScoreConfig};
+pub use signature::{
+    signature_match, signature_match_checked, SignatureConfig, SignatureOutcome, SignatureStats,
+};
 pub use similarity::{
-    compare, compare_both, similarity_exact, similarity_signature, symmetric_difference_similarity,
-    Comparison,
+    compare, compare_both, compare_many, compare_many_checked, similarity_exact,
+    similarity_signature, symmetric_difference_similarity, Comparison,
 };
 pub use state::MatchState;
 pub use universe::{Side, Universe};

@@ -14,6 +14,12 @@ use crate::state::MatchState;
 use crate::strsim::levenshtein_similarity;
 use crate::universe::Side;
 use ic_model::{Catalog, Tuple, Value};
+use std::fmt;
+
+/// Minimum number of matched pairs before [`score_state`] fans the
+/// per-pair scoring out over the [`ic_pool`] workers; below it the
+/// sequential loop is faster than the coordination overhead.
+const PAR_SCORE_MIN_PAIRS: usize = 512;
 
 /// Configuration of the scoring function.
 #[derive(Debug, Clone, Copy)]
@@ -48,7 +54,54 @@ impl ScoreConfig {
             string_sim_weight: None,
         }
     }
+
+    /// Checks that the configuration is usable: λ must be finite and in
+    /// `[0, 1)` (Def. 5.5), and the optional string-similarity weight must
+    /// be finite and non-negative. The checked algorithm entry points
+    /// ([`crate::exact::exact_match_checked`],
+    /// [`crate::signature::signature_match_checked`]) call this instead of
+    /// panicking mid-search on a NaN score.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.lambda.is_nan() || self.lambda.is_infinite() {
+            return Err(ConfigError::NonFiniteLambda(self.lambda));
+        }
+        if !(0.0..1.0).contains(&self.lambda) {
+            return Err(ConfigError::LambdaOutOfRange(self.lambda));
+        }
+        if let Some(w) = self.string_sim_weight {
+            if !w.is_finite() || w < 0.0 {
+                return Err(ConfigError::InvalidStringSimWeight(w));
+            }
+        }
+        Ok(())
+    }
 }
+
+/// A rejected [`ScoreConfig`]: the scoring parameters would make the
+/// algorithms produce meaningless scores (NaN) or violate Def. 5.5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// λ is NaN or ±∞.
+    NonFiniteLambda(f64),
+    /// λ is finite but outside the paper's `0 ≤ λ < 1` range.
+    LambdaOutOfRange(f64),
+    /// `string_sim_weight` is NaN, infinite, or negative.
+    InvalidStringSimWeight(f64),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonFiniteLambda(l) => write!(f, "λ must be finite, got {l}"),
+            Self::LambdaOutOfRange(l) => write!(f, "λ must be in [0, 1), got {l}"),
+            Self::InvalidStringSimWeight(w) => {
+                write!(f, "string_sim_weight must be finite and ≥ 0, got {w}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Computes the score of one cell pair `(t.A, t'.A)` under the current
 /// partition — `score(M, t, t', A)` of Def. 5.5.
@@ -106,19 +159,49 @@ pub(crate) fn pair_score(
         .sum()
 }
 
+/// A state-independent upper bound on the score a candidate pair can ever
+/// achieve under any feasible completion: equal constants score 1,
+/// misaligned constants 0, null/null cells at most 1, mixed cells at most
+/// λ. Shared by the exact search's admissible bound and the signature
+/// algorithm's deterministic greedy tie-break.
+pub(crate) fn optimistic_pair_score(lt: &Tuple, rt: &Tuple, lambda: f64) -> f64 {
+    lt.values()
+        .iter()
+        .zip(rt.values())
+        .map(|(&a, &b)| match (a, b) {
+            (Value::Const(x), Value::Const(y)) => {
+                if x == y {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            (Value::Null(_), Value::Null(_)) => 1.0,
+            _ => lambda,
+        })
+        .sum()
+}
+
 /// Scores the current match of `state` (Def. 5.3), returning full details.
+///
+/// Pair scores are independent given the frozen unification partition, so
+/// large matches are scored in parallel chunks over the [`ic_pool`]
+/// workers; the per-tuple sums are then reduced sequentially in push
+/// order, making the result **bit-identical** at every thread count
+/// (including `IC_POOL_THREADS=1`).
 pub fn score_state(state: &MatchState<'_>, cfg: &ScoreConfig, catalog: &Catalog) -> ScoreDetails {
     let left = state.left();
     let right = state.right();
     let mut left_sum = vec![0.0f64; left.id_bound()];
     let mut right_sum = vec![0.0f64; right.id_bound()];
-    let mut pair_scores = Vec::with_capacity(state.len());
 
-    for pair in state.pairs() {
+    let pairs: Vec<crate::mapping::Pair> = state.pairs().collect();
+    let pair_scores: Vec<f64> = ic_pool::par_map_min_chunk(&pairs, PAR_SCORE_MIN_PAIRS, |pair| {
         let lt = left.tuple(pair.left).expect("left tuple");
         let rt = right.tuple(pair.right).expect("right tuple");
-        let s = pair_score(state, cfg, catalog, lt, rt);
-        pair_scores.push(s);
+        pair_score(state, cfg, catalog, lt, rt)
+    });
+    for (pair, &s) in pairs.iter().zip(&pair_scores) {
         left_sum[pair.left.0 as usize] += s;
         right_sum[pair.right.0 as usize] += s;
     }

@@ -24,11 +24,19 @@
 
 use crate::compat::CandidateIndex;
 use crate::mapping::{InstanceMatch, MatchMode, Pair};
-use crate::score::{score_state, ScoreConfig};
+use crate::score::{optimistic_pair_score, score_state, ConfigError, ScoreConfig};
 use crate::state::MatchState;
 use crate::universe::Side;
 use ic_model::{Catalog, FxHashMap, FxHashSet, Instance, RelId, Sym, Tuple, TupleId, Value};
+use std::cmp::Reverse;
 use std::time::{Duration, Instant};
+
+/// Minimum tuple count before the signature-map build fans out over the
+/// [`ic_pool`] workers.
+const PAR_SIGMAP_MIN_TUPLES: usize = 1024;
+/// Minimum probe/left-tuple count per chunk for the parallel candidate
+/// discovery of the probe and completion passes.
+const PAR_CANDIDATES_MIN_TUPLES: usize = 256;
 
 /// Configuration of the signature algorithm.
 #[derive(Debug, Clone, Copy)]
@@ -49,6 +57,12 @@ pub struct SignatureConfig {
     /// equivalent — every subset absent from the map misses by construction
     /// — but combinatorial in the arity; kept for the ablation benchmarks.
     pub literal_subset_enumeration: bool,
+    /// Wall-clock budget, mirroring [`crate::ExactConfig::budget`]: checked
+    /// between phases, per probe/left tuple in the matching loops, and per
+    /// tuple during the (combinatorial) partial-mode signature indexing.
+    /// On exhaustion the match built so far is scored and returned with
+    /// [`SignatureOutcome::timed_out`]` = true`. `None` means unbounded.
+    pub budget: Option<Duration>,
 }
 
 impl Default for SignatureConfig {
@@ -59,6 +73,7 @@ impl Default for SignatureConfig {
             partial: false,
             max_signatures_per_tuple: 4096,
             literal_subset_enumeration: false,
+            budget: None,
         }
     }
 }
@@ -85,6 +100,9 @@ pub struct SignatureOutcome {
     pub stats: SignatureStats,
     /// Wall-clock time spent.
     pub elapsed: Duration,
+    /// Whether [`SignatureConfig::budget`] expired before the run finished;
+    /// the returned match covers only the work done up to that point.
+    pub timed_out: bool,
 }
 
 /// Bitmask of the attributes where the tuple holds constants. Signature
@@ -133,39 +151,78 @@ impl SigMap {
     /// Builds the map over `tuples`. In complete mode only maximal
     /// signatures are indexed (Alg. 4 line 3); in partial mode all
     /// signatures up to the per-tuple cap (Sec. 6.3).
-    fn build(tuples: &[Tuple], partial: bool, max_per_tuple: usize) -> Self {
-        let mut by_mask: FxHashMap<u128, KeyedTuples> = FxHashMap::default();
-        for t in tuples {
-            if t.arity() > 128 {
-                continue;
-            }
-            let gmask = ground_mask(t);
-            if partial {
-                for mask in subsets_desc(gmask, max_per_tuple) {
-                    by_mask
-                        .entry(mask)
-                        .or_default()
-                        .entry(signature_key(t, mask))
-                        .or_default()
-                        .push(t.id());
+    ///
+    /// The build fans out over [`ic_pool`] in tuple chunks and merges the
+    /// chunk-local maps in chunk order, so every `(mask, key)` bucket lists
+    /// its tuples in global tuple order — byte-identical to a sequential
+    /// build at any thread count. The returned flag reports whether
+    /// `deadline` expired mid-build (the map then covers a prefix of the
+    /// tuples; only the combinatorial partial mode checks per tuple).
+    fn build(
+        tuples: &[Tuple],
+        partial: bool,
+        max_per_tuple: usize,
+        deadline: Option<Instant>,
+    ) -> (Self, bool) {
+        let chunk_size = tuples
+            .len()
+            .div_ceil(ic_pool::current_threads().max(1))
+            .max(PAR_SIGMAP_MIN_TUPLES);
+        let chunk_maps: Vec<(FxHashMap<u128, KeyedTuples>, bool)> =
+            ic_pool::par_chunks(tuples, chunk_size, |_, chunk| {
+                let mut by_mask: FxHashMap<u128, KeyedTuples> = FxHashMap::default();
+                let mut expired = false;
+                for t in chunk {
+                    if t.arity() > 128 {
+                        continue;
+                    }
+                    let gmask = ground_mask(t);
+                    if partial {
+                        if deadline.is_some_and(|d| Instant::now() >= d) {
+                            expired = true;
+                            break;
+                        }
+                        for mask in subsets_desc(gmask, max_per_tuple) {
+                            by_mask
+                                .entry(mask)
+                                .or_default()
+                                .entry(signature_key(t, mask))
+                                .or_default()
+                                .push(t.id());
+                        }
+                    } else {
+                        by_mask
+                            .entry(gmask)
+                            .or_default()
+                            .entry(signature_key(t, gmask))
+                            .or_default()
+                            .push(t.id());
+                    }
                 }
-            } else {
-                by_mask
-                    .entry(gmask)
-                    .or_default()
-                    .entry(signature_key(t, gmask))
-                    .or_default()
-                    .push(t.id());
+                (by_mask, expired)
+            });
+        let mut by_mask: FxHashMap<u128, KeyedTuples> = FxHashMap::default();
+        let mut expired = false;
+        for (chunk_map, chunk_expired) in chunk_maps {
+            expired |= chunk_expired;
+            for (mask, keyed) in chunk_map {
+                let bucket = by_mask.entry(mask).or_default();
+                for (key, ids) in keyed {
+                    bucket.entry(key).or_default().extend(ids);
+                }
             }
         }
         let mut buckets: Vec<_> = by_mask.into_iter().collect();
-        buckets.sort_by_key(|(mask, _)| std::cmp::Reverse(mask.count_ones()));
+        // Secondary mask key: equal-popcount buckets would otherwise probe
+        // in hash-map iteration order, making the greedy result depend on
+        // insertion history.
+        buckets.sort_by_key(|(mask, _)| (Reverse(mask.count_ones()), *mask));
         let by_mask = buckets
             .iter()
             .enumerate()
             .map(|(i, (mask, _))| (*mask, i))
             .collect();
-        Self { buckets, by_mask }
+        (Self { buckets, by_mask }, expired)
     }
 }
 
@@ -221,9 +278,27 @@ struct Run<'b> {
     right_matched: Vec<bool>,
     /// Already-recorded pairs (n-to-m mode may revisit candidates).
     seen: FxHashSet<(TupleId, TupleId)>,
+    /// Wall-clock cutoff derived from [`SignatureConfig::budget`].
+    deadline: Option<Instant>,
+    timed_out: bool,
 }
 
 impl Run<'_> {
+    /// True once the budget is exhausted; latches [`Run::timed_out`] so
+    /// later phases short-circuit without re-reading the clock.
+    fn out_of_budget(&mut self) -> bool {
+        if self.timed_out {
+            return true;
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.timed_out = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Attempts to record pair `(lt, rt)`; returns whether it was added.
     fn try_match(&mut self, rel: RelId, lt: TupleId, rt: TupleId) -> bool {
         let mode = self.cfg.mode;
@@ -251,40 +326,74 @@ impl Run<'_> {
 
     /// One signature pass (Alg. 4): `sig_side`'s maximal signatures are
     /// indexed; the opposite side probes. Returns the number of matches.
+    ///
+    /// Candidate discovery (map lookups per probe) never reads the match
+    /// state, so the probes partition freely across the [`ic_pool`] workers;
+    /// each yields its candidate list in bucket order (largest masks first).
+    /// The greedy consumption stays sequential in probe order, making the
+    /// final match bit-identical to a one-thread run.
     fn find_sig_matches(&mut self, rel: RelId, sig_side: Side) -> usize {
-        let (sig_tuples, probe_tuples) = match sig_side {
-            Side::Left => (
-                self.state.left().tuples(rel),
-                self.state.right().tuples(rel),
-            ),
-            Side::Right => (
-                self.state.right().tuples(rel),
-                self.state.left().tuples(rel),
-            ),
+        if self.out_of_budget() {
+            return 0;
+        }
+        let (sig_inst, probe_inst) = match sig_side {
+            Side::Left => (self.state.left(), self.state.right()),
+            Side::Right => (self.state.right(), self.state.left()),
         };
+        let sig_tuples = sig_inst.tuples(rel);
+        let probe_tuples = probe_inst.tuples(rel);
         if sig_tuples.first().map_or(0, Tuple::arity) > 128 {
             return 0; // fall back to the exhaustive completion
         }
-        let sigmap = SigMap::build(
+        let (sigmap, build_expired) = SigMap::build(
             sig_tuples,
             self.cfg.partial,
             self.cfg.max_signatures_per_tuple,
+            self.deadline,
         );
-        // Clone probe tuple descriptors to avoid borrowing `state` during
-        // mutation: ids + masks only.
-        let probes: Vec<(TupleId, u128)> = probe_tuples
-            .iter()
-            .map(|t| (t.id(), ground_mask(t)))
-            .collect();
-        let mode = self.cfg.mode;
-        let mut found = 0usize;
+        self.timed_out |= build_expired;
+        let cfg = self.cfg;
+        let plans: Vec<(TupleId, Vec<TupleId>)> =
+            ic_pool::par_map_min_chunk(probe_tuples, PAR_CANDIDATES_MIN_TUPLES, |t| {
+                let probe_mask = ground_mask(t);
+                // Masks to probe, largest first. The default enumerates only
+                // the attribute sets present in the map; the ablation variant
+                // enumerates every subset of the probe's ground attributes
+                // and filters to those present (identical hits, more work).
+                let bucket_order: Vec<usize> = if cfg.literal_subset_enumeration {
+                    subsets_desc(probe_mask, cfg.max_signatures_per_tuple)
+                        .into_iter()
+                        .filter_map(|m| sigmap.by_mask.get(&m).copied())
+                        .collect()
+                } else {
+                    (0..sigmap.buckets.len())
+                        .filter(|&bi| {
+                            let mask = sigmap.buckets[bi].0;
+                            mask & probe_mask == mask
+                        })
+                        .collect()
+                };
+                let mut cands = Vec::new();
+                for bi in bucket_order {
+                    let (mask, keyed) = &sigmap.buckets[bi];
+                    if let Some(hits) = keyed.get(&signature_key(t, *mask)) {
+                        cands.extend_from_slice(hits);
+                    }
+                }
+                (t.id(), cands)
+            });
 
-        for (probe_id, probe_mask) in probes {
-            // Injectivity of the probe side: skip fully matched probes.
-            let probe_injective = match sig_side {
-                Side::Left => mode.right_injective,
-                Side::Right => mode.left_injective,
-            };
+        let mode = self.cfg.mode;
+        // Injectivity of the probe side: skip fully matched probes.
+        let probe_injective = match sig_side {
+            Side::Left => mode.right_injective,
+            Side::Right => mode.left_injective,
+        };
+        let mut found = 0usize;
+        for (probe_id, cands) in plans {
+            if self.out_of_budget() {
+                break;
+            }
             let probe_matched = match sig_side {
                 Side::Left => self.right_matched[probe_id.0 as usize],
                 Side::Right => self.left_matched[probe_id.0 as usize],
@@ -292,43 +401,15 @@ impl Run<'_> {
             if probe_injective && probe_matched {
                 continue;
             }
-            // Masks to probe, largest first. The default enumerates only the
-            // attribute sets present in the map; the ablation variant
-            // enumerates every subset of the probe's ground attributes and
-            // filters to those present (identical hits, more work).
-            let bucket_order: Vec<usize> = if self.cfg.literal_subset_enumeration {
-                subsets_desc(probe_mask, self.cfg.max_signatures_per_tuple)
-                    .into_iter()
-                    .filter_map(|m| sigmap.by_mask.get(&m).copied())
-                    .collect()
-            } else {
-                (0..sigmap.buckets.len())
-                    .filter(|&bi| {
-                        let mask = sigmap.buckets[bi].0;
-                        mask & probe_mask == mask
-                    })
-                    .collect()
-            };
-            'probe: for bi in bucket_order {
-                let (mask, _) = sigmap.buckets[bi];
-                let probe_tuple = match sig_side {
-                    Side::Left => self.state.right().tuple(probe_id),
-                    Side::Right => self.state.left().tuple(probe_id),
-                }
-                .expect("probe tuple exists");
-                let key = signature_key(probe_tuple, mask);
-                let candidates: Vec<TupleId> =
-                    sigmap.buckets[bi].1.get(&key).cloned().unwrap_or_default();
-                for cand in candidates {
-                    let (lt, rt) = match sig_side {
-                        Side::Left => (cand, probe_id),
-                        Side::Right => (probe_id, cand),
-                    };
-                    if self.try_match(rel, lt, rt) {
-                        found += 1;
-                        if probe_injective {
-                            break 'probe;
-                        }
+            for cand in cands {
+                let (lt, rt) = match sig_side {
+                    Side::Left => (cand, probe_id),
+                    Side::Right => (probe_id, cand),
+                };
+                if self.try_match(rel, lt, rt) {
+                    found += 1;
+                    if probe_injective {
+                        break;
                     }
                 }
             }
@@ -338,30 +419,51 @@ impl Run<'_> {
 
     /// Step 3 (Alg. 3 lines 5–13): greedy completion over the remaining
     /// compatible tuples. Returns the number of matches added.
+    ///
+    /// Like the signature passes, candidate discovery fans out across
+    /// workers while the greedy consumption stays sequential. Each left
+    /// tuple's candidates are ranked by optimistic pair score (ties by
+    /// tuple id), so the greedy choice is deterministic instead of
+    /// inheriting whatever order the candidate index produced.
     fn complete(&mut self, rel: RelId) -> usize {
+        if self.out_of_budget() {
+            return 0;
+        }
         let mode = self.cfg.mode;
-        let index = CandidateIndex::build(self.state.right(), rel);
-        let left_ids: Vec<TupleId> = self
-            .state
-            .left()
-            .tuples(rel)
-            .iter()
-            .map(Tuple::id)
-            .collect();
+        let right = self.state.right();
+        let index = CandidateIndex::build(right, rel);
+        let left_tuples = self.state.left().tuples(rel);
+        let partial = self.cfg.partial;
+        let lambda = self.cfg.score.lambda;
+        let plans: Vec<(TupleId, Vec<TupleId>)> =
+            ic_pool::par_map_min_chunk(left_tuples, PAR_CANDIDATES_MIN_TUPLES, |t| {
+                // Complete matches restrict candidates to compatible tuples;
+                // the partial variant (Sec. 6.3) only requires a shared
+                // constant.
+                let candidates = if partial {
+                    index.overlap_candidates(t)
+                } else {
+                    index.compatible_candidates(right, t)
+                };
+                let mut ranked: Vec<(TupleId, f64)> = candidates
+                    .into_iter()
+                    .map(|rt| {
+                        let cand = right.tuple(rt).expect("candidate tuple exists");
+                        (rt, optimistic_pair_score(t, cand, lambda))
+                    })
+                    .collect();
+                ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+                (t.id(), ranked.into_iter().map(|(rt, _)| rt).collect())
+            });
         let mut found = 0usize;
-        for lt in left_ids {
+        for (lt, cands) in plans {
+            if self.out_of_budget() {
+                break;
+            }
             if mode.left_injective && self.left_matched[lt.0 as usize] {
                 continue;
             }
-            let t = self.state.left().tuple(lt).expect("tuple exists");
-            // Complete matches restrict candidates to compatible tuples; the
-            // partial variant (Sec. 6.3) only requires a shared constant.
-            let candidates = if self.cfg.partial {
-                index.overlap_candidates(t)
-            } else {
-                index.compatible_candidates(self.state.right(), t)
-            };
-            for rt in candidates {
+            for rt in cands {
                 if self.try_match(rel, lt, rt) {
                     found += 1;
                     if mode.left_injective {
@@ -388,6 +490,8 @@ pub fn signature_match(
         left_matched: vec![false; left.id_bound()],
         right_matched: vec![false; right.id_bound()],
         seen: FxHashSet::default(),
+        deadline: cfg.budget.map(|b| start + b),
+        timed_out: false,
     };
 
     let mut sig_matches = 0usize;
@@ -419,7 +523,21 @@ pub fn signature_match(
             final_score,
         },
         elapsed: start.elapsed(),
+        timed_out: run.timed_out,
     }
+}
+
+/// Like [`signature_match`] but validates the scoring configuration up
+/// front, returning [`ConfigError`] instead of risking a degenerate run on
+/// NaN or out-of-range parameters.
+pub fn signature_match_checked(
+    left: &Instance,
+    right: &Instance,
+    catalog: &Catalog,
+    cfg: &SignatureConfig,
+) -> Result<SignatureOutcome, ConfigError> {
+    cfg.score.validate()?;
+    Ok(signature_match(left, right, catalog, cfg))
 }
 
 #[cfg(test)]
@@ -661,6 +779,63 @@ mod tests {
         let r = Instance::new("J", &cat);
         let out = signature_match(&l, &r, &cat, &SignatureConfig::default());
         assert_eq!(out.best.score(), 1.0);
+    }
+
+    #[test]
+    fn unbounded_run_never_reports_timeout() {
+        let mut cat = Catalog::new(Schema::single("R", &["A"]));
+        let rel = RelId(0);
+        let a = cat.konst("a");
+        let mut l = Instance::new("I", &cat);
+        l.insert(rel, vec![a]);
+        let r = l.clone();
+        let out = signature_match(&l, &r, &cat, &SignatureConfig::default());
+        assert!(!out.timed_out);
+        assert_eq!(out.best.pairs.len(), 1);
+    }
+
+    #[test]
+    fn zero_budget_times_out_with_empty_match() {
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let rel = RelId(0);
+        let mut l = Instance::new("I", &cat);
+        let mut r = Instance::new("J", &cat);
+        for i in 0..20 {
+            let (a, b) = (cat.konst(&format!("a{i}")), cat.konst(&format!("b{i}")));
+            l.insert(rel, vec![a, b]);
+            r.insert(rel, vec![a, b]);
+        }
+        let cfg = SignatureConfig {
+            budget: Some(Duration::ZERO),
+            ..Default::default()
+        };
+        let out = signature_match(&l, &r, &cat, &cfg);
+        assert!(out.timed_out);
+        assert_eq!(out.best.pairs.len(), 0);
+        // The partial result is still scored and internally consistent.
+        assert!(out.best.score() >= 0.0);
+    }
+
+    #[test]
+    fn checked_variant_rejects_nan_lambda() {
+        let mut cat = Catalog::new(Schema::single("R", &["A"]));
+        let rel = RelId(0);
+        let a = cat.konst("a");
+        let mut l = Instance::new("I", &cat);
+        l.insert(rel, vec![a]);
+        let r = l.clone();
+        let cfg = SignatureConfig {
+            score: ScoreConfig {
+                lambda: f64::NAN,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(matches!(
+            signature_match_checked(&l, &r, &cat, &cfg),
+            Err(ConfigError::NonFiniteLambda(_))
+        ));
+        assert!(signature_match_checked(&l, &r, &cat, &SignatureConfig::default()).is_ok());
     }
 }
 

@@ -6,6 +6,7 @@
 
 use crate::exact::{exact_match, ExactConfig, ExactOutcome};
 use crate::explain::{explain, InstanceDiff};
+use crate::score::ConfigError;
 use crate::signature::{signature_match, SignatureConfig, SignatureOutcome};
 use ic_model::{Catalog, Instance, Value};
 
@@ -37,6 +38,37 @@ pub fn compare(
     let outcome = signature_match(left, right, catalog, cfg);
     let diff = explain(&outcome.best, left, right);
     Comparison { outcome, diff }
+}
+
+/// Batch variant of [`compare`]: scores many instance pairs concurrently on
+/// the [`ic_pool`] workers, one comparison per pair, preserving input order.
+///
+/// Each comparison is independent, so the pairs partition freely across
+/// threads; within a worker the per-pair algorithms run sequentially
+/// (nested [`ic_pool`] scopes execute inline), keeping the worker count
+/// bounded. Results are bit-identical to calling [`compare`] in a loop —
+/// at any `IC_POOL_THREADS` setting.
+///
+/// This is the entry point for multi-dataset sweeps (see
+/// `bench_parallel_scaling` in `ic-bench`), where batch-level parallelism
+/// dominates the intra-comparison kind.
+pub fn compare_many(
+    pairs: &[(&Instance, &Instance)],
+    catalog: &Catalog,
+    cfg: &SignatureConfig,
+) -> Vec<Comparison> {
+    ic_pool::par_map(pairs, |&(left, right)| compare(left, right, catalog, cfg))
+}
+
+/// Like [`compare_many`] but validates the scoring configuration once up
+/// front instead of risking a degenerate run on every pair.
+pub fn compare_many_checked(
+    pairs: &[(&Instance, &Instance)],
+    catalog: &Catalog,
+    cfg: &SignatureConfig,
+) -> Result<Vec<Comparison>, ConfigError> {
+    cfg.score.validate()?;
+    Ok(compare_many(pairs, catalog, cfg))
 }
 
 /// Computes the similarity of two instances with the exact algorithm under
@@ -217,6 +249,52 @@ mod tests {
         assert_eq!(c.diff.unchanged.len(), 1);
         assert_eq!(c.diff.deleted.len(), 1);
         assert_eq!(c.diff.inserted.len(), 0);
+    }
+
+    #[test]
+    fn compare_many_matches_sequential_compare() {
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let rel = RelId(0);
+        let mut instances = Vec::new();
+        for v in 0..6 {
+            let mut inst = Instance::new(&format!("I{v}"), &cat);
+            for i in 0..8 {
+                let a = cat.konst(&format!("a{}", (i + v) % 5));
+                let b = if (i + v) % 3 == 0 {
+                    cat.fresh_null()
+                } else {
+                    cat.konst(&format!("b{i}"))
+                };
+                inst.insert(rel, vec![a, b]);
+            }
+            instances.push(inst);
+        }
+        let pairs: Vec<(&Instance, &Instance)> =
+            instances.windows(2).map(|w| (&w[0], &w[1])).collect();
+        let cfg = SignatureConfig::default();
+        let batch = compare_many(&pairs, &cat, &cfg);
+        assert_eq!(batch.len(), pairs.len());
+        for (c, &(l, r)) in batch.iter().zip(&pairs) {
+            let solo = compare(l, r, &cat, &cfg);
+            assert_eq!(c.score().to_bits(), solo.score().to_bits());
+            assert_eq!(c.outcome.best.pairs, solo.outcome.best.pairs);
+        }
+        // Empty input short-circuits.
+        assert!(compare_many(&[], &cat, &cfg).is_empty());
+    }
+
+    #[test]
+    fn compare_many_checked_rejects_bad_lambda() {
+        let cat = Catalog::new(Schema::single("R", &["A"]));
+        let cfg = SignatureConfig {
+            score: crate::score::ScoreConfig {
+                lambda: -1.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(compare_many_checked(&[], &cat, &cfg).is_err());
+        assert!(compare_many_checked(&[], &cat, &SignatureConfig::default()).is_ok());
     }
 
     #[test]

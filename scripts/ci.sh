@@ -11,8 +11,19 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
-echo "==> cargo test -q --offline"
+echo "==> cargo test -q --offline (default thread pool)"
 cargo test -q --offline
+
+# The parallel hot paths must be bit-identical in sequential mode; a second
+# pass with the pool forced to one thread catches any divergence (and any
+# code that only works when workers exist).
+echo "==> cargo test -q --offline (IC_POOL_THREADS=1)"
+IC_POOL_THREADS=1 cargo test -q --offline -p ic-core -p ic-pool
+
+echo "==> bench_parallel_scaling (thread-scaling smoke + determinism check)"
+cargo run -q --offline --release -p ic-bench --bin bench_parallel_scaling
+test -f target/ic-bench/BENCH_parallel.json
+echo "    wrote target/ic-bench/BENCH_parallel.json"
 
 if rustfmt --version >/dev/null 2>&1; then
     echo "==> cargo fmt --check"

@@ -76,4 +76,5 @@ pub use ic_core as core;
 pub use ic_datagen as datagen;
 pub use ic_exchange as exchange;
 pub use ic_model as model;
+pub use ic_pool as pool;
 pub use ic_versioning as versioning;
