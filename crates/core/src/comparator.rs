@@ -1,0 +1,503 @@
+//! The [`Comparator`] facade: one validated handle for all comparisons.
+//!
+//! Earlier revisions exposed free functions taking `&SignatureConfig` /
+//! `&ExactConfig` plus a `_checked` twin for each one that re-validated the
+//! scoring parameters on every call. The facade collapses that
+//! triplication: configuration is assembled with a builder, validated
+//! **once** at [`ComparatorBuilder::build`], and the resulting
+//! [`Comparator`] exposes every algorithm as a method —
+//!
+//! ```
+//! use ic_model::{Catalog, Instance, Schema};
+//! use ic_core::Comparator;
+//!
+//! let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+//! let rel = cat.schema().rel("R").unwrap();
+//! let a = cat.konst("a");
+//! let n = cat.fresh_null();
+//! let m = cat.fresh_null();
+//! let mut left = Instance::new("I", &cat);
+//! left.insert(rel, vec![a, n]);
+//! let mut right = Instance::new("J", &cat);
+//! right.insert(rel, vec![a, m]);
+//!
+//! let cmp = Comparator::new(&cat).lambda(0.5).build().unwrap();
+//! let result = cmp.compare(&left, &right).unwrap();
+//! assert!((result.score() - 1.0).abs() < 1e-12); // isomorphic
+//! ```
+//!
+//! Methods return [`crate::Error`] for the three failure classes: invalid
+//! configuration (caught at `build`), per-call schema mismatches, and —
+//! for the `_strict` variants — exhausted budgets.
+
+use crate::error::Error;
+use crate::exact::{exact_match, ExactConfig, ExactOutcome};
+use crate::mapping::MatchMode;
+use crate::score::ScoreConfig;
+use crate::signature::{signature_match, SignatureConfig, SignatureOutcome};
+use crate::similarity::{compare, compare_many, Comparison};
+use ic_model::{Catalog, Instance};
+use std::time::Duration;
+
+#[cfg(feature = "obs")]
+use std::sync::Arc;
+
+/// Builder for a [`Comparator`]; created by [`Comparator::new`].
+///
+/// Defaults mirror the free-function configs: 1-1 matching, `λ = 0.5`,
+/// complete matches, unbounded budget, warm-started exact search, the
+/// process-wide thread count, and no observer.
+pub struct ComparatorBuilder<'c> {
+    catalog: &'c Catalog,
+    mode: MatchMode,
+    score: ScoreConfig,
+    partial: bool,
+    max_signatures_per_tuple: usize,
+    literal_subset_enumeration: bool,
+    budget: Option<Duration>,
+    max_nodes: Option<u64>,
+    no_warm_start: bool,
+    threads: Option<usize>,
+    #[cfg(feature = "obs")]
+    observer: Option<(String, Arc<dyn ic_obs::Sink>)>,
+}
+
+impl std::fmt::Debug for ComparatorBuilder<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ComparatorBuilder")
+            .field("mode", &self.mode)
+            .field("score", &self.score)
+            .field("partial", &self.partial)
+            .field("budget", &self.budget)
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'c> ComparatorBuilder<'c> {
+    fn with_defaults(catalog: &'c Catalog) -> Self {
+        let sig = SignatureConfig::default();
+        Self {
+            catalog,
+            mode: sig.mode,
+            score: sig.score,
+            partial: sig.partial,
+            max_signatures_per_tuple: sig.max_signatures_per_tuple,
+            literal_subset_enumeration: sig.literal_subset_enumeration,
+            budget: None,
+            max_nodes: None,
+            no_warm_start: false,
+            threads: None,
+            #[cfg(feature = "obs")]
+            observer: None,
+        }
+    }
+
+    /// Sets the λ penalty for null-to-constant cells (Def. 5.5).
+    /// Validated at [`build`](Self::build): must be finite and in `[0, 1)`.
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.score.lambda = lambda;
+        self
+    }
+
+    /// Scores misaligned constant cells of partial matches by
+    /// `weight · levenshtein_similarity` instead of 0 (Sec. 9 future work).
+    pub fn string_sim_weight(mut self, weight: f64) -> Self {
+        self.score.string_sim_weight = Some(weight);
+        self
+    }
+
+    /// Sets the injectivity/totality restrictions of the tuple mapping.
+    pub fn mode(mut self, mode: MatchMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Enables the partial-match variant (Sec. 6.3).
+    pub fn partial(mut self, partial: bool) -> Self {
+        self.partial = partial;
+        self
+    }
+
+    /// Caps the signatures indexed per tuple in partial mode.
+    pub fn max_signatures_per_tuple(mut self, cap: usize) -> Self {
+        self.max_signatures_per_tuple = cap;
+        self
+    }
+
+    /// Ablation switch: probe with the paper's literal subset enumeration.
+    pub fn literal_subset_enumeration(mut self, literal: bool) -> Self {
+        self.literal_subset_enumeration = literal;
+        self
+    }
+
+    /// Sets the wall-clock budget for both algorithms. On exhaustion the
+    /// non-strict methods return the best partial result (flagged via
+    /// `timed_out` / `optimal`); the `_strict` variants return
+    /// [`Error::Budget`].
+    pub fn budget(mut self, budget: Duration) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Caps the number of search nodes the exact algorithm may explore.
+    pub fn max_nodes(mut self, max_nodes: u64) -> Self {
+        self.max_nodes = Some(max_nodes);
+        self
+    }
+
+    /// Disables the signature warm start of the exact search (benchmarking
+    /// the raw branch-and-bound only; the optimum is unchanged).
+    pub fn no_warm_start(mut self, no_warm_start: bool) -> Self {
+        self.no_warm_start = no_warm_start;
+        self
+    }
+
+    /// Pins the [`ic_pool`] thread count for every call through this
+    /// comparator (`1` forces sequential execution). Results are
+    /// bit-identical at any setting; this knob trades wall-clock for cores.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Installs an observer: every comparison method runs inside an
+    /// `ic-obs` observation labeled `label`, and the finished report (span
+    /// tree + metrics) is emitted to `sink`.
+    ///
+    /// Only available with the `obs` feature (on by default).
+    #[cfg(feature = "obs")]
+    pub fn observer(mut self, label: impl Into<String>, sink: Arc<dyn ic_obs::Sink>) -> Self {
+        self.observer = Some((label.into(), sink));
+        self
+    }
+
+    /// Validates the configuration and builds the [`Comparator`]. This is
+    /// the **only** validation point: every method on the result can trust
+    /// the scoring parameters.
+    pub fn build(self) -> Result<Comparator<'c>, Error> {
+        self.score.validate().map_err(Error::Config)?;
+        Ok(Comparator {
+            catalog: self.catalog,
+            sig_cfg: SignatureConfig {
+                mode: self.mode,
+                score: self.score,
+                partial: self.partial,
+                max_signatures_per_tuple: self.max_signatures_per_tuple,
+                literal_subset_enumeration: self.literal_subset_enumeration,
+                budget: self.budget,
+            },
+            exact_cfg: ExactConfig {
+                mode: self.mode,
+                score: self.score,
+                budget: self.budget,
+                max_nodes: self.max_nodes,
+                no_warm_start: self.no_warm_start,
+            },
+            threads: self.threads,
+            #[cfg(feature = "obs")]
+            observer: self.observer,
+        })
+    }
+}
+
+/// A validated comparison handle over one catalog. Built with
+/// [`Comparator::new`]`(catalog).….build()?`; see the [module
+/// docs](self) for an example.
+pub struct Comparator<'c> {
+    catalog: &'c Catalog,
+    sig_cfg: SignatureConfig,
+    exact_cfg: ExactConfig,
+    threads: Option<usize>,
+    #[cfg(feature = "obs")]
+    observer: Option<(String, Arc<dyn ic_obs::Sink>)>,
+}
+
+impl std::fmt::Debug for Comparator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Comparator")
+            .field("sig_cfg", &self.sig_cfg)
+            .field("exact_cfg", &self.exact_cfg)
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'c> Comparator<'c> {
+    /// Starts building a comparator over `catalog`.
+    // `new` deliberately returns the builder, not Self: the public entry
+    // point is `Comparator::new(catalog).lambda(..).build()?`.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new(catalog: &'c Catalog) -> ComparatorBuilder<'c> {
+        ComparatorBuilder::with_defaults(catalog)
+    }
+
+    /// The signature-algorithm configuration the builder produced.
+    pub fn signature_config(&self) -> &SignatureConfig {
+        &self.sig_cfg
+    }
+
+    /// The exact-algorithm configuration the builder produced.
+    pub fn exact_config(&self) -> &ExactConfig {
+        &self.exact_cfg
+    }
+
+    /// The catalog this comparator was built over.
+    pub fn catalog(&self) -> &'c Catalog {
+        self.catalog
+    }
+
+    /// Rejects instances that were not built for this comparator's catalog
+    /// (their relation ids would be interpreted against the wrong schema).
+    fn check_instance(&self, inst: &Instance) -> Result<(), Error> {
+        let expected = self.catalog.schema().len();
+        if inst.num_relations() != expected {
+            return Err(Error::SchemaMismatch {
+                expected,
+                found: inst.num_relations(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs `f` under this comparator's thread-count pin and observer.
+    fn run<R>(&self, f: impl FnOnce() -> R) -> R {
+        let threads = self.threads;
+        let with_pool = move || match threads {
+            Some(n) => ic_pool::with_threads(n, f),
+            None => f(),
+        };
+        #[cfg(feature = "obs")]
+        if let Some((label, sink)) = &self.observer {
+            let _obs = ic_obs::observe(label.clone(), Arc::clone(sink));
+            return with_pool();
+        }
+        with_pool()
+    }
+
+    /// Compares two instances with the signature algorithm and derives the
+    /// cell-level diff — the common "what changed and how much?" query.
+    pub fn compare(&self, left: &Instance, right: &Instance) -> Result<Comparison, Error> {
+        self.check_instance(left)?;
+        self.check_instance(right)?;
+        Ok(self.run(|| compare(left, right, self.catalog, &self.sig_cfg)))
+    }
+
+    /// Batch variant of [`compare`](Self::compare): scores many pairs
+    /// concurrently, preserving input order; results are bit-identical to
+    /// a sequential loop at any thread count.
+    pub fn compare_many(&self, pairs: &[(&Instance, &Instance)]) -> Result<Vec<Comparison>, Error> {
+        for &(l, r) in pairs {
+            self.check_instance(l)?;
+            self.check_instance(r)?;
+        }
+        Ok(self.run(|| compare_many(pairs, self.catalog, &self.sig_cfg)))
+    }
+
+    /// Runs the PTIME signature algorithm, returning the full outcome
+    /// (match, step attribution, timing, budget flag).
+    pub fn signature(&self, left: &Instance, right: &Instance) -> Result<SignatureOutcome, Error> {
+        self.check_instance(left)?;
+        self.check_instance(right)?;
+        Ok(self.run(|| signature_match(left, right, self.catalog, &self.sig_cfg)))
+    }
+
+    /// Runs the exact branch-and-bound. A budget/node-limit stop is *not*
+    /// an error here — inspect [`ExactOutcome::optimal`]; use
+    /// [`exact_strict`](Self::exact_strict) to turn it into one.
+    pub fn exact(&self, left: &Instance, right: &Instance) -> Result<ExactOutcome, Error> {
+        self.check_instance(left)?;
+        self.check_instance(right)?;
+        Ok(self.run(|| exact_match(left, right, self.catalog, &self.exact_cfg)))
+    }
+
+    /// Like [`exact`](Self::exact) but demands a proven optimum: returns
+    /// [`Error::Budget`] if the search stopped on the budget or node limit.
+    pub fn exact_strict(&self, left: &Instance, right: &Instance) -> Result<ExactOutcome, Error> {
+        let out = self.exact(left, right)?;
+        if !out.optimal {
+            return Err(Error::Budget {
+                budget: self.exact_cfg.budget,
+                elapsed: out.elapsed,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Like [`signature`](Self::signature) but demands a complete run:
+    /// returns [`Error::Budget`] if the wall-clock budget expired first.
+    pub fn signature_strict(
+        &self,
+        left: &Instance,
+        right: &Instance,
+    ) -> Result<SignatureOutcome, Error> {
+        let out = self.signature(left, right)?;
+        if out.timed_out {
+            return Err(Error::Budget {
+                budget: self.sig_cfg.budget,
+                elapsed: out.elapsed,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Both algorithms on the same inputs — for evaluations reporting the
+    /// (exact, signature) pair, e.g. the paper's <1%-gap claim (Sec. 7).
+    pub fn both(
+        &self,
+        left: &Instance,
+        right: &Instance,
+    ) -> Result<(ExactOutcome, SignatureOutcome), Error> {
+        self.check_instance(left)?;
+        self.check_instance(right)?;
+        Ok(self.run(|| {
+            (
+                exact_match(left, right, self.catalog, &self.exact_cfg),
+                signature_match(left, right, self.catalog, &self.sig_cfg),
+            )
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::ConfigError;
+    use ic_model::{RelId, Schema};
+
+    fn small_pair(cat: &mut Catalog) -> (Instance, Instance) {
+        let rel = RelId(0);
+        let a = cat.konst("a");
+        let b = cat.konst("b");
+        let n = cat.fresh_null();
+        let m = cat.fresh_null();
+        let mut l = Instance::new("I", cat);
+        l.insert(rel, vec![a, n]);
+        l.insert(rel, vec![b, a]);
+        let mut r = Instance::new("J", cat);
+        r.insert(rel, vec![a, m]);
+        r.insert(rel, vec![b, a]);
+        (l, r)
+    }
+
+    #[test]
+    fn build_validates_once() {
+        let cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let err = Comparator::new(&cat).lambda(f64::NAN).build().unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Config(ConfigError::NonFiniteLambda(_))
+        ));
+        assert!(Comparator::new(&cat).lambda(0.3).build().is_ok());
+    }
+
+    #[test]
+    fn compare_matches_free_function() {
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let (l, r) = small_pair(&mut cat);
+        let cmp = Comparator::new(&cat).build().unwrap();
+        let via_facade = cmp.compare(&l, &r).unwrap();
+        let via_free = compare(&l, &r, &cat, &SignatureConfig::default());
+        assert_eq!(
+            via_facade.score().to_bits(),
+            via_free.score().to_bits(),
+            "facade must be bit-identical to the free function"
+        );
+        assert_eq!(via_facade.outcome.best.pairs, via_free.outcome.best.pairs);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let mut cat = Catalog::new(Schema::single("R", &["A"]));
+        let a = cat.konst("a");
+        let mut ok = Instance::new("I", &cat);
+        ok.insert(RelId(0), vec![a]);
+
+        let mut schema2 = Schema::new();
+        schema2.add_relation(ic_model::RelationSchema::new("R", &["A"]));
+        schema2.add_relation(ic_model::RelationSchema::new("S", &["B"]));
+        let other_cat = Catalog::new(schema2);
+        let foreign = Instance::new("X", &other_cat);
+
+        let cmp = Comparator::new(&cat).build().unwrap();
+        assert!(cmp.compare(&ok, &ok).is_ok());
+        let err = cmp.compare(&ok, &foreign).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::SchemaMismatch {
+                expected: 1,
+                found: 2
+            }
+        ));
+        // Batch checks every pair up front.
+        assert!(cmp.compare_many(&[(&ok, &foreign)]).is_err());
+    }
+
+    #[test]
+    fn exact_strict_flags_budget_exhaustion() {
+        let mut cat = Catalog::new(Schema::single("R", &["A"]));
+        let rel = RelId(0);
+        let mut l = Instance::new("I", &cat);
+        let mut r = Instance::new("J", &cat);
+        for _ in 0..8 {
+            let n = cat.fresh_null();
+            l.insert(rel, vec![n]);
+            r.insert(rel, vec![n]);
+        }
+        let cmp = Comparator::new(&cat)
+            .mode(MatchMode::general())
+            .max_nodes(5)
+            .build()
+            .unwrap();
+        // Non-strict: partial result, no error.
+        let out = cmp.exact(&l, &r).unwrap();
+        assert!(!out.optimal);
+        // Strict: the stop becomes a Budget error.
+        assert!(matches!(
+            cmp.exact_strict(&l, &r),
+            Err(Error::Budget { .. })
+        ));
+    }
+
+    #[test]
+    fn threads_pin_is_bit_identical() {
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let (l, r) = small_pair(&mut cat);
+        let seq = Comparator::new(&cat).threads(1).build().unwrap();
+        let par = Comparator::new(&cat).threads(4).build().unwrap();
+        let a = seq.compare(&l, &r).unwrap();
+        let b = par.compare(&l, &r).unwrap();
+        assert_eq!(a.score().to_bits(), b.score().to_bits());
+        assert_eq!(a.outcome.best.pairs, b.outcome.best.pairs);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn observer_captures_span_tree() {
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let (l, r) = small_pair(&mut cat);
+        let sink = Arc::new(ic_obs::MemorySink::new());
+        let cmp = Comparator::new(&cat)
+            .observer("unit", sink.clone())
+            .build()
+            .unwrap();
+        cmp.compare(&l, &r).unwrap();
+        let report = sink.last().expect("one report per compare call");
+        assert_eq!(report.label, "unit");
+        // The acceptance-criteria span set: sigmap build, probe, completion
+        // and scoring, all under compare > signature.
+        for path in [
+            &["compare", "signature", "signature.sigmap_build"][..],
+            &["compare", "signature", "signature.probe"][..],
+            &["compare", "signature", "signature.complete"][..],
+            &["compare", "signature", "score"][..],
+        ] {
+            assert!(
+                report.find_span(path).is_some(),
+                "missing span {path:?} in:\n{}",
+                report.render_tree()
+            );
+        }
+        assert!(report.counter("score.pairs").unwrap_or(0) > 0);
+    }
+}

@@ -21,7 +21,7 @@
 
 use crate::compat::CandidateIndex;
 use crate::mapping::{InstanceMatch, MatchMode, Pair};
-use crate::score::{optimistic_pair_score, score_state, ConfigError, ScoreConfig};
+use crate::score::{optimistic_pair_score, score_state, ScoreConfig};
 use crate::signature::{signature_match, SignatureConfig};
 use crate::state::MatchState;
 use crate::universe::Side;
@@ -92,6 +92,12 @@ struct Search<'a, 'c> {
     best_pairs: Vec<Pair>,
     best_meets_totality: bool,
     nodes: u64,
+    /// Subtrees cut by the admissible bound (for the `exact.bound_cuts`
+    /// counter; always counted — a u64 increment is free next to the score
+    /// evaluation it replaces).
+    bound_cuts: u64,
+    /// Include-branches rejected by value-mapping inconsistency.
+    infeasible_pushes: u64,
     start: Instant,
     stopped: bool,
 }
@@ -172,6 +178,7 @@ impl<'a, 'c> Search<'a, 'c> {
         // Admissible bound: every tuple that can still be matched scores at
         // most its cap; everything else scores 0.
         if self.potential / self.norm <= self.best_score + 1e-15 && self.best_meets_totality {
+            self.bound_cuts += 1;
             return;
         }
         let p = self.pairs[i];
@@ -181,17 +188,19 @@ impl<'a, 'c> Search<'a, 'c> {
         // mappings stay consistent).
         let left_free = !mode.left_injective || self.state.left_degree(p.left) == 0;
         let right_free = !mode.right_injective || self.state.right_degree(p.right) == 0;
-        if left_free
-            && right_free
-            && self
+        if left_free && right_free {
+            if self
                 .state
                 .try_push_pair(p.rel, p.left, p.right, false)
                 .is_ok()
-        {
-            self.dfs(i + 1);
-            self.state.pop_pair();
-            if self.stopped {
-                return;
+            {
+                self.dfs(i + 1);
+                self.state.pop_pair();
+                if self.stopped {
+                    return;
+                }
+            } else {
+                self.infeasible_pushes += 1;
             }
         }
 
@@ -237,14 +246,19 @@ impl<'a, 'c> Search<'a, 'c> {
 ///
 /// Like [`exact_match`], but validates `cfg.score` first: a NaN or
 /// out-of-range λ (or a degenerate string-similarity weight) is rejected
-/// with a [`ConfigError`] instead of producing meaningless scores.
+/// with [`crate::Error::Config`] instead of producing meaningless scores.
+#[doc(hidden)]
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Comparator::new(catalog).build()?.exact(..)`, which validates once at build"
+)]
 pub fn exact_match_checked(
     left: &Instance,
     right: &Instance,
     catalog: &Catalog,
     cfg: &ExactConfig,
-) -> Result<ExactOutcome, ConfigError> {
-    cfg.score.validate()?;
+) -> Result<ExactOutcome, crate::Error> {
+    cfg.score.validate().map_err(crate::Error::Config)?;
     Ok(exact_match(left, right, catalog, cfg))
 }
 
@@ -255,10 +269,12 @@ pub fn exact_match(
     catalog: &Catalog,
     cfg: &ExactConfig,
 ) -> ExactOutcome {
+    let _span = crate::obs::span("exact");
     let start = Instant::now();
     let lambda = cfg.score.lambda;
 
     // Step 1: compatible pairs per relation (Alg. 2).
+    let candidates_span = crate::obs::span("exact.candidates");
     let mut pairs: Vec<CandPair> = Vec::new();
     for rel in catalog.schema().rel_ids() {
         let index = CandidateIndex::build(right, rel);
@@ -274,6 +290,8 @@ pub fn exact_match(
             }
         }
     }
+    crate::obs::counter("exact.candidate_pairs", pairs.len() as u64);
+    drop(candidates_span);
 
     // Order: group by left tuple with fewest candidates first (fail-first),
     // then by descending optimistic score (find good incumbents early).
@@ -322,6 +340,8 @@ pub fn exact_match(
         best_pairs: Vec::new(),
         best_meets_totality: false,
         nodes: 0,
+        bound_cuts: 0,
+        infeasible_pushes: 0,
         start,
         stopped: false,
     };
@@ -330,12 +350,14 @@ pub fn exact_match(
     // Warm start: the signature match is feasible for the same mode, so its
     // score is a valid incumbent and tightens the bound from the start.
     if !cfg.no_warm_start {
+        let _span = crate::obs::span("exact.warm_start");
         let sig_cfg = SignatureConfig {
             mode: cfg.mode,
             score: cfg.score,
             ..Default::default()
         };
         let sig = signature_match(left, right, catalog, &sig_cfg);
+        crate::obs::gauge("exact.warm_start.pairs", sig.best.pairs.len() as u64);
         let mut warm = MatchState::new(left, right);
         for p in &sig.best.pairs {
             let _ = warm.try_push_pair(p.rel, p.left, p.right, false);
@@ -359,9 +381,16 @@ pub fn exact_match(
             search.best_meets_totality = meets;
         }
     }
-    search.dfs(0);
+    {
+        let _span = crate::obs::span("exact.search");
+        search.dfs(0);
+    }
+    crate::obs::counter("exact.nodes", search.nodes);
+    crate::obs::counter("exact.bound_cuts", search.bound_cuts);
+    crate::obs::counter("exact.infeasible_pushes", search.infeasible_pushes);
 
     // Replay the best pair set to realize mappings and detailed scores.
+    let _replay_span = crate::obs::span("exact.replay");
     let mut final_state = MatchState::new(left, right);
     for p in &search.best_pairs {
         final_state
@@ -387,9 +416,11 @@ pub fn exact_match(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::score::ConfigError;
     use ic_model::{Schema, Value};
 
     #[test]
+    #[allow(deprecated)]
     fn nan_lambda_is_rejected_at_entry_not_mid_search() {
         // Regression: a caller-supplied NaN λ used to reach the candidate
         // ordering's `partial_cmp(..).expect("finite")` and panic there.
@@ -409,7 +440,10 @@ mod tests {
             ..Default::default()
         };
         let err = exact_match_checked(&l, &r, &cat, &cfg).unwrap_err();
-        assert!(matches!(err, ConfigError::NonFiniteLambda(_)));
+        assert!(matches!(
+            err,
+            crate::Error::Config(ConfigError::NonFiniteLambda(_))
+        ));
         // Degenerate but finite λ values are rejected too.
         for bad in [-0.5, 1.0, 2.0, f64::INFINITY] {
             let cfg = ExactConfig {

@@ -15,7 +15,7 @@
 //!
 //! ```
 //! use ic_model::{Catalog, Instance, Schema};
-//! use ic_core::{signature_match, SignatureConfig};
+//! use ic_core::Comparator;
 //!
 //! let mut cat = Catalog::new(Schema::single("Conf", &["Name", "Year"]));
 //! let rel = cat.schema().rel("Conf").unwrap();
@@ -28,19 +28,23 @@
 //! let mut right = Instance::new("I2", &cat);
 //! right.insert(rel, vec![vldb, n]); // year unknown in the new version
 //!
-//! let out = signature_match(&left, &right, &cat, &SignatureConfig::default());
+//! let cmp = Comparator::new(&cat).build().unwrap();
+//! let out = cmp.signature(&left, &right).unwrap();
 //! assert!(out.best.score() > 0.5 && out.best.score() < 1.0);
 //! assert_eq!(out.best.pairs.len(), 1);
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod comparator;
 pub mod compat;
+pub mod error;
 pub mod exact;
 pub mod explain;
 pub mod ground;
 pub mod hom;
 pub mod mapping;
+pub mod obs;
 pub mod refine;
 pub mod score;
 pub mod signature;
@@ -50,8 +54,12 @@ pub mod strsim;
 pub mod unionfind;
 pub mod universe;
 
+pub use comparator::{Comparator, ComparatorBuilder};
 pub use compat::{c_compatible, compatible_tuples, pair_compatible, CandidateIndex};
-pub use exact::{exact_match, exact_match_checked, ExactConfig, ExactOutcome};
+pub use error::Error;
+#[allow(deprecated)]
+pub use exact::exact_match_checked;
+pub use exact::{exact_match, ExactConfig, ExactOutcome};
 pub use explain::{
     explain, render_diff, render_value_mapping, CellChange, InstanceDiff, PairExplanation,
 };
@@ -62,12 +70,14 @@ pub use hom::{
 pub use mapping::{InstanceMatch, Mapped, MatchMode, Pair, ScoreDetails, ValueMapping};
 pub use refine::{refine_match, RefineConfig};
 pub use score::{score_state, ConfigError, ScoreConfig};
-pub use signature::{
-    signature_match, signature_match_checked, SignatureConfig, SignatureOutcome, SignatureStats,
-};
+#[allow(deprecated)]
+pub use signature::signature_match_checked;
+pub use signature::{signature_match, SignatureConfig, SignatureOutcome, SignatureStats};
+#[allow(deprecated)]
+pub use similarity::compare_many_checked;
 pub use similarity::{
-    compare, compare_both, compare_many, compare_many_checked, similarity_exact,
-    similarity_signature, symmetric_difference_similarity, Comparison,
+    compare, compare_both, compare_many, similarity_exact, similarity_signature,
+    symmetric_difference_similarity, Comparison,
 };
 pub use state::MatchState;
 pub use universe::{Side, Universe};

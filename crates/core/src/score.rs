@@ -103,8 +103,74 @@ impl fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// Which of the four Def. 5.5 cell cases applied, in declaration order:
+/// misaligned, aligned const/const, aligned null/null, aligned null/const.
+/// Indexes the `score.cells.*` counter table in [`score_state`]'s
+/// instrumented path.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum CellCase {
+    /// Case 1: `h_l(t.A) ≠ h_r(t'.A)` — misaligned cell of a partial match.
+    Misaligned = 0,
+    /// Case 2: aligned equal constants.
+    ConstConst = 1,
+    /// Case 3: aligned nulls, scored by the ⊓ non-injectivity measure.
+    NullNull = 2,
+    /// Case 4: a null standing in for a constant, scored with the λ penalty.
+    NullConst = 3,
+}
+
+/// Counter names for the four cell cases, indexed by [`CellCase`].
+pub(crate) const CELL_CASE_COUNTERS: [&str; 4] = [
+    "score.cells.case1_misaligned",
+    "score.cells.case2_const_const",
+    "score.cells.case3_null_null",
+    "score.cells.case4_null_const",
+];
+
 /// Computes the score of one cell pair `(t.A, t'.A)` under the current
-/// partition — `score(M, t, t', A)` of Def. 5.5.
+/// partition — `score(M, t, t', A)` of Def. 5.5 — together with which of
+/// the definition's four cases applied.
+pub(crate) fn cell_score_case(
+    state: &MatchState<'_>,
+    cfg: &ScoreConfig,
+    catalog: &Catalog,
+    a: Value,
+    b: Value,
+) -> (f64, CellCase) {
+    let na = state.universe().node(Side::Left, a);
+    let nb = state.universe().node(Side::Right, b);
+    let uf = state.uf();
+    if !uf.same(na, nb) {
+        // h_l(t.A) ≠ h_r(t'.A): misaligned cell of a partial match.
+        if let (Some(w), Value::Const(sa), Value::Const(sb)) = (cfg.string_sim_weight, a, b) {
+            let s = w * levenshtein_similarity(catalog.resolve(sa), catalog.resolve(sb));
+            return (s, CellCase::Misaligned);
+        }
+        return (0.0, CellCase::Misaligned);
+    }
+    match (a, b) {
+        // Both constants and aligned ⇒ equal constants.
+        (Value::Const(_), Value::Const(_)) => (1.0, CellCase::ConstConst),
+        // Both nulls with equal images: 2 / (⊓(t.A) + ⊓(t'.A)).
+        (Value::Null(_), Value::Null(_)) => {
+            let da = uf.sqcap_null(na, Side::Left);
+            let db = uf.sqcap_null(nb, Side::Right);
+            (2.0 / (da + db) as f64, CellCase::NullNull)
+        }
+        // One null, one constant: 2λ / (⊓(t.A) + ⊓(t'.A)), ⊓(const) = 1.
+        (Value::Null(_), Value::Const(_)) => {
+            let da = uf.sqcap_null(na, Side::Left);
+            (2.0 * cfg.lambda / (da + 1) as f64, CellCase::NullConst)
+        }
+        (Value::Const(_), Value::Null(_)) => {
+            let db = uf.sqcap_null(nb, Side::Right);
+            (2.0 * cfg.lambda / (1 + db) as f64, CellCase::NullConst)
+        }
+    }
+}
+
+/// Computes the score of one cell pair — `score(M, t, t', A)` of Def. 5.5.
+#[inline]
 pub(crate) fn cell_score(
     state: &MatchState<'_>,
     cfg: &ScoreConfig,
@@ -112,35 +178,7 @@ pub(crate) fn cell_score(
     a: Value,
     b: Value,
 ) -> f64 {
-    let na = state.universe().node(Side::Left, a);
-    let nb = state.universe().node(Side::Right, b);
-    let uf = state.uf();
-    if !uf.same(na, nb) {
-        // h_l(t.A) ≠ h_r(t'.A): misaligned cell of a partial match.
-        if let (Some(w), Value::Const(sa), Value::Const(sb)) = (cfg.string_sim_weight, a, b) {
-            return w * levenshtein_similarity(catalog.resolve(sa), catalog.resolve(sb));
-        }
-        return 0.0;
-    }
-    match (a, b) {
-        // Both constants and aligned ⇒ equal constants.
-        (Value::Const(_), Value::Const(_)) => 1.0,
-        // Both nulls with equal images: 2 / (⊓(t.A) + ⊓(t'.A)).
-        (Value::Null(_), Value::Null(_)) => {
-            let da = uf.sqcap_null(na, Side::Left);
-            let db = uf.sqcap_null(nb, Side::Right);
-            2.0 / (da + db) as f64
-        }
-        // One null, one constant: 2λ / (⊓(t.A) + ⊓(t'.A)), ⊓(const) = 1.
-        (Value::Null(_), Value::Const(_)) => {
-            let da = uf.sqcap_null(na, Side::Left);
-            2.0 * cfg.lambda / (da + 1) as f64
-        }
-        (Value::Const(_), Value::Null(_)) => {
-            let db = uf.sqcap_null(nb, Side::Right);
-            2.0 * cfg.lambda / (1 + db) as f64
-        }
-    }
+    cell_score_case(state, cfg, catalog, a, b).0
 }
 
 /// Computes the score of a tuple pair: the sum of its cell scores,
@@ -157,6 +195,34 @@ pub(crate) fn pair_score(
         .zip(rt.values())
         .map(|(&a, &b)| cell_score(state, cfg, catalog, a, b))
         .sum()
+}
+
+/// [`pair_score`] with per-case cell counts, used by [`score_state`]'s
+/// instrumented path: cases accumulate locally and flush as at most four
+/// counter adds per pair, keeping the per-cell hot loop free of recording
+/// calls.
+fn pair_score_counted(
+    state: &MatchState<'_>,
+    cfg: &ScoreConfig,
+    catalog: &Catalog,
+    lt: &Tuple,
+    rt: &Tuple,
+) -> f64 {
+    let mut cases = [0u64; 4];
+    let sum = lt
+        .values()
+        .iter()
+        .zip(rt.values())
+        .map(|(&a, &b)| {
+            let (s, case) = cell_score_case(state, cfg, catalog, a, b);
+            cases[case as usize] += 1;
+            s
+        })
+        .sum();
+    for (name, n) in CELL_CASE_COUNTERS.iter().zip(cases) {
+        crate::obs::counter(name, n);
+    }
+    sum
 }
 
 /// A state-independent upper bound on the score a candidate pair can ever
@@ -195,12 +261,26 @@ pub fn score_state(state: &MatchState<'_>, cfg: &ScoreConfig, catalog: &Catalog)
     let mut left_sum = vec![0.0f64; left.id_bound()];
     let mut right_sum = vec![0.0f64; right.id_bound()];
 
+    // One flag check per batch, hoisted out of the per-pair hot loop; the
+    // counted variant only runs while an observation is active on the
+    // calling thread (workers inherit it via ic-pool).
+    let instrument = crate::obs::active();
+    let _span = crate::obs::span("score");
+
     let pairs: Vec<crate::mapping::Pair> = state.pairs().collect();
     let pair_scores: Vec<f64> = ic_pool::par_map_min_chunk(&pairs, PAR_SCORE_MIN_PAIRS, |pair| {
         let lt = left.tuple(pair.left).expect("left tuple");
         let rt = right.tuple(pair.right).expect("right tuple");
-        pair_score(state, cfg, catalog, lt, rt)
+        if instrument {
+            pair_score_counted(state, cfg, catalog, lt, rt)
+        } else {
+            pair_score(state, cfg, catalog, lt, rt)
+        }
     });
+    if instrument {
+        crate::obs::counter("score.batches", 1);
+        crate::obs::counter("score.pairs", pairs.len() as u64);
+    }
     for (pair, &s) in pairs.iter().zip(&pair_scores) {
         left_sum[pair.left.0 as usize] += s;
         right_sum[pair.right.0 as usize] += s;

@@ -24,12 +24,18 @@
 
 use crate::compat::CandidateIndex;
 use crate::mapping::{InstanceMatch, MatchMode, Pair};
-use crate::score::{optimistic_pair_score, score_state, ConfigError, ScoreConfig};
+use crate::score::{optimistic_pair_score, score_state, ScoreConfig};
 use crate::state::MatchState;
 use crate::universe::Side;
 use ic_model::{Catalog, FxHashMap, FxHashSet, Instance, RelId, Sym, Tuple, TupleId, Value};
 use std::cmp::Reverse;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
+
+/// Stride of the deadline re-checks inside the candidate-consumption loops:
+/// a tuple with a huge candidate list must notice budget exhaustion without
+/// paying a clock read per candidate.
+const BUDGET_CHECK_STRIDE: usize = 64;
 
 /// Minimum tuple count before the signature-map build fans out over the
 /// [`ic_pool`] workers.
@@ -345,16 +351,36 @@ impl Run<'_> {
         if sig_tuples.first().map_or(0, Tuple::arity) > 128 {
             return 0; // fall back to the exhaustive completion
         }
-        let (sigmap, build_expired) = SigMap::build(
-            sig_tuples,
-            self.cfg.partial,
-            self.cfg.max_signatures_per_tuple,
-            self.deadline,
-        );
+        let (sigmap, build_expired) = {
+            let _span = crate::obs::span("signature.sigmap_build");
+            SigMap::build(
+                sig_tuples,
+                self.cfg.partial,
+                self.cfg.max_signatures_per_tuple,
+                self.deadline,
+            )
+        };
+        crate::obs::counter("sig.sigmap.buckets", sigmap.buckets.len() as u64);
         self.timed_out |= build_expired;
+        let _span = crate::obs::span("signature.probe");
         let cfg = self.cfg;
+        // Budget check inside the parallel discovery: the closures never
+        // touch `self`, so expiry is latched through a shared flag and
+        // folded into `timed_out` after the fan-out. Remaining probes
+        // short-circuit to empty candidate lists.
+        let deadline = self.deadline;
+        let expired = AtomicBool::new(false);
         let plans: Vec<(TupleId, Vec<TupleId>)> =
             ic_pool::par_map_min_chunk(probe_tuples, PAR_CANDIDATES_MIN_TUPLES, |t| {
+                if deadline.is_some() {
+                    if expired.load(Ordering::Relaxed) {
+                        return (t.id(), Vec::new());
+                    }
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        expired.store(true, Ordering::Relaxed);
+                        return (t.id(), Vec::new());
+                    }
+                }
                 let probe_mask = ground_mask(t);
                 // Masks to probe, largest first. The default enumerates only
                 // the attribute sets present in the map; the ablation variant
@@ -382,6 +408,13 @@ impl Run<'_> {
                 }
                 (t.id(), cands)
             });
+        self.timed_out |= expired.load(Ordering::Relaxed);
+        if crate::obs::active() {
+            crate::obs::counter(
+                "sig.probe.candidates_found",
+                plans.iter().map(|(_, c)| c.len() as u64).sum(),
+            );
+        }
 
         let mode = self.cfg.mode;
         // Injectivity of the probe side: skip fully matched probes.
@@ -390,7 +423,8 @@ impl Run<'_> {
             Side::Right => mode.left_injective,
         };
         let mut found = 0usize;
-        for (probe_id, cands) in plans {
+        let mut consumed = 0u64;
+        'probes: for (probe_id, cands) in plans {
             if self.out_of_budget() {
                 break;
             }
@@ -401,7 +435,14 @@ impl Run<'_> {
             if probe_injective && probe_matched {
                 continue;
             }
-            for cand in cands {
+            for (k, cand) in cands.into_iter().enumerate() {
+                // Deadline re-check inside the consumption loop, so a
+                // probe with an enormous candidate list (e.g. partial mode
+                // on skewed data) honors the budget too.
+                if k % BUDGET_CHECK_STRIDE == BUDGET_CHECK_STRIDE - 1 && self.out_of_budget() {
+                    break 'probes;
+                }
+                consumed += 1;
                 let (lt, rt) = match sig_side {
                     Side::Left => (cand, probe_id),
                     Side::Right => (probe_id, cand),
@@ -414,6 +455,8 @@ impl Run<'_> {
                 }
             }
         }
+        crate::obs::counter("sig.probe.candidates_consumed", consumed);
+        crate::obs::counter("sig.probe.matches", found as u64);
         found
     }
 
@@ -429,14 +472,29 @@ impl Run<'_> {
         if self.out_of_budget() {
             return 0;
         }
+        let _span = crate::obs::span("signature.complete");
         let mode = self.cfg.mode;
         let right = self.state.right();
         let index = CandidateIndex::build(right, rel);
         let left_tuples = self.state.left().tuples(rel);
         let partial = self.cfg.partial;
         let lambda = self.cfg.score.lambda;
+        // Same shared-flag budget latch as the probe discovery: the ranking
+        // work per left tuple can dominate the run on dense inputs, so long
+        // completions must honor the deadline mid-fan-out too.
+        let deadline = self.deadline;
+        let expired = AtomicBool::new(false);
         let plans: Vec<(TupleId, Vec<TupleId>)> =
             ic_pool::par_map_min_chunk(left_tuples, PAR_CANDIDATES_MIN_TUPLES, |t| {
+                if deadline.is_some() {
+                    if expired.load(Ordering::Relaxed) {
+                        return (t.id(), Vec::new());
+                    }
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        expired.store(true, Ordering::Relaxed);
+                        return (t.id(), Vec::new());
+                    }
+                }
                 // Complete matches restrict candidates to compatible tuples;
                 // the partial variant (Sec. 6.3) only requires a shared
                 // constant.
@@ -455,15 +513,31 @@ impl Run<'_> {
                 ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
                 (t.id(), ranked.into_iter().map(|(rt, _)| rt).collect())
             });
+        self.timed_out |= expired.load(Ordering::Relaxed);
+        if crate::obs::active() {
+            crate::obs::counter(
+                "sig.complete.candidates_found",
+                plans.iter().map(|(_, c)| c.len() as u64).sum(),
+            );
+        }
         let mut found = 0usize;
-        for (lt, cands) in plans {
+        let mut consumed = 0u64;
+        'left: for (lt, cands) in plans {
             if self.out_of_budget() {
                 break;
             }
             if mode.left_injective && self.left_matched[lt.0 as usize] {
                 continue;
             }
-            for rt in cands {
+            for (k, rt) in cands.into_iter().enumerate() {
+                // Budget fix: the completion loop used to run to the end of
+                // a tuple's candidate list no matter how long it was; check
+                // the deadline on a stride so `timed_out` is honored here
+                // too.
+                if k % BUDGET_CHECK_STRIDE == BUDGET_CHECK_STRIDE - 1 && self.out_of_budget() {
+                    break 'left;
+                }
+                consumed += 1;
                 if self.try_match(rel, lt, rt) {
                     found += 1;
                     if mode.left_injective {
@@ -472,6 +546,8 @@ impl Run<'_> {
                 }
             }
         }
+        crate::obs::counter("sig.complete.candidates_consumed", consumed);
+        crate::obs::counter("sig.complete.matches", found as u64);
         found
     }
 }
@@ -483,6 +559,7 @@ pub fn signature_match(
     catalog: &Catalog,
     cfg: &SignatureConfig,
 ) -> SignatureOutcome {
+    let _span = crate::obs::span("signature");
     let start = Instant::now();
     let mut run = Run {
         state: MatchState::new(left, right),
@@ -514,6 +591,8 @@ pub fn signature_match(
         right_mapping: run.state.value_mapping(Side::Right),
         details,
     };
+    crate::obs::counter("sig.matches.signature", sig_matches as u64);
+    crate::obs::counter("sig.matches.exhaustive", exhaustive_matches as u64);
     SignatureOutcome {
         best,
         stats: SignatureStats {
@@ -528,21 +607,27 @@ pub fn signature_match(
 }
 
 /// Like [`signature_match`] but validates the scoring configuration up
-/// front, returning [`ConfigError`] instead of risking a degenerate run on
-/// NaN or out-of-range parameters.
+/// front, returning [`crate::Error::Config`] instead of risking a
+/// degenerate run on NaN or out-of-range parameters.
+#[doc(hidden)]
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Comparator::new(catalog).build()?.signature(..)`, which validates once at build"
+)]
 pub fn signature_match_checked(
     left: &Instance,
     right: &Instance,
     catalog: &Catalog,
     cfg: &SignatureConfig,
-) -> Result<SignatureOutcome, ConfigError> {
-    cfg.score.validate()?;
+) -> Result<SignatureOutcome, crate::Error> {
+    cfg.score.validate().map_err(crate::Error::Config)?;
     Ok(signature_match(left, right, catalog, cfg))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::score::ConfigError;
     use ic_model::Schema;
 
     const EPS: f64 = 1e-9;
@@ -817,6 +902,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn checked_variant_rejects_nan_lambda() {
         let mut cat = Catalog::new(Schema::single("R", &["A"]));
         let rel = RelId(0);
@@ -833,7 +919,7 @@ mod tests {
         };
         assert!(matches!(
             signature_match_checked(&l, &r, &cat, &cfg),
-            Err(ConfigError::NonFiniteLambda(_))
+            Err(crate::Error::Config(ConfigError::NonFiniteLambda(_)))
         ));
         assert!(signature_match_checked(&l, &r, &cat, &SignatureConfig::default()).is_ok());
     }

@@ -6,7 +6,6 @@
 
 use crate::exact::{exact_match, ExactConfig, ExactOutcome};
 use crate::explain::{explain, InstanceDiff};
-use crate::score::ConfigError;
 use crate::signature::{signature_match, SignatureConfig, SignatureOutcome};
 use ic_model::{Catalog, Instance, Value};
 
@@ -35,8 +34,12 @@ pub fn compare(
     catalog: &Catalog,
     cfg: &SignatureConfig,
 ) -> Comparison {
+    let _span = crate::obs::span("compare");
     let outcome = signature_match(left, right, catalog, cfg);
-    let diff = explain(&outcome.best, left, right);
+    let diff = {
+        let _span = crate::obs::span("compare.explain");
+        explain(&outcome.best, left, right)
+    };
     Comparison { outcome, diff }
 }
 
@@ -57,17 +60,27 @@ pub fn compare_many(
     catalog: &Catalog,
     cfg: &SignatureConfig,
 ) -> Vec<Comparison> {
-    ic_pool::par_map(pairs, |&(left, right)| compare(left, right, catalog, cfg))
+    let _span = crate::obs::span("compare_many");
+    crate::obs::counter("compare_many.pairs", pairs.len() as u64);
+    ic_pool::par_map(pairs, |&(left, right)| {
+        let _span = crate::obs::span("compare.pair");
+        compare(left, right, catalog, cfg)
+    })
 }
 
 /// Like [`compare_many`] but validates the scoring configuration once up
 /// front instead of risking a degenerate run on every pair.
+#[doc(hidden)]
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Comparator::new(catalog).build()?.compare_many(..)`, which validates once at build"
+)]
 pub fn compare_many_checked(
     pairs: &[(&Instance, &Instance)],
     catalog: &Catalog,
     cfg: &SignatureConfig,
-) -> Result<Vec<Comparison>, ConfigError> {
-    cfg.score.validate()?;
+) -> Result<Vec<Comparison>, crate::Error> {
+    cfg.score.validate().map_err(crate::Error::Config)?;
     Ok(compare_many(pairs, catalog, cfg))
 }
 
@@ -284,6 +297,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn compare_many_checked_rejects_bad_lambda() {
         let cat = Catalog::new(Schema::single("R", &["A"]));
         let cfg = SignatureConfig {

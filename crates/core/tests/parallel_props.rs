@@ -4,6 +4,10 @@
 //! configurations must be rejected at the API boundary instead of
 //! panicking mid-search.
 
+// The `_checked` wrappers are deprecated in favor of `Comparator`, but this
+// suite deliberately pins their behavior until they are removed.
+#![allow(deprecated)]
+
 use ic_core::{
     compare_many, compare_many_checked, exact_match_checked, score_state, signature_match,
     signature_match_checked, ExactConfig, MatchState, ScoreConfig, SignatureConfig,

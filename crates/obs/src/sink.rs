@@ -1,0 +1,168 @@
+//! Pluggable report consumers.
+//!
+//! A [`Sink`] receives the finished [`Report`] of every observation it is
+//! installed on. Four implementations cover the common cases:
+//!
+//! * [`NoopSink`] — discards reports; used to measure instrumentation
+//!   overhead with the recording machinery fully engaged.
+//! * [`MemorySink`] — buffers reports in memory; the test/assertion sink.
+//! * [`JsonlSink`] — appends one JSON line per report to a file; produces
+//!   `BENCH_*.jsonl`-style artifacts.
+//! * [`TreeSink`] — pretty-prints the span tree and metrics to a writer
+//!   (stderr by default); the human debugging sink.
+
+use crate::report::Report;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A consumer of finished observation reports.
+///
+/// Sinks must be `Send + Sync`: a report is emitted by whichever thread
+/// drops the observation guard, and one sink instance may serve many
+/// observations concurrently.
+pub trait Sink: Send + Sync {
+    /// Called once per finished observation.
+    fn on_report(&self, report: &Report);
+}
+
+/// Discards every report.
+///
+/// Installing a `NoopSink` still exercises the full recording path (spans,
+/// counters, aggregation) — useful for overhead benchmarks. *Not* installing
+/// any sink is cheaper still: every instrumentation site bails out on a
+/// thread-local flag check.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn on_report(&self, _report: &Report) {}
+}
+
+/// Buffers reports in memory for later inspection — the sink tests use.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    reports: Mutex<Vec<Report>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clones out all buffered reports.
+    pub fn reports(&self) -> Vec<Report> {
+        self.reports.lock().unwrap().clone()
+    }
+
+    /// Removes and returns all buffered reports.
+    pub fn take(&self) -> Vec<Report> {
+        std::mem::take(&mut *self.reports.lock().unwrap())
+    }
+
+    /// Clones the most recent report, if any.
+    pub fn last(&self) -> Option<Report> {
+        self.reports.lock().unwrap().last().cloned()
+    }
+
+    /// Number of buffered reports.
+    pub fn len(&self) -> usize {
+        self.reports.lock().unwrap().len()
+    }
+
+    /// Whether no report has been captured yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn on_report(&self, report: &Report) {
+        self.reports.lock().unwrap().push(report.clone());
+    }
+}
+
+/// Appends one JSON line per report to a file (the JSONL format used by the
+/// `BENCH_*.json` artifacts in `target/ic-bench/`).
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the file at `path`. Parent directories are
+    /// created as needed.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        Ok(Self {
+            writer: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+
+    /// Opens the file at `path` for appending.
+    pub fn append(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        Ok(Self {
+            writer: Mutex::new(BufWriter::new(
+                File::options().create(true).append(true).open(path)?,
+            )),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn on_report(&self, report: &Report) {
+        let mut w = self.writer.lock().unwrap();
+        // Observability must never take the computation down with it.
+        let _ = writeln!(w, "{}", report.to_json());
+        let _ = w.flush();
+    }
+}
+
+/// Pretty-prints each report's span tree and metrics to a writer.
+pub struct TreeSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl TreeSink {
+    /// A sink printing to stderr.
+    pub fn stderr() -> Self {
+        Self::writer(Box::new(io::stderr()))
+    }
+
+    /// A sink printing to stdout.
+    pub fn stdout() -> Self {
+        Self::writer(Box::new(io::stdout()))
+    }
+
+    /// A sink printing to an arbitrary writer.
+    pub fn writer(w: Box<dyn Write + Send>) -> Self {
+        Self { out: Mutex::new(w) }
+    }
+}
+
+impl std::fmt::Debug for TreeSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TreeSink")
+    }
+}
+
+impl Sink for TreeSink {
+    fn on_report(&self, report: &Report) {
+        let mut out = self.out.lock().unwrap();
+        let _ = out.write_all(report.render_tree().as_bytes());
+        let _ = out.flush();
+    }
+}

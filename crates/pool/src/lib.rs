@@ -26,6 +26,13 @@
 //! running on a pool worker executes nested scopes inline, which bounds the
 //! worker count and cannot deadlock.
 //!
+//! With the `obs` feature (default) the pool cooperates with `ic-obs`:
+//! [`Scope::spawn`] captures the caller's observation context and re-enters
+//! it on the executing worker, so spans and metrics recorded inside tasks
+//! land in the caller's report, and each non-sequential scope records
+//! `pool.*` counter deltas (tasks, steals, idle time) at exit. Lifetime
+//! worker statistics are also available directly via [`pool_stats`].
+//!
 //! ```
 //! let squares = ic_pool::par_map(&[1i64, 2, 3, 4], |&x| x * x);
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
@@ -38,9 +45,35 @@ use std::cell::Cell;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+#[cfg(feature = "obs")]
+use ic_obs as obs;
+
+/// Inline no-op stand-ins for the `ic-obs` entry points the pool uses, so
+/// call sites stay unconditional when the `obs` feature is disabled.
+#[cfg(not(feature = "obs"))]
+mod obs {
+    pub struct TaskCtx;
+    #[inline]
+    pub fn task_ctx() -> TaskCtx {
+        TaskCtx
+    }
+    impl TaskCtx {
+        #[inline]
+        pub fn run<R>(self, f: impl FnOnce() -> R) -> R {
+            f()
+        }
+    }
+    #[inline]
+    pub fn active() -> bool {
+        false
+    }
+    #[inline]
+    pub fn counter(_name: &'static str, _delta: u64) {}
+}
 
 /// Environment variable overriding the worker count. `1` means fully
 /// sequential; `0` or unset means "auto" (`available_parallelism`).
@@ -117,6 +150,19 @@ struct WorkerQueue {
     jobs: Mutex<VecDeque<Job>>,
 }
 
+/// Lifetime execution counters of one worker thread.
+#[derive(Default)]
+struct WorkerCounters {
+    /// Jobs this worker executed (own deque plus steals).
+    tasks: AtomicU64,
+    /// Of those, jobs stolen from a sibling's deque.
+    steals: AtomicU64,
+    /// Times this worker parked waiting for work.
+    idle_parks: AtomicU64,
+    /// Total nanoseconds spent parked.
+    idle_nanos: AtomicU64,
+}
+
 struct Pool {
     queues: Vec<Arc<WorkerQueue>>,
     /// Number of worker threads actually running (`<= queues.len()`).
@@ -128,6 +174,87 @@ struct Pool {
     /// Sleep/wake machinery for idle workers.
     idle: Mutex<()>,
     wake: Condvar,
+    /// Per-worker lifetime stats, indexed like `queues`.
+    worker_stats: Vec<WorkerCounters>,
+    /// Jobs injected into worker deques (scope spawns that did not run inline).
+    injected: AtomicU64,
+    /// Jobs executed by scope-calling threads helping drain (`find_job(None)`).
+    helper_tasks: AtomicU64,
+}
+
+/// Snapshot of one worker's lifetime counters, from [`pool_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker index (also its deque index and `ic-pool-<n>` thread name).
+    pub worker: usize,
+    /// Jobs this worker executed (own deque plus steals).
+    pub tasks: u64,
+    /// Of those, jobs stolen from a sibling's deque.
+    pub steals: u64,
+    /// Times this worker parked waiting for work.
+    pub idle_parks: u64,
+    /// Total time this worker spent parked.
+    pub idle: Duration,
+}
+
+/// Snapshot of the pool's lifetime statistics, from [`pool_stats`].
+///
+/// All values are process-lifetime totals (workers are never torn down),
+/// so meaningful measurements take a delta between two snapshots. Every
+/// quantity here is execution-dependent — scheduling decides which worker
+/// runs or steals what — which is exactly why the corresponding `pool.*`
+/// metrics are excluded from `ic-obs` determinism comparisons.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Number of live worker threads.
+    pub live_workers: usize,
+    /// Jobs injected into worker deques since process start.
+    pub injected: u64,
+    /// Jobs executed inline by scope-calling threads helping drain.
+    pub helper_tasks: u64,
+    /// Per-worker counters for the live workers.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl PoolStats {
+    /// Total jobs executed (workers plus helping callers).
+    pub fn total_tasks(&self) -> u64 {
+        self.helper_tasks + self.workers.iter().map(|w| w.tasks).sum::<u64>()
+    }
+
+    /// Total jobs that were stolen from a sibling deque.
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Total time workers spent parked, summed across workers.
+    pub fn total_idle(&self) -> Duration {
+        self.workers.iter().map(|w| w.idle).sum()
+    }
+}
+
+/// Snapshots the pool's lifetime worker statistics. Cheap (a few relaxed
+/// atomic loads); safe to call at any time, including with no live workers.
+pub fn pool_stats() -> PoolStats {
+    let p = pool();
+    let live = p.live.load(Ordering::Acquire);
+    PoolStats {
+        live_workers: live,
+        injected: p.injected.load(Ordering::Relaxed),
+        helper_tasks: p.helper_tasks.load(Ordering::Relaxed),
+        workers: (0..live)
+            .map(|i| {
+                let w = &p.worker_stats[i];
+                WorkerStats {
+                    worker: i,
+                    tasks: w.tasks.load(Ordering::Relaxed),
+                    steals: w.steals.load(Ordering::Relaxed),
+                    idle_parks: w.idle_parks.load(Ordering::Relaxed),
+                    idle: Duration::from_nanos(w.idle_nanos.load(Ordering::Relaxed)),
+                }
+            })
+            .collect(),
+    }
 }
 
 fn pool() -> &'static Pool {
@@ -145,6 +272,11 @@ fn pool() -> &'static Pool {
         rr: AtomicUsize::new(0),
         idle: Mutex::new(()),
         wake: Condvar::new(),
+        worker_stats: (0..MAX_WORKERS)
+            .map(|_| WorkerCounters::default())
+            .collect(),
+        injected: AtomicU64::new(0),
+        helper_tasks: AtomicU64::new(0),
     })
 }
 
@@ -182,6 +314,7 @@ impl Pool {
         }
         let k = self.rr.fetch_add(1, Ordering::Relaxed) % live;
         self.queues[k].jobs.lock().unwrap().push_back(job);
+        self.injected.fetch_add(1, Ordering::Relaxed);
         // The empty critical section orders the push before the notify with
         // respect to a worker's under-lock recheck, preventing lost wakeups.
         drop(self.idle.lock().unwrap());
@@ -194,6 +327,7 @@ impl Pool {
     fn find_job(&self, own: Option<usize>) -> Option<Job> {
         if let Some(i) = own {
             if let Some(job) = self.queues[i].jobs.lock().unwrap().pop_back() {
+                self.worker_stats[i].tasks.fetch_add(1, Ordering::Relaxed);
                 return Some(job);
             }
         }
@@ -205,6 +339,16 @@ impl Pool {
                 continue;
             }
             if let Some(job) = self.queues[j].jobs.lock().unwrap().pop_front() {
+                match own {
+                    Some(i) => {
+                        let w = &self.worker_stats[i];
+                        w.tasks.fetch_add(1, Ordering::Relaxed);
+                        w.steals.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => {
+                        self.helper_tasks.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
                 return Some(job);
             }
         }
@@ -229,7 +373,12 @@ fn worker_loop(idx: usize) {
             continue;
         }
         // The timeout is a backstop only; wakeups arrive via notify_all.
+        let parked = Instant::now();
         let _ = pool.wake.wait_timeout(guard, Duration::from_millis(100));
+        let w = &pool.worker_stats[idx];
+        w.idle_parks.fetch_add(1, Ordering::Relaxed);
+        w.idle_nanos
+            .fetch_add(parked.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 }
 
@@ -258,6 +407,11 @@ impl<'scope> Scope<'scope> {
     /// Spawns `f` into the scope. With a sequential scope (1 thread, or
     /// nested inside a pool worker) the closure runs immediately on the
     /// calling thread, preserving program order.
+    ///
+    /// With the `obs` feature, the caller's `ic-obs` observation context
+    /// (if any) is captured here and re-entered around `f` on the worker,
+    /// so spans and metrics recorded inside the task aggregate into the
+    /// caller's report under the spawn site's span path.
     pub fn spawn<F>(&self, f: F)
     where
         F: FnOnce() + Send + 'scope,
@@ -266,10 +420,11 @@ impl<'scope> Scope<'scope> {
             f();
             return;
         }
+        let ctx = obs::task_ctx();
         *self.state.pending.lock().unwrap() += 1;
         let state = Arc::clone(&self.state);
         let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
-            let result = catch_unwind(AssertUnwindSafe(f));
+            let result = catch_unwind(AssertUnwindSafe(|| ctx.run(f)));
             if let Err(payload) = result {
                 let mut slot = state.panic.lock().unwrap();
                 slot.get_or_insert(payload);
@@ -307,6 +462,15 @@ pub fn scope<'scope, R>(f: impl FnOnce(&Scope<'scope>) -> R) -> R {
     if !sequential {
         pool().ensure_workers(threads.saturating_sub(1).max(1));
     }
+    // Record pool.* deltas for this scope into an active observation.
+    // These are execution-dependent (which worker steals what is a
+    // scheduling accident) — ic-obs excludes the pool. prefix from its
+    // determinism comparisons for exactly that reason.
+    let stats_before = if !sequential && obs::active() {
+        Some(pool_stats())
+    } else {
+        None
+    };
     let sc = Scope {
         state: Arc::new(ScopeState {
             pending: Mutex::new(0),
@@ -339,6 +503,30 @@ pub fn scope<'scope, R>(f: impl FnOnce(&Scope<'scope>) -> R) -> R {
                 .wait_timeout(guard, Duration::from_millis(1))
                 .unwrap();
         }
+    }
+
+    if let Some(before) = stats_before {
+        let after = pool_stats();
+        obs::counter("pool.scopes", 1);
+        obs::counter(
+            "pool.tasks",
+            after.total_tasks().saturating_sub(before.total_tasks()),
+        );
+        obs::counter(
+            "pool.steals",
+            after.total_steals().saturating_sub(before.total_steals()),
+        );
+        obs::counter(
+            "pool.injected",
+            after.injected.saturating_sub(before.injected),
+        );
+        obs::counter(
+            "pool.idle_nanos",
+            after
+                .total_idle()
+                .saturating_sub(before.total_idle())
+                .as_nanos() as u64,
+        );
     }
 
     if let Some(payload) = sc.state.panic.lock().unwrap().take() {
@@ -532,6 +720,54 @@ mod tests {
             });
         });
         assert_eq!(total.load(Ordering::Relaxed), 8 * 6);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn obs_context_propagates_into_tasks() {
+        let sink = Arc::new(ic_obs::MemorySink::new());
+        let items: Vec<u64> = (0..4096).collect();
+        {
+            let _obs = ic_obs::observe("pool", sink.clone());
+            let _root = ic_obs::span("batch");
+            with_threads(4, || {
+                scope(|s| {
+                    for ch in items.chunks(256) {
+                        s.spawn(move || {
+                            ic_obs::counter("task.items", ch.len() as u64);
+                            let _sp = ic_obs::span("task");
+                        });
+                    }
+                });
+            });
+        }
+        let r = sink.last().unwrap();
+        // Every chunk's counter contribution arrived, regardless of which
+        // thread ran it.
+        assert_eq!(r.counter("task.items"), Some(items.len() as u64));
+        // Worker-side spans nest under the spawn site's span path.
+        let task = r.find_span(&["batch", "task"]).expect("task span");
+        assert_eq!(task.count, 16);
+        // The scope recorded its pool.* deltas (execution-dependent values,
+        // but the scope count itself is exact).
+        assert_eq!(r.counter("pool.scopes"), Some(1));
+        // pool.* metrics are flagged as non-deterministic.
+        assert!(r.deterministic_metrics().keys().all(|&n| n == "task.items"));
+    }
+
+    #[test]
+    fn pool_stats_accounts_for_executed_jobs() {
+        let before = pool_stats();
+        let n = 512u64;
+        let items: Vec<u64> = (0..n).collect();
+        let sum: u64 = with_threads(4, || par_map(&items, |&x| x).iter().sum());
+        assert_eq!(sum, (0..n).sum::<u64>());
+        let after = pool_stats();
+        // Injected jobs either ran on a worker or on the helping caller;
+        // other tests may run concurrently, so compare deltas as >=.
+        assert!(after.injected >= before.injected);
+        assert!(after.total_tasks() >= before.total_tasks());
+        assert!(after.live_workers >= 1);
     }
 
     #[test]

@@ -25,6 +25,20 @@ cargo run -q --offline --release -p ic-bench --bin bench_parallel_scaling
 test -f target/ic-bench/BENCH_parallel.json
 echo "    wrote target/ic-bench/BENCH_parallel.json"
 
+# Observability must be optional: the core library has to build with the
+# obs feature (and thus ic-obs itself) compiled out entirely.
+echo "==> cargo build -p ic-core --offline --no-default-features (obs compiled out)"
+cargo build -p ic-core --offline --no-default-features
+
+# And close to free when compiled in: assert <2% wall-clock overhead on the
+# signature workload even with a no-op sink installed, and leave a JSONL
+# span-tree/metrics artifact from one fully observed run.
+echo "==> bench_obs_overhead (no-op observability overhead + JSONL artifact)"
+IC_OBS_JSONL=target/ic-bench/obs_report.jsonl \
+    cargo run -q --offline --release -p ic-bench --bin bench_obs_overhead
+test -s target/ic-bench/obs_report.jsonl
+echo "    wrote target/ic-bench/obs_report.jsonl"
+
 if rustfmt --version >/dev/null 2>&1; then
     echo "==> cargo fmt --check"
     cargo fmt --check

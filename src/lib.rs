@@ -23,12 +23,13 @@
 //! | [`exchange`] | s-t tgds, chase, core solutions |
 //! | [`cleaning`] | FDs, error injection, repair systems, F1 metrics |
 //! | [`versioning`] | version ops, diff baseline, comparison stats |
+//! | [`obs`] | spans, metrics, observation sinks (span trees, JSONL) |
 //!
 //! ## Quickstart
 //!
 //! ```
 //! use instance_comparison::model::{Catalog, Instance, Schema};
-//! use instance_comparison::core::{signature_match, SignatureConfig};
+//! use instance_comparison::core::Comparator;
 //!
 //! // Conference(Name, Year, Org) — two versions of the same data, one with
 //! // a missing year encoded as a labeled null.
@@ -42,7 +43,8 @@
 //! let mut v2 = Instance::new("v2", &cat);
 //! v2.insert(rel, vec![vldb, null_year, end]);
 //!
-//! let out = signature_match(&v1, &v2, &cat, &SignatureConfig::default());
+//! let cmp = Comparator::new(&cat).build().unwrap();
+//! let out = cmp.signature(&v1, &v2).unwrap();
 //! assert_eq!(out.best.pairs.len(), 1);           // the tuples correspond
 //! assert!(out.best.score() > 0.7 && out.best.score() < 1.0);
 //! ```
@@ -66,7 +68,7 @@
 pub mod prelude {
     pub use ic_core::{
         compare, exact_match, explain, is_homomorphic, isomorphic, render_diff, signature_match,
-        ExactConfig, InstanceMatch, MatchMode, ScoreConfig, SignatureConfig,
+        Comparator, Error, ExactConfig, InstanceMatch, MatchMode, ScoreConfig, SignatureConfig,
     };
     pub use ic_model::{Catalog, Instance, RelId, Schema, TupleId, Value};
 }
@@ -76,5 +78,6 @@ pub use ic_core as core;
 pub use ic_datagen as datagen;
 pub use ic_exchange as exchange;
 pub use ic_model as model;
+pub use ic_obs as obs;
 pub use ic_pool as pool;
 pub use ic_versioning as versioning;
