@@ -1,0 +1,72 @@
+//! Request throughput of the `ic-serve` serving layer over loopback TCP:
+//! signature compares against a fixed catalog, measured end to end
+//! (client encode → frame → server queue → worker → response decode) at 1
+//! and 4 concurrent client connections.
+//!
+//! Each measured sample issues a fixed batch of requests split evenly
+//! across the connections; the derived requests-per-second figures are
+//! recorded as `rps_c1` / `rps_c4` metadata in `BENCH_serve.json`.
+//!
+//! Run: `cargo run -p ic-bench --release --bin bench_serve_throughput`
+
+use ic_bench::harness::Suite;
+use ic_datagen::{mod_cell, Dataset};
+use ic_serve::{Algo, Client, CompareOptions, ServeCatalog, Server, ServerConfig};
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// Requests per measured sample (split across the connections).
+const BATCH: usize = 64;
+/// Concurrency levels to measure.
+const CLIENTS: [usize; 2] = [1, 4];
+
+fn run_batch(addr: SocketAddr, clients: usize) {
+    let per_client = BATCH / clients;
+    std::thread::scope(|s| {
+        for _ in 0..clients {
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for _ in 0..per_client {
+                    client
+                        .compare("v1", "v2", Algo::Signature, CompareOptions::default())
+                        .expect("compare");
+                }
+            });
+        }
+    });
+}
+
+fn main() {
+    let sc = mod_cell(Dataset::Doctors, 40, 0.10, 42);
+    let catalog = Arc::new(ServeCatalog::from_catalog(sc.catalog));
+    catalog.register("v1", sc.source).unwrap();
+    catalog.register("v2", sc.target).unwrap();
+
+    let server = Server::start(
+        catalog,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind an ephemeral loopback port");
+    let addr = server.local_addr();
+
+    let mut suite = Suite::new("BENCH_serve").warmup(1).samples(5);
+    suite.set_meta("workload", "signature/doctors/40/modcell10%");
+    suite.set_meta("batch", &BATCH.to_string());
+
+    for clients in CLIENTS {
+        suite.measure(&format!("serve/compare/clients{clients}"), || {
+            run_batch(addr, clients)
+        });
+        let median = suite.records().last().expect("just measured").median;
+        let rps = BATCH as f64 / median.as_secs_f64();
+        suite.set_meta(&format!("rps_c{clients}"), &format!("{rps:.0}"));
+        println!("{clients} client(s): {rps:.0} req/s");
+    }
+
+    suite.finish();
+    server.shutdown();
+}

@@ -11,7 +11,7 @@ use ic_datagen::Dataset;
 use ic_exchange::{chase, core_of, doctors_scenario, ChaseConfig};
 use ic_versioning::{diff_lines, serialize_instance_lines};
 
-/// A brute-force homomorphism check (the paper's [9] baseline): plain
+/// A brute-force homomorphism check (the paper's \[9\] baseline): plain
 /// backtracking with *every* right tuple as a candidate — no candidate
 /// index, no fail-first ordering. Used only to quantify the speedup of the
 /// indexed search.

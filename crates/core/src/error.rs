@@ -36,6 +36,19 @@ pub enum Error {
     },
 }
 
+impl Error {
+    /// A stable machine-readable code naming the failure class — the
+    /// contract service layers (e.g. `ic-serve`) map onto typed wire error
+    /// payloads. One string per variant; existing strings never change.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Self::Config(_) => "config",
+            Self::Budget { .. } => "budget",
+            Self::SchemaMismatch { .. } => "schema_mismatch",
+        }
+    }
+}
+
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -1,11 +1,14 @@
 //! Pluggable report consumers.
 //!
 //! A [`Sink`] receives the finished [`Report`] of every observation it is
-//! installed on. Four implementations cover the common cases:
+//! installed on. Five implementations cover the common cases:
 //!
 //! * [`NoopSink`] — discards reports; used to measure instrumentation
 //!   overhead with the recording machinery fully engaged.
 //! * [`MemorySink`] — buffers reports in memory; the test/assertion sink.
+//! * [`StatsSink`] — folds reports into per-label count/wall/counter
+//!   aggregates with O(labels) memory; the long-running-service sink
+//!   behind `ic-serve`'s `stats` endpoint.
 //! * [`JsonlSink`] — appends one JSON line per report to a file; produces
 //!   `BENCH_*.jsonl`-style artifacts.
 //! * [`TreeSink`] — pretty-prints the span tree and metrics to a writer
@@ -164,5 +167,90 @@ impl Sink for TreeSink {
         let mut out = self.out.lock().unwrap();
         let _ = out.write_all(report.render_tree().as_bytes());
         let _ = out.flush();
+    }
+}
+
+/// Aggregates reports into cheap per-label counters instead of buffering
+/// them — the long-running-service sink.
+///
+/// Where [`MemorySink`] keeps every report (unbounded growth under
+/// sustained traffic), `StatsSink` folds each report into a fixed-size
+/// [`LabelStats`] per label: report count, summed observation wall-clock,
+/// and the sum of every counter metric. [`snapshot`](StatsSink::snapshot)
+/// clones the aggregate out under the lock, so exporting statistics (e.g.
+/// a service `stats` endpoint) never blocks recording for long.
+#[derive(Debug, Default)]
+pub struct StatsSink {
+    labels: Mutex<std::collections::BTreeMap<String, LabelStats>>,
+}
+
+/// Aggregate of all finished observations under one label.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LabelStats {
+    /// Number of finished observations.
+    pub reports: u64,
+    /// Summed wall-clock across those observations.
+    pub wall: std::time::Duration,
+    /// Summed counter metrics (gauges and histograms are skipped — they
+    /// do not aggregate meaningfully across observations by addition).
+    pub counters: std::collections::BTreeMap<&'static str, u64>,
+}
+
+impl StatsSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clones out the per-label aggregates, sorted by label.
+    pub fn snapshot(&self) -> std::collections::BTreeMap<String, LabelStats> {
+        self.labels.lock().unwrap().clone()
+    }
+
+    /// The aggregate for one label, if any observation finished under it.
+    pub fn label(&self, label: &str) -> Option<LabelStats> {
+        self.labels.lock().unwrap().get(label).cloned()
+    }
+
+    /// Resets all aggregates.
+    pub fn reset(&self) {
+        self.labels.lock().unwrap().clear();
+    }
+}
+
+impl Sink for StatsSink {
+    fn on_report(&self, report: &Report) {
+        let mut labels = self.labels.lock().unwrap();
+        let entry = labels.entry(report.label.clone()).or_default();
+        entry.reports += 1;
+        entry.wall += report.wall;
+        for (name, v) in &report.metrics {
+            if let crate::report::MetricValue::Counter(c) = v {
+                *entry.counters.entry(name).or_insert(0) += c;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn aggregates_per_label() {
+        let sink = Arc::new(StatsSink::new());
+        for label in ["a", "b", "a"] {
+            let _g = crate::observe(label, sink.clone() as Arc<dyn Sink>);
+            crate::counter("unit.hits", 2);
+        }
+        let snap = sink.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap["a"].reports, 2);
+        assert_eq!(snap["a"].counters["unit.hits"], 4);
+        assert_eq!(snap["b"].reports, 1);
+        assert_eq!(sink.label("missing"), None);
+        sink.reset();
+        assert!(sink.snapshot().is_empty());
     }
 }

@@ -1,0 +1,378 @@
+//! The named-instance catalog: schema-aligned instances behind
+//! copy-on-write snapshots.
+//!
+//! A [`ServeCatalog`] owns one [`ic_model::Catalog`] (schema + interner +
+//! null generator) and a set of named instances built against it. Readers
+//! take an immutable [`Snapshot`] (`Arc`-shared); writers clone the current
+//! snapshot's contents, mutate the clone, and atomically swap it in. An
+//! in-flight request therefore computes against exactly the catalog state
+//! it was admitted under — a concurrent `load` can never tear the
+//! interner, the schema, or an instance out from under it ("old snapshot
+//! answered, new snapshot used afterward").
+//!
+//! Cloning the value catalog on every write is deliberate: loads are rare
+//! and bounded by CSV parsing anyway, while reads are the hot path and
+//! stay lock-free after the one `Mutex`-guarded `Arc` clone.
+
+use ic_model::csv::{read_csv_into, CsvError, CsvOptions};
+use ic_model::{Catalog, Instance, Schema};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// An immutable view of the catalog at one version. Everything a request
+/// needs — value domains and instances — is reachable from here and
+/// guaranteed internally consistent.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Monotone version counter; bumps on every successful mutation.
+    pub version: u64,
+    /// The shared value domains (schema, interner, nulls).
+    pub catalog: Catalog,
+    instances: BTreeMap<String, Arc<Instance>>,
+}
+
+impl Snapshot {
+    /// Looks up an instance by name.
+    pub fn get(&self, name: &str) -> Option<&Arc<Instance>> {
+        self.instances.get(name)
+    }
+
+    /// Instance names in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.instances.keys().map(String::as_str)
+    }
+
+    /// Number of registered instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Whether the catalog holds no instances.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+}
+
+/// Why a catalog mutation failed.
+#[derive(Debug)]
+pub enum CatalogError {
+    /// An instance was built for a different schema (relation count
+    /// mismatch — its relation ids would be misinterpreted).
+    SchemaMismatch {
+        /// Relations in the catalog schema.
+        expected: usize,
+        /// Relations the instance was built with.
+        found: usize,
+    },
+    /// Reading a CSV file failed at the I/O level.
+    Io {
+        /// The file being read.
+        path: PathBuf,
+        /// The underlying error.
+        error: std::io::Error,
+    },
+    /// A CSV file did not parse.
+    Csv {
+        /// The file being read.
+        path: PathBuf,
+        /// The parse error.
+        error: CsvError,
+    },
+    /// The directory contained no `<relation>.csv` file for any schema
+    /// relation — almost certainly a wrong path.
+    NoData {
+        /// The directory that was scanned.
+        dir: PathBuf,
+    },
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::SchemaMismatch { expected, found } => write!(
+                f,
+                "instance does not match the catalog schema: expected {expected} relations, \
+                 instance was built for {found}"
+            ),
+            CatalogError::Io { path, error } => {
+                write!(f, "reading {}: {error}", path.display())
+            }
+            CatalogError::Csv { path, error } => {
+                write!(f, "parsing {}: {error}", path.display())
+            }
+            CatalogError::NoData { dir } => write!(
+                f,
+                "no <relation>.csv file found in {} for any schema relation",
+                dir.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CatalogError::Io { error, .. } => Some(error),
+            CatalogError::Csv { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// A concurrent registry of named, schema-aligned instances with
+/// copy-on-write replacement. See the [module docs](self).
+#[derive(Debug)]
+pub struct ServeCatalog {
+    current: Mutex<Arc<Snapshot>>,
+    csv: CsvOptions,
+}
+
+impl ServeCatalog {
+    /// Creates an empty catalog over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        Self::from_catalog(Catalog::new(schema))
+    }
+
+    /// Creates a catalog adopting existing value domains — the programmatic
+    /// path: build instances against `catalog` first, then
+    /// [`register`](Self::register) them.
+    pub fn from_catalog(catalog: Catalog) -> Self {
+        Self {
+            current: Mutex::new(Arc::new(Snapshot {
+                version: 0,
+                catalog,
+                instances: BTreeMap::new(),
+            })),
+            csv: CsvOptions::default(),
+        }
+    }
+
+    /// Overrides the CSV parsing options used by
+    /// [`load_csv_dir`](Self::load_csv_dir).
+    pub fn with_csv_options(mut self, csv: CsvOptions) -> Self {
+        self.csv = csv;
+        self
+    }
+
+    /// The current snapshot. Cheap (`Arc` clone under a short lock); the
+    /// returned view is immutable and survives any concurrent mutation.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.current.lock().unwrap())
+    }
+
+    /// The current snapshot version.
+    pub fn version(&self) -> u64 {
+        self.current.lock().unwrap().version
+    }
+
+    /// Registers (or replaces) an instance that was built against this
+    /// catalog's value domains — either the `Catalog` passed to
+    /// [`from_catalog`](Self::from_catalog) or one obtained from a
+    /// previous snapshot. The instance is renamed to `name`.
+    pub fn register(&self, name: &str, mut instance: Instance) -> Result<(), CatalogError> {
+        instance.set_name(name);
+        self.mutate(|snap| {
+            let expected = snap.catalog.schema().len();
+            if instance.num_relations() != expected {
+                return Err(CatalogError::SchemaMismatch {
+                    expected,
+                    found: instance.num_relations(),
+                });
+            }
+            snap.instances.insert(name.to_string(), Arc::new(instance));
+            Ok(())
+        })
+    }
+
+    /// Builds and registers an instance in one step: `build` runs against a
+    /// copy of the current value domains (it may intern constants and draw
+    /// fresh nulls), and the mutated domains are installed together with
+    /// the instance — the copy-on-write path for wire-driven loads.
+    pub fn register_with(
+        &self,
+        name: &str,
+        build: impl FnOnce(&mut Catalog) -> Result<Instance, CatalogError>,
+    ) -> Result<(), CatalogError> {
+        self.mutate(|snap| {
+            let mut instance = build(&mut snap.catalog)?;
+            let expected = snap.catalog.schema().len();
+            if instance.num_relations() != expected {
+                return Err(CatalogError::SchemaMismatch {
+                    expected,
+                    found: instance.num_relations(),
+                });
+            }
+            instance.set_name(name);
+            snap.instances.insert(name.to_string(), Arc::new(instance));
+            Ok(())
+        })
+    }
+
+    /// Loads an instance from a directory holding one `<relation>.csv` per
+    /// schema relation (missing files leave that relation empty; a
+    /// directory matching *no* relation is an error). Returns the number
+    /// of tuples loaded.
+    pub fn load_csv_dir(&self, name: &str, dir: &Path) -> Result<usize, CatalogError> {
+        let csv = self.csv.clone();
+        let mut loaded = 0usize;
+        self.register_with(name, |catalog| {
+            let mut instance = Instance::new(name, catalog);
+            let mut matched = 0usize;
+            let rels: Vec<_> = catalog.schema().rel_ids().collect();
+            for rel in rels {
+                let rel_name = catalog.schema().relation(rel).name().to_string();
+                let path = dir.join(format!("{rel_name}.csv"));
+                let text = match std::fs::read_to_string(&path) {
+                    Ok(text) => text,
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                    Err(e) => return Err(CatalogError::Io { path, error: e }),
+                };
+                matched += 1;
+                loaded += read_csv_into(&text, catalog, &mut instance, rel, &csv)
+                    .map_err(|error| CatalogError::Csv { path, error })?;
+            }
+            if matched == 0 {
+                return Err(CatalogError::NoData {
+                    dir: dir.to_path_buf(),
+                });
+            }
+            Ok(instance)
+        })?;
+        Ok(loaded)
+    }
+
+    /// Removes an instance; returns whether it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        let mut removed = false;
+        let _ = self.mutate(|snap| {
+            removed = snap.instances.remove(name).is_some();
+            Ok(())
+        });
+        removed
+    }
+
+    /// Clones the current snapshot's contents, applies `f`, and swaps the
+    /// result in (version bumped) — unless `f` fails, in which case the
+    /// current snapshot stays untouched.
+    fn mutate(
+        &self,
+        f: impl FnOnce(&mut Snapshot) -> Result<(), CatalogError>,
+    ) -> Result<(), CatalogError> {
+        let mut slot = self.current.lock().unwrap();
+        let mut next = Snapshot::clone(&slot);
+        next.version += 1;
+        f(&mut next)?;
+        *slot = Arc::new(next);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_model::RelId;
+
+    fn two_tuple_instance(cat: &mut Catalog, name: &str, a: &str, b: &str) -> Instance {
+        let mut inst = Instance::new(name, cat);
+        let (va, vb) = (cat.konst(a), cat.konst(b));
+        let n = cat.fresh_null();
+        inst.insert(RelId(0), vec![va, n]);
+        inst.insert(RelId(0), vec![vb, va]);
+        inst
+    }
+
+    fn catalog_with(names: &[&str]) -> ServeCatalog {
+        let sc = ServeCatalog::new(Schema::single("R", &["A", "B"]));
+        for name in names {
+            sc.register_with(name, |cat| Ok(two_tuple_instance(cat, name, "a", "b")))
+                .unwrap();
+        }
+        sc
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_replacement() {
+        let sc = catalog_with(&["left", "right"]);
+        let before = sc.snapshot();
+        assert_eq!(before.version, 2);
+        let old_right = Arc::clone(before.get("right").unwrap());
+
+        // Replace "right" with new content.
+        sc.register_with("right", |cat| {
+            Ok(two_tuple_instance(cat, "right", "x", "y"))
+        })
+        .unwrap();
+
+        // The old snapshot still resolves the old instance…
+        assert!(Arc::ptr_eq(before.get("right").unwrap(), &old_right));
+        // …and a fresh snapshot sees the replacement at a bumped version.
+        let after = sc.snapshot();
+        assert_eq!(after.version, 3);
+        assert!(!Arc::ptr_eq(after.get("right").unwrap(), &old_right));
+        // Unchanged instances are shared, not copied.
+        assert!(Arc::ptr_eq(
+            after.get("left").unwrap(),
+            before.get("left").unwrap()
+        ));
+    }
+
+    #[test]
+    fn failed_mutation_leaves_catalog_untouched() {
+        let sc = catalog_with(&["only"]);
+        let v = sc.version();
+        let err = sc.load_csv_dir("bad", Path::new("/definitely/missing/dir"));
+        assert!(matches!(err, Err(CatalogError::NoData { .. })));
+        assert_eq!(sc.version(), v, "failed load must not bump the version");
+        assert!(sc.snapshot().get("bad").is_none());
+    }
+
+    #[test]
+    fn register_rejects_foreign_schema() {
+        let sc = catalog_with(&[]);
+        let mut other = Schema::new();
+        other.add_relation(ic_model::RelationSchema::new("R", &["A"]));
+        other.add_relation(ic_model::RelationSchema::new("S", &["B"]));
+        let foreign_cat = Catalog::new(other);
+        let foreign = Instance::new("f", &foreign_cat);
+        assert!(matches!(
+            sc.register("f", foreign),
+            Err(CatalogError::SchemaMismatch {
+                expected: 1,
+                found: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn load_csv_dir_roundtrip() {
+        let dir = std::env::temp_dir().join(format!(
+            "ic-serve-cat-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("R.csv"), "A,B\nVLDB,_N:x\nSIGMOD,1975\n").unwrap();
+
+        let sc = catalog_with(&[]);
+        let loaded = sc.load_csv_dir("conf", &dir).unwrap();
+        assert_eq!(loaded, 2);
+        let snap = sc.snapshot();
+        let inst = snap.get("conf").unwrap();
+        assert_eq!(inst.num_tuples(), 2);
+        assert_eq!(inst.num_null_cells(), 1);
+        assert_eq!(inst.name(), "conf");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn remove_and_list() {
+        let sc = catalog_with(&["a", "b"]);
+        assert_eq!(sc.snapshot().names().collect::<Vec<_>>(), ["a", "b"]);
+        assert!(sc.remove("a"));
+        assert!(!sc.remove("a"));
+        assert_eq!(sc.snapshot().len(), 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! A tiny blocking client for the wire protocol — used by the tests, the
+//! `serve_demo` example, and the throughput bench; also the reference for
+//! writing clients in other languages.
+//!
+//! One request is in flight per client at a time (send, then block for the
+//! response with the matching id). Server-side typed error payloads become
+//! [`ClientError::Server`], so callers can match on the [`ErrorCode`].
+
+use crate::frame::{write_frame, FrameError, FrameReader};
+use crate::proto::{
+    Algo, CompareScores, DecodeError, ErrorCode, InstanceInfo, Request, Response, ServerStats,
+};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server violated the framing protocol.
+    Frame(FrameError),
+    /// The server sent an undecodable or unexpected response.
+    Protocol(String),
+    /// The server answered with a typed error payload.
+    Server {
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "I/O error: {e}"),
+            ClientError::Frame(e) => write!(f, "framing error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<DecodeError> for ClientError {
+    fn from(e: DecodeError) -> Self {
+        ClientError::Protocol(e.to_string())
+    }
+}
+
+impl ClientError {
+    /// The server-side error code, if this is a typed server error.
+    pub fn server_code(&self) -> Option<ErrorCode> {
+        match self {
+            ClientError::Server { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+}
+
+/// Options for [`Client::compare`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompareOptions {
+    /// λ penalty override (`None` = server default).
+    pub lambda: Option<f64>,
+    /// Per-request deadline in milliseconds (`None` = server default).
+    pub budget_ms: Option<u64>,
+}
+
+/// A blocking connection to an `ic-serve` server.
+#[derive(Debug)]
+pub struct Client {
+    writer: TcpStream,
+    reader: FrameReader<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            writer,
+            reader: FrameReader::new(stream),
+            next_id: 1,
+        })
+    }
+
+    /// Sends `req` (overriding its id with a fresh one) and blocks for the
+    /// response carrying that id. The raw protocol-level call; the typed
+    /// wrappers below are usually more convenient.
+    pub fn call(&mut self, mut req: Request) -> Result<Response, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        set_id(&mut req, id);
+        write_frame(&mut self.writer, &req.encode())?;
+        loop {
+            let payload = self.reader.next_frame()?;
+            let resp = Response::decode(&payload)?;
+            // Responses to *this* client's other requests cannot appear
+            // (one in flight), but a stray id is tolerated by skipping.
+            if resp.id() == id {
+                return Ok(resp);
+            }
+        }
+    }
+
+    /// Loads a CSV directory into the server catalog under `name`;
+    /// returns the number of tuples loaded.
+    pub fn load(&mut self, name: &str, dir: &str) -> Result<u64, ClientError> {
+        match self.call(Request::Load {
+            id: 0,
+            name: name.into(),
+            dir: dir.into(),
+        })? {
+            Response::Loaded { tuples, .. } => Ok(tuples),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Lists the catalog.
+    pub fn list(&mut self) -> Result<Vec<InstanceInfo>, ClientError> {
+        match self.call(Request::List { id: 0 })? {
+            Response::Listing { instances, .. } => Ok(instances),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Compares two catalog instances with `algo`.
+    pub fn compare(
+        &mut self,
+        left: &str,
+        right: &str,
+        algo: Algo,
+        opts: CompareOptions,
+    ) -> Result<CompareScores, ClientError> {
+        match self.call(Request::Compare {
+            id: 0,
+            left: left.into(),
+            right: right.into(),
+            algo,
+            lambda: opts.lambda,
+            budget_ms: opts.budget_ms,
+        })? {
+            Response::Compared { scores, .. } => Ok(scores),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches server statistics.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.call(Request::Stats { id: 0 })? {
+            Response::Stats { stats, .. } => Ok(stats),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the server to shut down gracefully. The server acknowledges,
+    /// drains in-flight work, and closes; this connection is done.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(Request::Shutdown { id: 0 })? {
+            Response::ShuttingDown { .. } => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn set_id(req: &mut Request, new_id: u64) {
+    match req {
+        Request::Load { id, .. }
+        | Request::List { id }
+        | Request::Compare { id, .. }
+        | Request::Stats { id }
+        | Request::Shutdown { id } => *id = new_id,
+    }
+}
+
+fn unexpected(resp: Response) -> ClientError {
+    match resp {
+        Response::Error { code, message, .. } => ClientError::Server { code, message },
+        other => ClientError::Protocol(format!("unexpected response kind: {other:?}")),
+    }
+}

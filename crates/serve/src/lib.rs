@@ -1,0 +1,73 @@
+//! # ic-serve — an embeddable similarity service
+//!
+//! Load instances once, answer many comparison requests over time: a
+//! dependency-free request-serving layer over the [`ic_core::Comparator`],
+//! for update-and-recompare workloads where callers should not have to
+//! link the workspace and hold both instances in one process.
+//!
+//! Three layers:
+//!
+//! * [`catalog`] — a registry of named, schema-aligned instances loaded
+//!   from CSV directories or registered programmatically, with
+//!   copy-on-write snapshot replacement: in-flight requests never observe
+//!   a torn update.
+//! * [`proto`] + [`frame`] + [`json`] — a length-prefixed JSON-lines wire
+//!   format (hand-rolled encoder/decoder, no serde) with request kinds
+//!   `load`, `list`, `compare`, `stats`, `shutdown`, request ids echoed in
+//!   responses, and typed error payloads mapped from [`ic_core::Error`].
+//! * [`server`] — a `std::net::TcpListener` runtime: acceptor thread,
+//!   bounded request queue feeding [`ic_pool`] workers, admission control
+//!   (queue-full returns `overloaded` instead of blocking), per-request
+//!   deadlines, per-request [`ic_obs`] spans exported through `stats`, and
+//!   graceful drain-then-close shutdown.
+//!
+//! [`client`] is a small blocking client over the same protocol.
+//!
+//! ## In-process quickstart
+//!
+//! ```
+//! use ic_serve::{Client, CompareOptions, Algo, Server, ServerConfig, ServeCatalog};
+//! use ic_model::{Instance, Schema};
+//! use std::sync::Arc;
+//!
+//! let catalog = Arc::new(ServeCatalog::new(Schema::single("R", &["A", "B"])));
+//! for name in ["v1", "v2"] {
+//!     catalog.register_with(name, |cat| {
+//!         let mut inst = Instance::new(name, cat);
+//!         let (a, b) = (cat.konst("a"), cat.konst("b"));
+//!         let n = cat.fresh_null();
+//!         inst.insert(ic_model::RelId(0), vec![a, if name == "v1" { b } else { n }]);
+//!         Ok(inst)
+//!     }).unwrap();
+//! }
+//!
+//! let server = Server::start(catalog, "127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let scores = client
+//!     .compare("v1", "v2", Algo::Signature, CompareOptions::default())
+//!     .unwrap();
+//! assert!(scores.signature.unwrap() > 0.0);
+//! client.shutdown().unwrap();
+//! server.wait();
+//! ```
+//!
+//! The standalone binary (`cargo run -p ic-serve --bin serve`) exposes the
+//! same server over a fixed port; see the README quickstart.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod client;
+pub mod frame;
+pub mod json;
+pub mod proto;
+pub mod server;
+
+pub use catalog::{CatalogError, ServeCatalog, Snapshot};
+pub use client::{Client, ClientError, CompareOptions};
+pub use frame::{FrameError, FrameReader, MAX_FRAME_LEN};
+pub use json::Json;
+pub use proto::{
+    Algo, CompareScores, ErrorCode, InstanceInfo, Request, Response, ServerStats, SpanStat,
+};
+pub use server::{Server, ServerConfig, ServerHandle, COMPARE_LABEL};

@@ -1,0 +1,773 @@
+//! Typed wire protocol: request/response payloads and their JSON mapping.
+//!
+//! Every request carries a client-chosen `id`, echoed verbatim in the
+//! response so clients can correlate replies (the server may interleave
+//! responses from different connections, never within one). Encoding is
+//! total; decoding distinguishes *syntax* errors (not JSON — the peer is
+//! broken, close the connection) from *shape* errors (valid JSON that is
+//! not a known message — answer `bad_request` and keep the connection).
+//!
+//! The mapping is pinned by an `ic-testkit` property: `decode(encode(m)) ==
+//! m` for random messages including strings with newlines, quotes, and
+//! non-ASCII (see `tests/wire_props.rs`).
+
+use crate::json::{self, Json};
+use std::fmt;
+
+/// Which algorithm a `compare` request runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// The PTIME signature algorithm (default).
+    Signature,
+    /// The exact branch-and-bound.
+    Exact,
+    /// Both, for (exact, signature) gap reporting.
+    Both,
+}
+
+impl Algo {
+    fn as_str(self) -> &'static str {
+        match self {
+            Algo::Signature => "signature",
+            Algo::Exact => "exact",
+            Algo::Both => "both",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "signature" => Some(Algo::Signature),
+            "exact" => Some(Algo::Exact),
+            "both" => Some(Algo::Both),
+            _ => None,
+        }
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Load an instance from a CSV directory into the catalog under `name`,
+    /// replacing any existing instance of that name (copy-on-write: clients
+    /// already comparing against the old version finish on it).
+    Load {
+        /// Request id, echoed in the response.
+        id: u64,
+        /// Catalog name for the loaded instance.
+        name: String,
+        /// Directory holding one `<relation>.csv` per schema relation.
+        dir: String,
+    },
+    /// List the catalog: instance names and sizes.
+    List {
+        /// Request id, echoed in the response.
+        id: u64,
+    },
+    /// Compare two catalog instances.
+    Compare {
+        /// Request id, echoed in the response.
+        id: u64,
+        /// Catalog name of the left instance.
+        left: String,
+        /// Catalog name of the right instance.
+        right: String,
+        /// Which algorithm(s) to run.
+        algo: Algo,
+        /// λ penalty override (`None` = server default 0.5).
+        lambda: Option<f64>,
+        /// Per-request wall-clock deadline in milliseconds, measured from
+        /// admission. `Some(0)` is answered with a `budget` error. `None`
+        /// falls back to the server's default budget.
+        budget_ms: Option<u64>,
+    },
+    /// Server statistics: request counters and per-label observation spans.
+    Stats {
+        /// Request id, echoed in the response.
+        id: u64,
+    },
+    /// Graceful shutdown: stop accepting, drain in-flight work, close.
+    Shutdown {
+        /// Request id, echoed in the response.
+        id: u64,
+    },
+}
+
+impl Request {
+    /// The request id (echoed by every response).
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Load { id, .. }
+            | Request::List { id }
+            | Request::Compare { id, .. }
+            | Request::Stats { id }
+            | Request::Shutdown { id } => *id,
+        }
+    }
+
+    /// Serializes to one-line JSON bytes (frame payload).
+    pub fn encode(&self) -> Vec<u8> {
+        self.to_json().encode().into_bytes()
+    }
+
+    /// Parses a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, DecodeError> {
+        Self::from_json(&parse_payload(payload)?)
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            Request::Load { id, name, dir } => Json::obj(vec![
+                ("id", Json::Num(*id as f64)),
+                ("kind", Json::Str("load".into())),
+                ("name", Json::Str(name.clone())),
+                ("dir", Json::Str(dir.clone())),
+            ]),
+            Request::List { id } => Json::obj(vec![
+                ("id", Json::Num(*id as f64)),
+                ("kind", Json::Str("list".into())),
+            ]),
+            Request::Compare {
+                id,
+                left,
+                right,
+                algo,
+                lambda,
+                budget_ms,
+            } => {
+                let mut members = vec![
+                    ("id", Json::Num(*id as f64)),
+                    ("kind", Json::Str("compare".into())),
+                    ("left", Json::Str(left.clone())),
+                    ("right", Json::Str(right.clone())),
+                    ("algo", Json::Str(algo.as_str().into())),
+                ];
+                if let Some(l) = lambda {
+                    members.push(("lambda", Json::Num(*l)));
+                }
+                if let Some(b) = budget_ms {
+                    members.push(("budget_ms", Json::Num(*b as f64)));
+                }
+                Json::obj(members)
+            }
+            Request::Stats { id } => Json::obj(vec![
+                ("id", Json::Num(*id as f64)),
+                ("kind", Json::Str("stats".into())),
+            ]),
+            Request::Shutdown { id } => Json::obj(vec![
+                ("id", Json::Num(*id as f64)),
+                ("kind", Json::Str("shutdown".into())),
+            ]),
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        let id = req_u64(v, "id")?;
+        let kind = req_str(v, "kind")?;
+        match kind {
+            "load" => Ok(Request::Load {
+                id,
+                name: req_str(v, "name")?.to_string(),
+                dir: req_str(v, "dir")?.to_string(),
+            }),
+            "list" => Ok(Request::List { id }),
+            "compare" => {
+                let algo = match v.get("algo") {
+                    None => Algo::Signature,
+                    Some(a) => a
+                        .as_str()
+                        .and_then(Algo::parse)
+                        .ok_or(DecodeError::Shape("unknown algo"))?,
+                };
+                let lambda = match v.get("lambda") {
+                    None | Some(Json::Null) => None,
+                    Some(l) => Some(
+                        l.as_f64()
+                            .ok_or(DecodeError::Shape("lambda not a number"))?,
+                    ),
+                };
+                let budget_ms = match v.get("budget_ms") {
+                    None | Some(Json::Null) => None,
+                    Some(b) => Some(
+                        b.as_u64()
+                            .ok_or(DecodeError::Shape("budget_ms not a non-negative integer"))?,
+                    ),
+                };
+                Ok(Request::Compare {
+                    id,
+                    left: req_str(v, "left")?.to_string(),
+                    right: req_str(v, "right")?.to_string(),
+                    algo,
+                    lambda,
+                    budget_ms,
+                })
+            }
+            "stats" => Ok(Request::Stats { id }),
+            "shutdown" => Ok(Request::Shutdown { id }),
+            _ => Err(DecodeError::Shape("unknown request kind")),
+        }
+    }
+}
+
+/// Typed error codes a response can carry. The `Display` form is the wire
+/// string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame payload was not valid JSON (connection closes after this).
+    Malformed,
+    /// Valid JSON, but not a known request shape.
+    BadRequest,
+    /// A `compare`/`load` referenced an instance name not in the catalog.
+    UnknownInstance,
+    /// Invalid comparison configuration (λ out of range, …) —
+    /// [`ic_core::Error::Config`].
+    Config,
+    /// The per-request deadline expired before a complete result —
+    /// [`ic_core::Error::Budget`].
+    Budget,
+    /// An instance does not fit the catalog schema —
+    /// [`ic_core::Error::SchemaMismatch`].
+    SchemaMismatch,
+    /// Admission control: the bounded request queue was full.
+    Overloaded,
+    /// The server is shutting down and no longer admits work.
+    ShuttingDown,
+    /// Loading from disk failed (missing directory, CSV syntax, …).
+    Load,
+    /// Unexpected server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The stable wire string of this code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownInstance => "unknown_instance",
+            ErrorCode::Config => "config",
+            ErrorCode::Budget => "budget",
+            ErrorCode::SchemaMismatch => "schema_mismatch",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Load => "load",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "malformed" => ErrorCode::Malformed,
+            "bad_request" => ErrorCode::BadRequest,
+            "unknown_instance" => ErrorCode::UnknownInstance,
+            "config" => ErrorCode::Config,
+            "budget" => ErrorCode::Budget,
+            "schema_mismatch" => ErrorCode::SchemaMismatch,
+            "overloaded" => ErrorCode::Overloaded,
+            "shutting_down" => ErrorCode::ShuttingDown,
+            "load" => ErrorCode::Load,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+
+    /// Maps a core error to its wire code (via [`ic_core::Error::code`],
+    /// so the mapping cannot silently drift from the core enum).
+    pub fn from_core(e: &ic_core::Error) -> Self {
+        match e.code() {
+            "config" => ErrorCode::Config,
+            "budget" => ErrorCode::Budget,
+            "schema_mismatch" => ErrorCode::SchemaMismatch,
+            _ => ErrorCode::Internal,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One catalog entry in a `list` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceInfo {
+    /// Catalog name.
+    pub name: String,
+    /// Total tuples across all relations.
+    pub tuples: u64,
+    /// Total labeled-null cells.
+    pub null_cells: u64,
+}
+
+/// Comparison scores in a `compared` response. `signature`/`exact` are
+/// present according to the requested [`Algo`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareScores {
+    /// Signature-algorithm similarity, if requested.
+    pub signature: Option<f64>,
+    /// Exact-algorithm similarity, if requested.
+    pub exact: Option<f64>,
+    /// Matched tuple pairs of the signature run (absent for `exact`-only).
+    pub pairs: Option<u64>,
+    /// Whether the exact search proved optimality (absent unless exact ran).
+    pub optimal: Option<bool>,
+    /// Server-side wall-clock for the comparison, microseconds.
+    pub elapsed_us: u64,
+}
+
+/// Per-observation-label statistics in a `stats` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Observation label (e.g. `serve.compare`).
+    pub label: String,
+    /// Finished observations under this label.
+    pub reports: u64,
+    /// Summed observation wall-clock, microseconds.
+    pub wall_us: u64,
+}
+
+/// Server statistics payload.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests admitted (all kinds, including failed ones).
+    pub requests: u64,
+    /// Compare requests answered with a result.
+    pub completed: u64,
+    /// Compare requests rejected by admission control.
+    pub overloaded: u64,
+    /// Requests answered with any error payload.
+    pub errors: u64,
+    /// Catalog snapshot version (bumps on every load/replace).
+    pub catalog_version: u64,
+    /// Per-label `ic-obs` observation summaries, sorted by label.
+    pub spans: Vec<SpanStat>,
+}
+
+/// A server response. Every variant echoes the request `id`; `Error` is the
+/// typed failure payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A `load` succeeded.
+    Loaded {
+        /// Echoed request id.
+        id: u64,
+        /// Catalog name the instance was stored under.
+        name: String,
+        /// Tuples loaded.
+        tuples: u64,
+    },
+    /// A `list` result.
+    Listing {
+        /// Echoed request id.
+        id: u64,
+        /// Catalog entries, sorted by name.
+        instances: Vec<InstanceInfo>,
+    },
+    /// A `compare` result.
+    Compared {
+        /// Echoed request id.
+        id: u64,
+        /// The scores.
+        scores: CompareScores,
+    },
+    /// A `stats` result.
+    Stats {
+        /// Echoed request id.
+        id: u64,
+        /// The counters and span summaries.
+        stats: ServerStats,
+    },
+    /// Acknowledges a `shutdown`; in-flight work drains before the listener
+    /// closes.
+    ShuttingDown {
+        /// Echoed request id.
+        id: u64,
+    },
+    /// A typed failure.
+    Error {
+        /// Echoed request id (0 if the request id could not be parsed).
+        id: u64,
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The echoed request id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Loaded { id, .. }
+            | Response::Listing { id, .. }
+            | Response::Compared { id, .. }
+            | Response::Stats { id, .. }
+            | Response::ShuttingDown { id }
+            | Response::Error { id, .. } => *id,
+        }
+    }
+
+    /// Serializes to one-line JSON bytes (frame payload).
+    pub fn encode(&self) -> Vec<u8> {
+        self.to_json().encode().into_bytes()
+    }
+
+    /// Parses a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, DecodeError> {
+        Self::from_json(&parse_payload(payload)?)
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            Response::Loaded { id, name, tuples } => Json::obj(vec![
+                ("id", Json::Num(*id as f64)),
+                ("kind", Json::Str("loaded".into())),
+                ("name", Json::Str(name.clone())),
+                ("tuples", Json::Num(*tuples as f64)),
+            ]),
+            Response::Listing { id, instances } => Json::obj(vec![
+                ("id", Json::Num(*id as f64)),
+                ("kind", Json::Str("listing".into())),
+                (
+                    "instances",
+                    Json::Arr(
+                        instances
+                            .iter()
+                            .map(|i| {
+                                Json::obj(vec![
+                                    ("name", Json::Str(i.name.clone())),
+                                    ("tuples", Json::Num(i.tuples as f64)),
+                                    ("null_cells", Json::Num(i.null_cells as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Response::Compared { id, scores } => {
+                let mut members = vec![
+                    ("id", Json::Num(*id as f64)),
+                    ("kind", Json::Str("compared".into())),
+                ];
+                if let Some(s) = scores.signature {
+                    members.push(("signature", Json::Num(s)));
+                }
+                if let Some(e) = scores.exact {
+                    members.push(("exact", Json::Num(e)));
+                }
+                if let Some(p) = scores.pairs {
+                    members.push(("pairs", Json::Num(p as f64)));
+                }
+                if let Some(o) = scores.optimal {
+                    members.push(("optimal", Json::Bool(o)));
+                }
+                members.push(("elapsed_us", Json::Num(scores.elapsed_us as f64)));
+                Json::obj(members)
+            }
+            Response::Stats { id, stats } => Json::obj(vec![
+                ("id", Json::Num(*id as f64)),
+                ("kind", Json::Str("stats".into())),
+                ("requests", Json::Num(stats.requests as f64)),
+                ("completed", Json::Num(stats.completed as f64)),
+                ("overloaded", Json::Num(stats.overloaded as f64)),
+                ("errors", Json::Num(stats.errors as f64)),
+                ("catalog_version", Json::Num(stats.catalog_version as f64)),
+                (
+                    "spans",
+                    Json::Arr(
+                        stats
+                            .spans
+                            .iter()
+                            .map(|s| {
+                                Json::obj(vec![
+                                    ("label", Json::Str(s.label.clone())),
+                                    ("reports", Json::Num(s.reports as f64)),
+                                    ("wall_us", Json::Num(s.wall_us as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Response::ShuttingDown { id } => Json::obj(vec![
+                ("id", Json::Num(*id as f64)),
+                ("kind", Json::Str("shutting_down".into())),
+            ]),
+            Response::Error { id, code, message } => Json::obj(vec![
+                ("id", Json::Num(*id as f64)),
+                ("kind", Json::Str("error".into())),
+                ("code", Json::Str(code.as_str().into())),
+                ("message", Json::Str(message.clone())),
+            ]),
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        let id = req_u64(v, "id")?;
+        let kind = req_str(v, "kind")?;
+        match kind {
+            "loaded" => Ok(Response::Loaded {
+                id,
+                name: req_str(v, "name")?.to_string(),
+                tuples: req_u64(v, "tuples")?,
+            }),
+            "listing" => {
+                let items = v
+                    .get("instances")
+                    .and_then(Json::as_arr)
+                    .ok_or(DecodeError::Shape("missing instances array"))?;
+                let mut instances = Vec::with_capacity(items.len());
+                for item in items {
+                    instances.push(InstanceInfo {
+                        name: req_str(item, "name")?.to_string(),
+                        tuples: req_u64(item, "tuples")?,
+                        null_cells: req_u64(item, "null_cells")?,
+                    });
+                }
+                Ok(Response::Listing { id, instances })
+            }
+            "compared" => Ok(Response::Compared {
+                id,
+                scores: CompareScores {
+                    signature: opt_f64(v, "signature")?,
+                    exact: opt_f64(v, "exact")?,
+                    pairs: match v.get("pairs") {
+                        None | Some(Json::Null) => None,
+                        Some(p) => Some(
+                            p.as_u64()
+                                .ok_or(DecodeError::Shape("pairs not an integer"))?,
+                        ),
+                    },
+                    optimal: match v.get("optimal") {
+                        None | Some(Json::Null) => None,
+                        Some(o) => Some(
+                            o.as_bool()
+                                .ok_or(DecodeError::Shape("optimal not a boolean"))?,
+                        ),
+                    },
+                    elapsed_us: req_u64(v, "elapsed_us")?,
+                },
+            }),
+            "stats" => {
+                let items = v
+                    .get("spans")
+                    .and_then(Json::as_arr)
+                    .ok_or(DecodeError::Shape("missing spans array"))?;
+                let mut spans = Vec::with_capacity(items.len());
+                for item in items {
+                    spans.push(SpanStat {
+                        label: req_str(item, "label")?.to_string(),
+                        reports: req_u64(item, "reports")?,
+                        wall_us: req_u64(item, "wall_us")?,
+                    });
+                }
+                Ok(Response::Stats {
+                    id,
+                    stats: ServerStats {
+                        requests: req_u64(v, "requests")?,
+                        completed: req_u64(v, "completed")?,
+                        overloaded: req_u64(v, "overloaded")?,
+                        errors: req_u64(v, "errors")?,
+                        catalog_version: req_u64(v, "catalog_version")?,
+                        spans,
+                    },
+                })
+            }
+            "shutting_down" => Ok(Response::ShuttingDown { id }),
+            "error" => Ok(Response::Error {
+                id,
+                code: ErrorCode::parse(req_str(v, "code")?)
+                    .ok_or(DecodeError::Shape("unknown error code"))?,
+                message: req_str(v, "message")?.to_string(),
+            }),
+            _ => Err(DecodeError::Shape("unknown response kind")),
+        }
+    }
+}
+
+/// Why a frame payload failed to decode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecodeError {
+    /// Not UTF-8 or not valid JSON — the peer does not speak the protocol.
+    Syntax(String),
+    /// Valid JSON that is not a known message shape.
+    Shape(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Syntax(e) => write!(f, "malformed payload: {e}"),
+            DecodeError::Shape(e) => write!(f, "unrecognized message: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn parse_payload(payload: &[u8]) -> Result<Json, DecodeError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| DecodeError::Syntax(format!("payload is not UTF-8: {e}")))?;
+    json::parse(text).map_err(|e| DecodeError::Syntax(e.to_string()))
+}
+
+fn req_str<'a>(v: &'a Json, key: &'static str) -> Result<&'a str, DecodeError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or(DecodeError::Shape("missing or non-string field"))
+}
+
+fn req_u64(v: &Json, key: &'static str) -> Result<u64, DecodeError> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or(DecodeError::Shape("missing or non-integer field"))
+}
+
+fn opt_f64(v: &Json, key: &'static str) -> Result<Option<f64>, DecodeError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(n) => Ok(Some(
+            n.as_f64().ok_or(DecodeError::Shape("field not a number"))?,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_all_kinds() {
+        let reqs = [
+            Request::Load {
+                id: 1,
+                name: "left — β".into(),
+                dir: "/tmp/has\nnewline".into(),
+            },
+            Request::List { id: 2 },
+            Request::Compare {
+                id: 3,
+                left: "a\"quoted\"".into(),
+                right: "b".into(),
+                algo: Algo::Both,
+                lambda: Some(0.25),
+                budget_ms: Some(0),
+            },
+            Request::Compare {
+                id: 4,
+                left: "a".into(),
+                right: "b".into(),
+                algo: Algo::Signature,
+                lambda: None,
+                budget_ms: None,
+            },
+            Request::Stats { id: 5 },
+            Request::Shutdown { id: u64::MAX >> 12 },
+        ];
+        for r in reqs {
+            assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip_all_kinds() {
+        let resps = [
+            Response::Loaded {
+                id: 1,
+                name: "νame".into(),
+                tuples: 42,
+            },
+            Response::Listing {
+                id: 2,
+                instances: vec![InstanceInfo {
+                    name: "i".into(),
+                    tuples: 3,
+                    null_cells: 1,
+                }],
+            },
+            Response::Compared {
+                id: 3,
+                scores: CompareScores {
+                    signature: Some(0.875),
+                    exact: None,
+                    pairs: Some(9),
+                    optimal: None,
+                    elapsed_us: 1234,
+                },
+            },
+            Response::Stats {
+                id: 4,
+                stats: ServerStats {
+                    requests: 10,
+                    completed: 8,
+                    overloaded: 1,
+                    errors: 1,
+                    catalog_version: 3,
+                    spans: vec![SpanStat {
+                        label: "serve.compare".into(),
+                        reports: 8,
+                        wall_us: 5000,
+                    }],
+                },
+            },
+            Response::ShuttingDown { id: 5 },
+            Response::Error {
+                id: 6,
+                code: ErrorCode::Overloaded,
+                message: "queue full\n(2 slots)".into(),
+            },
+        ];
+        for r in resps {
+            assert_eq!(Response::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn decode_distinguishes_syntax_from_shape() {
+        assert!(matches!(
+            Request::decode(b"{nope"),
+            Err(DecodeError::Syntax(_))
+        ));
+        assert!(matches!(
+            Request::decode(b"{\"id\":1,\"kind\":\"dance\"}"),
+            Err(DecodeError::Shape(_))
+        ));
+        assert!(matches!(
+            Request::decode(b"{\"kind\":\"list\"}"),
+            Err(DecodeError::Shape(_)) // id missing
+        ));
+    }
+
+    #[test]
+    fn compare_defaults_algo_to_signature() {
+        let req =
+            Request::decode(b"{\"id\":1,\"kind\":\"compare\",\"left\":\"a\",\"right\":\"b\"}")
+                .unwrap();
+        assert!(matches!(
+            req,
+            Request::Compare {
+                algo: Algo::Signature,
+                lambda: None,
+                budget_ms: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn core_error_mapping() {
+        use ic_core::score::ConfigError;
+        let e = ic_core::Error::Config(ConfigError::LambdaOutOfRange(2.0));
+        assert_eq!(ErrorCode::from_core(&e), ErrorCode::Config);
+        let e = ic_core::Error::Budget {
+            budget: None,
+            elapsed: std::time::Duration::ZERO,
+        };
+        assert_eq!(ErrorCode::from_core(&e), ErrorCode::Budget);
+        let e = ic_core::Error::SchemaMismatch {
+            expected: 1,
+            found: 2,
+        };
+        assert_eq!(ErrorCode::from_core(&e), ErrorCode::SchemaMismatch);
+    }
+}

@@ -1,0 +1,682 @@
+//! The server runtime: acceptor, bounded request queue, deadline-aware
+//! `ic-pool` workers, graceful shutdown.
+//!
+//! ## Threading model
+//!
+//! * One **acceptor** thread polls a non-blocking [`TcpListener`] and
+//!   spawns a handler thread per connection.
+//! * Each **connection** thread decodes frames, answers catalog requests
+//!   (`load`, `list`, `stats`, `shutdown`) inline, and submits `compare`
+//!   work — together with the catalog [`Snapshot`] taken at admission —
+//!   into a **bounded queue**. If the queue is full the request is rejected
+//!   *immediately* with a typed `overloaded` response instead of blocking:
+//!   backpressure is explicit and the connection stays responsive.
+//! * A **worker host** thread runs [`ServerConfig::workers`] worker loops
+//!   inside an [`ic_pool::scope`], so compare execution shares the
+//!   process-wide pool infrastructure (and its observability wiring).
+//!   Workers are *deadline-aware*: a request whose deadline expired while
+//!   queued is answered with a `budget` error without touching the
+//!   comparison engine, and a live deadline is enforced inside the
+//!   algorithms through the existing `SignatureConfig::budget` machinery.
+//!
+//! Note that server workers occupy pool threads for the lifetime of the
+//! server; `ic-pool`'s caller-helping keeps unrelated `par_map` users live
+//! regardless, but size `workers` with that sharing in mind.
+//!
+//! ## Shutdown
+//!
+//! [`ServerHandle::shutdown`] (or a wire `shutdown` request) flips a stop
+//! flag. The acceptor closes first, connection threads finish the request
+//! they are serving, the queue drains through the workers, and only then
+//! do the worker loops exit — no admitted request is ever dropped.
+
+use crate::catalog::{CatalogError, ServeCatalog, Snapshot};
+use crate::frame::{write_frame, FrameError, FrameReader};
+use crate::json::Json;
+use crate::proto::{
+    Algo, CompareScores, DecodeError, ErrorCode, InstanceInfo, Request, Response, ServerStats,
+    SpanStat,
+};
+use ic_core::Comparator;
+use ic_obs::StatsSink;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The observation label every compare request runs under; its report
+/// count in the `stats` response equals the number of compares processed.
+pub const COMPARE_LABEL: &str = "serve.compare";
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker loops fed by the request queue (≥ 1).
+    pub workers: usize,
+    /// Bounded queue capacity; a full queue rejects with `overloaded`.
+    pub queue_depth: usize,
+    /// Deadline applied to `compare` requests that carry no `budget_ms`.
+    /// `None` = unbounded.
+    pub default_budget: Option<Duration>,
+    /// How often blocked reads re-check the stop flag. Bounds both the
+    /// shutdown latency and the idle wakeup rate.
+    pub poll_interval: Duration,
+    /// Artificial per-job delay in the workers, applied before the
+    /// deadline check. A test/bench hook: it makes queue occupancy (and
+    /// thus admission-control behavior) deterministic. `None` in
+    /// production.
+    pub worker_delay: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_depth: 64,
+            default_budget: None,
+            poll_interval: Duration::from_millis(25),
+            worker_delay: None,
+        }
+    }
+}
+
+/// One admitted `compare`, parked in the bounded queue.
+struct CompareJob {
+    id: u64,
+    left: String,
+    right: String,
+    algo: Algo,
+    lambda: Option<f64>,
+    /// The catalog state this request was admitted under (copy-on-write:
+    /// concurrent loads cannot tear it).
+    snapshot: Arc<Snapshot>,
+    /// Absolute deadline derived from `budget_ms` at admission.
+    deadline: Option<Instant>,
+    reply: std::sync::mpsc::Sender<Response>,
+}
+
+/// State shared by every server thread.
+struct Shared {
+    catalog: Arc<ServeCatalog>,
+    cfg: ServerConfig,
+    stop: AtomicBool,
+    /// `Some` while the server admits compare work; taken (and thereby
+    /// closed) during shutdown so the workers drain and exit.
+    queue: Mutex<Option<SyncSender<CompareJob>>>,
+    stats_sink: Arc<StatsSink>,
+    requests: AtomicU64,
+    completed: AtomicU64,
+    overloaded: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+}
+
+/// The embeddable similarity server. Construct with [`Server::start`];
+/// the returned [`ServerHandle`] owns every thread.
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the acceptor and worker threads over `catalog`.
+    pub fn start(
+        catalog: Arc<ServeCatalog>,
+        addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let (tx, rx) = sync_channel::<CompareJob>(cfg.queue_depth.max(1));
+        let shared = Arc::new(Shared {
+            catalog,
+            cfg,
+            stop: AtomicBool::new(false),
+            queue: Mutex::new(Some(tx)),
+            stats_sink: Arc::new(StatsSink::new()),
+            requests: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        });
+
+        let worker_host = {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::new(Mutex::new(rx));
+            std::thread::Builder::new()
+                .name("ic-serve-workers".into())
+                .spawn(move || run_workers(&shared, &rx))?
+        };
+
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("ic-serve-acceptor".into())
+                .spawn(move || run_acceptor(&shared, &listener, &conns))?
+        };
+
+        Ok(ServerHandle {
+            local_addr,
+            shared,
+            conns,
+            acceptor: Some(acceptor),
+            worker_host: Some(worker_host),
+        })
+    }
+}
+
+/// Owns the running server: its address, its threads, and the shutdown
+/// protocol. Dropping the handle shuts the server down (gracefully — see
+/// [module docs](self)).
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    acceptor: Option<JoinHandle<()>>,
+    worker_host: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("local_addr", &self.local_addr)
+            .field("stopping", &self.shared.stopping())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves the port for `"…:0"` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The catalog this server answers from (loads through this handle are
+    /// visible to subsequent requests — same copy-on-write registry).
+    pub fn catalog(&self) -> &Arc<ServeCatalog> {
+        &self.shared.catalog
+    }
+
+    /// Whether shutdown has been initiated (locally or over the wire).
+    pub fn is_stopping(&self) -> bool {
+        self.shared.stopping()
+    }
+
+    /// Initiates graceful shutdown and blocks until every admitted request
+    /// has been answered and all threads exited.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Blocks until a wire `shutdown` request stops the server (the serve
+    /// binary's main loop), then drains and joins like
+    /// [`shutdown`](Self::shutdown).
+    pub fn wait(mut self) {
+        while !self.shared.stopping() {
+            std::thread::sleep(self.shared.cfg.poll_interval);
+        }
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        // Join order is the drain order: stop admissions (acceptor, then
+        // the connection threads, which finish their in-flight request),
+        // close the queue, let the workers drain it, join them.
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        let conns = std::mem::take(&mut *self.conns.lock().unwrap());
+        for c in conns {
+            let _ = c.join();
+        }
+        drop(self.shared.queue.lock().unwrap().take());
+        if let Some(w) = self.worker_host.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() || self.worker_host.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Acceptor
+
+fn run_acceptor(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        if shared.stopping() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("ic-serve-conn".into())
+                    .spawn(move || handle_conn(&shared, stream));
+                match handle {
+                    Ok(h) => conns.lock().unwrap().push(h),
+                    Err(_) => { /* thread spawn failed; drop the connection */ }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(shared.cfg.poll_interval);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(shared.cfg.poll_interval),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling
+
+fn send(stream: &mut TcpStream, resp: &Response) -> bool {
+    write_frame(stream, &resp.encode()).is_ok()
+}
+
+fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
+    // The listener is non-blocking; make sure the accepted stream is not
+    // (inheritance is platform-dependent), then poll via read timeouts so
+    // the stop flag is observed within one interval.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(shared.cfg.poll_interval));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_nodelay(true);
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = FrameReader::new(stream);
+
+    loop {
+        if shared.stopping() {
+            return;
+        }
+        let payload = match reader.poll_frame() {
+            Ok(None) => continue,
+            Ok(Some(p)) => p,
+            Err(FrameError::Closed) | Err(FrameError::Io(_)) | Err(FrameError::Truncated) => {
+                return;
+            }
+            Err(e) => {
+                // Framing is broken: one best-effort typed error, then
+                // close — there is no way to find the next frame boundary.
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                send(
+                    &mut writer,
+                    &Response::Error {
+                        id: 0,
+                        code: ErrorCode::Malformed,
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+
+        let req = match Request::decode(&payload) {
+            Ok(req) => req,
+            Err(err) => {
+                // The frame layer is intact, so the connection can
+                // continue; answer with a typed error, echoing the id if
+                // one was parseable.
+                let id = salvage_id(&payload);
+                let code = match err {
+                    DecodeError::Syntax(_) => ErrorCode::Malformed,
+                    DecodeError::Shape(_) => ErrorCode::BadRequest,
+                };
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                send(
+                    &mut writer,
+                    &Response::Error {
+                        id,
+                        code,
+                        message: err.to_string(),
+                    },
+                );
+                continue;
+            }
+        };
+
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let (resp, close) = handle_request(shared, req);
+        if matches!(resp, Response::Error { .. }) {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if !send(&mut writer, &resp) || close {
+            return;
+        }
+    }
+}
+
+/// Best-effort extraction of the `id` member from an undecodable payload.
+fn salvage_id(payload: &[u8]) -> u64 {
+    std::str::from_utf8(payload)
+        .ok()
+        .and_then(|text| crate::json::parse(text).ok())
+        .and_then(|v| v.get("id").and_then(Json::as_u64))
+        .unwrap_or(0)
+}
+
+fn handle_request(shared: &Arc<Shared>, req: Request) -> (Response, bool) {
+    match req {
+        Request::Load { id, name, dir } => {
+            let resp = match shared
+                .catalog
+                .load_csv_dir(&name, std::path::Path::new(&dir))
+            {
+                Ok(tuples) => Response::Loaded {
+                    id,
+                    name,
+                    tuples: tuples as u64,
+                },
+                Err(e) => Response::Error {
+                    id,
+                    code: match e {
+                        CatalogError::SchemaMismatch { .. } => ErrorCode::SchemaMismatch,
+                        _ => ErrorCode::Load,
+                    },
+                    message: e.to_string(),
+                },
+            };
+            (resp, false)
+        }
+        Request::List { id } => {
+            let snap = shared.catalog.snapshot();
+            let instances = snap
+                .names()
+                .map(|name| {
+                    let inst = snap.get(name).expect("name from this snapshot");
+                    InstanceInfo {
+                        name: name.to_string(),
+                        tuples: inst.num_tuples() as u64,
+                        null_cells: inst.num_null_cells() as u64,
+                    }
+                })
+                .collect();
+            (Response::Listing { id, instances }, false)
+        }
+        Request::Stats { id } => (
+            Response::Stats {
+                id,
+                stats: collect_stats(shared),
+            },
+            false,
+        ),
+        Request::Shutdown { id } => {
+            shared.stop.store(true, Ordering::Release);
+            (Response::ShuttingDown { id }, true)
+        }
+        Request::Compare {
+            id,
+            left,
+            right,
+            algo,
+            lambda,
+            budget_ms,
+        } => (
+            admit_compare(shared, id, left, right, algo, lambda, budget_ms),
+            false,
+        ),
+    }
+}
+
+fn collect_stats(shared: &Shared) -> ServerStats {
+    let spans = shared
+        .stats_sink
+        .snapshot()
+        .into_iter()
+        .map(|(label, s)| SpanStat {
+            label,
+            reports: s.reports,
+            wall_us: s.wall.as_micros() as u64,
+        })
+        .collect();
+    ServerStats {
+        requests: shared.requests.load(Ordering::Relaxed),
+        completed: shared.completed.load(Ordering::Relaxed),
+        overloaded: shared.overloaded.load(Ordering::Relaxed),
+        errors: shared.errors.load(Ordering::Relaxed),
+        catalog_version: shared.catalog.version(),
+        spans,
+    }
+}
+
+/// Admission: resolve the snapshot, stamp the deadline, try the bounded
+/// queue, wait for the worker's reply.
+fn admit_compare(
+    shared: &Arc<Shared>,
+    id: u64,
+    left: String,
+    right: String,
+    algo: Algo,
+    lambda: Option<f64>,
+    budget_ms: Option<u64>,
+) -> Response {
+    let snapshot = shared.catalog.snapshot();
+    for name in [&left, &right] {
+        if snapshot.get(name).is_none() {
+            return Response::Error {
+                id,
+                code: ErrorCode::UnknownInstance,
+                message: format!("no instance named {name:?} in the catalog"),
+            };
+        }
+    }
+    let budget = budget_ms
+        .map(Duration::from_millis)
+        .or(shared.cfg.default_budget);
+    let deadline = budget.map(|b| Instant::now() + b);
+    let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+    let job = CompareJob {
+        id,
+        left,
+        right,
+        algo,
+        lambda,
+        snapshot,
+        deadline,
+        reply: reply_tx,
+    };
+
+    let sender = shared.queue.lock().unwrap().clone();
+    let Some(sender) = sender else {
+        return Response::Error {
+            id,
+            code: ErrorCode::ShuttingDown,
+            message: "server is shutting down".into(),
+        };
+    };
+    match sender.try_send(job) {
+        Ok(()) => match reply_rx.recv() {
+            Ok(resp) => resp,
+            Err(_) => Response::Error {
+                id,
+                code: ErrorCode::Internal,
+                message: "worker dropped the request".into(),
+            },
+        },
+        Err(TrySendError::Full(_)) => {
+            shared.overloaded.fetch_add(1, Ordering::Relaxed);
+            Response::Error {
+                id,
+                code: ErrorCode::Overloaded,
+                message: format!(
+                    "request queue full ({} slots); retry later",
+                    shared.cfg.queue_depth
+                ),
+            }
+        }
+        Err(TrySendError::Disconnected(_)) => Response::Error {
+            id,
+            code: ErrorCode::ShuttingDown,
+            message: "server is shutting down".into(),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+
+/// Runs `cfg.workers` worker loops inside one `ic_pool` scope; returns when
+/// the queue sender is dropped (shutdown) *and* every queued job drained.
+fn run_workers(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<CompareJob>>>) {
+    let workers = shared.cfg.workers.max(1);
+    ic_pool::with_threads(workers, || {
+        ic_pool::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| worker_loop(shared, rx));
+            }
+        })
+    });
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<CompareJob>>) {
+    loop {
+        // The guard is dropped as soon as `recv` returns: jobs are handed
+        // out one at a time but *processed* concurrently.
+        let job = rx.lock().unwrap().recv();
+        match job {
+            Ok(job) => process_job(shared, job),
+            Err(_) => return, // queue closed and drained
+        }
+    }
+}
+
+fn process_job(shared: &Shared, job: CompareJob) {
+    if let Some(delay) = shared.cfg.worker_delay {
+        std::thread::sleep(delay);
+    }
+    // Deadline check before any engine work: a request that starved in the
+    // queue past its budget (or asked for `budget_ms: 0`) gets a typed
+    // `budget` error, never a hang and never a silent partial answer.
+    let now = Instant::now();
+    let remaining = match job.deadline {
+        Some(deadline) => match deadline.checked_duration_since(now) {
+            Some(r) if !r.is_zero() => Some(r),
+            _ => {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = job.reply.send(Response::Error {
+                    id: job.id,
+                    code: ErrorCode::Budget,
+                    message: "deadline expired before processing began".into(),
+                });
+                return;
+            }
+        },
+        None => None,
+    };
+
+    let resp = run_compare(shared, &job, remaining);
+    if matches!(resp, Response::Compared { .. }) {
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+    } else {
+        shared.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    let _ = job.reply.send(resp);
+}
+
+fn run_compare(shared: &Shared, job: &CompareJob, remaining: Option<Duration>) -> Response {
+    // Per-request observability: one observation per compare, aggregated
+    // by label in the StatsSink and exported through `stats`.
+    let _obs = ic_obs::observe(
+        COMPARE_LABEL,
+        Arc::clone(&shared.stats_sink) as Arc<dyn ic_obs::Sink>,
+    );
+
+    let (Some(left), Some(right)) = (job.snapshot.get(&job.left), job.snapshot.get(&job.right))
+    else {
+        // Unreachable in practice: admission validated against this very
+        // snapshot. Kept as a typed error rather than a panic.
+        return Response::Error {
+            id: job.id,
+            code: ErrorCode::UnknownInstance,
+            message: "instance vanished from the admitted snapshot".into(),
+        };
+    };
+
+    let mut builder = Comparator::new(&job.snapshot.catalog);
+    if let Some(lambda) = job.lambda {
+        builder = builder.lambda(lambda);
+    }
+    if let Some(budget) = remaining {
+        builder = builder.budget(budget);
+    }
+    let cmp = match builder.build() {
+        Ok(cmp) => cmp,
+        Err(e) => return core_error(job.id, &e),
+    };
+
+    let start = Instant::now();
+    let scores = match job.algo {
+        Algo::Signature => match cmp.signature_strict(left, right) {
+            Ok(out) => CompareScores {
+                signature: Some(out.best.score()),
+                exact: None,
+                pairs: Some(out.best.pairs.len() as u64),
+                optimal: None,
+                elapsed_us: start.elapsed().as_micros() as u64,
+            },
+            Err(e) => return core_error(job.id, &e),
+        },
+        Algo::Exact => match cmp.exact_strict(left, right) {
+            Ok(out) => CompareScores {
+                signature: None,
+                exact: Some(out.best.score()),
+                pairs: None,
+                optimal: Some(out.optimal),
+                elapsed_us: start.elapsed().as_micros() as u64,
+            },
+            Err(e) => return core_error(job.id, &e),
+        },
+        Algo::Both => match cmp.both(left, right) {
+            Ok((exact, sig)) => {
+                if sig.timed_out || !exact.optimal {
+                    return core_error(
+                        job.id,
+                        &ic_core::Error::Budget {
+                            budget: remaining,
+                            elapsed: start.elapsed(),
+                        },
+                    );
+                }
+                CompareScores {
+                    signature: Some(sig.best.score()),
+                    exact: Some(exact.best.score()),
+                    pairs: Some(sig.best.pairs.len() as u64),
+                    optimal: Some(exact.optimal),
+                    elapsed_us: start.elapsed().as_micros() as u64,
+                }
+            }
+            Err(e) => return core_error(job.id, &e),
+        },
+    };
+    Response::Compared { id: job.id, scores }
+}
+
+fn core_error(id: u64, e: &ic_core::Error) -> Response {
+    Response::Error {
+        id,
+        code: ErrorCode::from_core(e),
+        message: e.to_string(),
+    }
+}

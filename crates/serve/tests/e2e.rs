@@ -1,0 +1,209 @@
+//! End-to-end acceptance tests: a served comparison must answer with
+//! exactly the scores a direct [`Comparator`] call produces, catalog
+//! replacement must never corrupt an in-flight request, shutdown must
+//! drain the queue, and `stats` must report the per-request spans.
+
+use ic_core::Comparator;
+use ic_datagen::{mod_cell, Dataset};
+use ic_model::{Catalog, Instance, Schema};
+use ic_serve::{Algo, Client, CompareOptions, ServeCatalog, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn start(catalog: Arc<ServeCatalog>, cfg: ServerConfig) -> ic_serve::ServerHandle {
+    Server::start(catalog, "127.0.0.1:0", cfg).expect("bind ephemeral port")
+}
+
+/// Acceptance criterion: the server answers `compare` with *exactly* the
+/// same scores as a direct `Comparator` call on the same instances — the
+/// wire format must not perturb a single bit of the f64 scores.
+#[test]
+fn served_scores_are_bit_identical_to_direct_comparator() {
+    let sc = mod_cell(Dataset::Doctors, 10, 0.3, 7);
+
+    // Direct call first (the catalog moves into the server afterwards).
+    let cmp = Comparator::new(&sc.catalog).build().unwrap();
+    let direct_sig = cmp.signature(&sc.source, &sc.target).unwrap().best.score();
+    let direct_exact = cmp.exact(&sc.source, &sc.target).unwrap();
+    let (direct_exact_score, direct_optimal) = (direct_exact.best.score(), direct_exact.optimal);
+
+    let catalog = Arc::new(ServeCatalog::from_catalog(sc.catalog));
+    catalog.register("source", sc.source).unwrap();
+    catalog.register("target", sc.target).unwrap();
+    let server = start(catalog, ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let sig = client
+        .compare(
+            "source",
+            "target",
+            Algo::Signature,
+            CompareOptions::default(),
+        )
+        .unwrap();
+    assert_eq!(sig.signature.unwrap().to_bits(), direct_sig.to_bits());
+    assert_eq!(sig.exact, None);
+
+    let exact = client
+        .compare("source", "target", Algo::Exact, CompareOptions::default())
+        .unwrap();
+    assert_eq!(exact.exact.unwrap().to_bits(), direct_exact_score.to_bits());
+    assert_eq!(exact.optimal, Some(direct_optimal));
+
+    let both = client
+        .compare("source", "target", Algo::Both, CompareOptions::default())
+        .unwrap();
+    assert_eq!(both.signature.unwrap().to_bits(), direct_sig.to_bits());
+    assert_eq!(both.exact.unwrap().to_bits(), direct_exact_score.to_bits());
+
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+/// Two-instance catalog over a one-attribute relation where the probe
+/// instance holds a single constant, so replacing it flips the score
+/// between exactly 1.0 (same constant as base) and 0.0 (different).
+fn flip_catalog() -> Arc<ServeCatalog> {
+    let catalog = Arc::new(ServeCatalog::new(Schema::single("R", &["A"])));
+    for (name, value) in [("base", "x"), ("probe", "x")] {
+        register_const(&catalog, name, value);
+    }
+    catalog
+}
+
+fn register_const(catalog: &Arc<ServeCatalog>, name: &str, value: &str) {
+    catalog
+        .register_with(name, |cat: &mut Catalog| {
+            let mut inst = Instance::new(name, cat);
+            let v = cat.konst(value);
+            inst.insert(ic_model::RelId(0), vec![v]);
+            Ok(inst)
+        })
+        .unwrap();
+}
+
+/// Acceptance criterion: a `load` racing an in-flight `compare` never
+/// corrupts it — the request admitted before the replacement answers from
+/// the old snapshot, and the next request sees the new one.
+#[test]
+fn concurrent_replacement_preserves_inflight_snapshot() {
+    let catalog = flip_catalog();
+    let version_before = catalog.version();
+    let server = start(
+        Arc::clone(&catalog),
+        ServerConfig {
+            workers: 1,
+            // Every compare parks in the worker long enough for the test
+            // to replace the instance mid-flight.
+            worker_delay: Some(Duration::from_millis(200)),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+
+    let inflight = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.compare("base", "probe", Algo::Signature, CompareOptions::default())
+    });
+
+    // Replace "probe" while the compare sleeps in the worker.
+    std::thread::sleep(Duration::from_millis(80));
+    register_const(&catalog, "probe", "y");
+    assert!(catalog.version() > version_before);
+
+    let old = inflight.join().unwrap().unwrap();
+    assert_eq!(
+        old.signature,
+        Some(1.0),
+        "in-flight request must answer from the snapshot admitted with it"
+    );
+
+    let mut client = Client::connect(addr).unwrap();
+    let new = client
+        .compare("base", "probe", Algo::Signature, CompareOptions::default())
+        .unwrap();
+    assert_eq!(
+        new.signature,
+        Some(0.0),
+        "requests admitted after the replacement must see the new instance"
+    );
+
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+/// Acceptance criterion: graceful shutdown answers every admitted request
+/// before the threads exit — nothing queued is dropped.
+#[test]
+fn shutdown_drains_admitted_requests() {
+    let catalog = flip_catalog();
+    let server = start(
+        Arc::clone(&catalog),
+        ServerConfig {
+            workers: 1,
+            queue_depth: 8,
+            worker_delay: Some(Duration::from_millis(100)),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+
+    // Four compares: one in the worker, three parked in the queue.
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client.compare("base", "probe", Algo::Signature, CompareOptions::default())
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(50));
+
+    let mut shutter = Client::connect(addr).unwrap();
+    shutter.shutdown().unwrap();
+    server.wait();
+
+    for c in clients {
+        let scores = c
+            .join()
+            .unwrap()
+            .expect("admitted request must be answered through shutdown");
+        assert_eq!(scores.signature, Some(1.0));
+    }
+}
+
+/// Acceptance criterion: `stats` exports per-request `ic-obs` spans — the
+/// `serve.compare` report count equals the number of compares processed.
+#[test]
+fn stats_report_per_request_spans() {
+    let catalog = flip_catalog();
+    let server = start(Arc::clone(&catalog), ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let n = 5;
+    for _ in 0..n {
+        client
+            .compare("base", "probe", Algo::Signature, CompareOptions::default())
+            .unwrap();
+    }
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.completed, n);
+    assert!(stats.requests >= n);
+    assert_eq!(stats.overloaded, 0);
+    let span = stats
+        .spans
+        .iter()
+        .find(|s| s.label == ic_serve::COMPARE_LABEL)
+        .expect("stats must carry the serve.compare span aggregate");
+    assert_eq!(span.reports, n, "one observation per processed compare");
+
+    // The listing rides the same snapshot machinery.
+    let listing = client.list().unwrap();
+    assert_eq!(listing.len(), 2);
+    assert_eq!(listing[0].name, "base");
+    assert_eq!(listing[0].tuples, 1);
+
+    client.shutdown().unwrap();
+    server.wait();
+}

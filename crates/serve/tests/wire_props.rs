@@ -1,0 +1,203 @@
+//! Property tests pinning the wire mapping: `decode(encode(m)) == m` for
+//! random requests and responses — including strings with embedded
+//! newlines, quotes, backslashes, control characters, and non-ASCII — and
+//! the same identity through the frame layer.
+
+use ic_serve::frame::{write_frame, FrameReader};
+use ic_serve::proto::{
+    Algo, CompareScores, ErrorCode, InstanceInfo, Request, Response, ServerStats, SpanStat,
+};
+use ic_testkit::{Gen, Runner};
+use rand::RngExt;
+
+/// Characters chosen to stress every escaping path: JSON two-char escapes,
+/// `\u` control escapes, multi-byte UTF-8, and an astral-plane character
+/// (surrogate pair in `\u` form).
+const NASTY: &[char] = &[
+    'a',
+    'Z',
+    '0',
+    ' ',
+    '\n',
+    '\r',
+    '\t',
+    '"',
+    '\\',
+    '/',
+    '\u{0}',
+    '\u{1f}',
+    'é',
+    'β',
+    'ν',
+    '中',
+    '☃',
+    '\u{1F600}',
+];
+
+fn nasty_string(g: &mut Gen) -> String {
+    let len = g.rng().random_range(0..12);
+    (0..len).map(|_| *g.pick(NASTY)).collect()
+}
+
+fn finite_f64(g: &mut Gen) -> f64 {
+    // Mix of "nice" values and arbitrary mantissas; Display/parse must
+    // roundtrip every finite f64 bit-for-bit.
+    match g.rng().random_range(0..4u32) {
+        0 => 0.0,
+        1 => *g.pick(&[1.0, 0.5, 0.875, 1e-9, 123456.789, f64::MIN_POSITIVE]),
+        _ => g.rng().random_range(-1.0e12..1.0e12),
+    }
+}
+
+fn opt<T>(g: &mut Gen, f: impl FnOnce(&mut Gen) -> T) -> Option<T> {
+    if g.rng().random_bool(0.5) {
+        Some(f(g))
+    } else {
+        None
+    }
+}
+
+fn gen_request(g: &mut Gen) -> Request {
+    let id = g.rng().random_range(0..1u64 << 50);
+    match g.rng().random_range(0..5u32) {
+        0 => Request::Load {
+            id,
+            name: nasty_string(g),
+            dir: nasty_string(g),
+        },
+        1 => Request::List { id },
+        2 => Request::Compare {
+            id,
+            left: nasty_string(g),
+            right: nasty_string(g),
+            algo: *g.pick(&[Algo::Signature, Algo::Exact, Algo::Both]),
+            lambda: opt(g, finite_f64),
+            budget_ms: opt(g, |g| g.rng().random_range(0..1u64 << 40)),
+        },
+        3 => Request::Stats { id },
+        _ => Request::Shutdown { id },
+    }
+}
+
+fn gen_response(g: &mut Gen) -> Response {
+    let id = g.rng().random_range(0..1u64 << 50);
+    match g.rng().random_range(0..6u32) {
+        0 => Response::Loaded {
+            id,
+            name: nasty_string(g),
+            tuples: g.rng().random_range(0..1u64 << 40),
+        },
+        1 => Response::Listing {
+            id,
+            instances: g.vec_of(4, |g| InstanceInfo {
+                name: nasty_string(g),
+                tuples: g.rng().random_range(0..1u64 << 40),
+                null_cells: g.rng().random_range(0..1u64 << 40),
+            }),
+        },
+        2 => Response::Compared {
+            id,
+            scores: CompareScores {
+                signature: opt(g, finite_f64),
+                exact: opt(g, finite_f64),
+                pairs: opt(g, |g| g.rng().random_range(0..1u64 << 40)),
+                optimal: opt(g, |g| g.rng().random_bool(0.5)),
+                elapsed_us: g.rng().random_range(0..1u64 << 40),
+            },
+        },
+        3 => Response::Stats {
+            id,
+            stats: ServerStats {
+                requests: g.rng().random_range(0..1u64 << 40),
+                completed: g.rng().random_range(0..1u64 << 40),
+                overloaded: g.rng().random_range(0..1u64 << 40),
+                errors: g.rng().random_range(0..1u64 << 40),
+                catalog_version: g.rng().random_range(0..1u64 << 40),
+                spans: g.vec_of(4, |g| SpanStat {
+                    label: nasty_string(g),
+                    reports: g.rng().random_range(0..1u64 << 40),
+                    wall_us: g.rng().random_range(0..1u64 << 40),
+                }),
+            },
+        },
+        4 => Response::ShuttingDown { id },
+        _ => Response::Error {
+            id,
+            code: *g.pick(&[
+                ErrorCode::Malformed,
+                ErrorCode::BadRequest,
+                ErrorCode::UnknownInstance,
+                ErrorCode::Config,
+                ErrorCode::Budget,
+                ErrorCode::SchemaMismatch,
+                ErrorCode::Overloaded,
+                ErrorCode::ShuttingDown,
+                ErrorCode::Load,
+                ErrorCode::Internal,
+            ]),
+            message: nasty_string(g),
+        },
+    }
+}
+
+/// Encode → frame → unframe → decode is the identity on requests.
+#[test]
+fn request_wire_roundtrip_identity() {
+    Runner::new("serve.request_wire_roundtrip").run(gen_request, |req| {
+        let payload = req.encode();
+        assert_eq!(&Request::decode(&payload).unwrap(), req);
+
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        let mut reader = FrameReader::new(std::io::Cursor::new(wire));
+        let framed = reader.next_frame().unwrap();
+        assert_eq!(&Request::decode(&framed).unwrap(), req);
+    });
+}
+
+/// Encode → frame → unframe → decode is the identity on responses; f64
+/// scores survive bit-for-bit (the e2e "exact same scores" guarantee).
+#[test]
+fn response_wire_roundtrip_identity() {
+    Runner::new("serve.response_wire_roundtrip").run(gen_response, |resp| {
+        let payload = resp.encode();
+        let back = Response::decode(&payload).unwrap();
+        assert_eq!(&back, resp);
+        if let (Response::Compared { scores: sent, .. }, Response::Compared { scores: recv, .. }) =
+            (resp, &back)
+        {
+            assert_eq!(
+                sent.signature.map(f64::to_bits),
+                recv.signature.map(f64::to_bits)
+            );
+            assert_eq!(sent.exact.map(f64::to_bits), recv.exact.map(f64::to_bits));
+        }
+
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        let mut reader = FrameReader::new(std::io::Cursor::new(wire));
+        assert_eq!(
+            &Response::decode(&reader.next_frame().unwrap()).unwrap(),
+            resp
+        );
+    });
+}
+
+/// Several frames written back-to-back — with payloads full of newlines —
+/// are recovered intact and in order.
+#[test]
+fn frame_stream_roundtrip_identity() {
+    Runner::new("serve.frame_stream_roundtrip").run(
+        |g| g.vec_of(6, |g| nasty_string(g).into_bytes()),
+        |payloads| {
+            let mut wire = Vec::new();
+            for p in payloads {
+                write_frame(&mut wire, p).unwrap();
+            }
+            let mut reader = FrameReader::new(std::io::Cursor::new(wire));
+            for p in payloads {
+                assert_eq!(&reader.next_frame().unwrap(), p);
+            }
+        },
+    );
+}

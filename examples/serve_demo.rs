@@ -1,0 +1,102 @@
+//! The serving layer end to end, in one process: start an `ic-serve`
+//! server on an ephemeral port over two perturbed `ic-datagen` instances,
+//! then talk to it over TCP with the blocking client — list the catalog,
+//! run signature/exact/both comparisons (including a deliberately
+//! impossible zero-budget request), and read the server's `stats`.
+//!
+//! Run with: `cargo run --release --example serve_demo`
+
+use instance_comparison::datagen::{mod_cell, Dataset};
+use instance_comparison::serve::{
+    Algo, Client, CompareOptions, ServeCatalog, Server, ServerConfig,
+};
+use std::sync::Arc;
+
+fn main() {
+    // A modCell scenario: source/target start isomorphic, then 20% of the
+    // cells are replaced with fresh nulls or new constants.
+    let sc = mod_cell(Dataset::Doctors, 60, 0.20, 42);
+    let catalog = Arc::new(ServeCatalog::from_catalog(sc.catalog));
+    catalog.register("doctors_v1", sc.source).unwrap();
+    catalog.register("doctors_v2", sc.target).unwrap();
+
+    // "127.0.0.1:0" asks the OS for an ephemeral port; the handle reports
+    // the resolved address. A real deployment runs the `serve` binary.
+    let server = Server::start(catalog, "127.0.0.1:0", ServerConfig::default())
+        .expect("bind an ephemeral loopback port");
+    println!("serving on {}", server.local_addr());
+
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    println!("\ncatalog:");
+    for info in client.list().expect("list") {
+        println!(
+            "  {:<12} {:>5} tuples, {:>4} null cells",
+            info.name, info.tuples, info.null_cells
+        );
+    }
+
+    let sig = client
+        .compare(
+            "doctors_v1",
+            "doctors_v2",
+            Algo::Signature,
+            CompareOptions::default(),
+        )
+        .expect("signature compare");
+    println!(
+        "\nsignature similarity: {:.6}  ({} matched pairs, {} µs server-side)",
+        sig.signature.unwrap(),
+        sig.pairs.unwrap(),
+        sig.elapsed_us
+    );
+
+    let both = client
+        .compare(
+            "doctors_v1",
+            "doctors_v2",
+            Algo::Both,
+            CompareOptions {
+                lambda: Some(0.5),
+                budget_ms: Some(30_000),
+            },
+        )
+        .expect("exact+signature compare");
+    println!(
+        "exact similarity:     {:.6}  (optimal: {}, gap to signature: {:.6})",
+        both.exact.unwrap(),
+        both.optimal.unwrap(),
+        both.exact.unwrap() - both.signature.unwrap()
+    );
+
+    // Deadlines are enforced: an impossible budget comes back as a typed
+    // `budget` error instead of a hang or a silently partial score.
+    let err = client
+        .compare(
+            "doctors_v1",
+            "doctors_v2",
+            Algo::Exact,
+            CompareOptions {
+                budget_ms: Some(0),
+                ..CompareOptions::default()
+            },
+        )
+        .expect_err("a zero budget cannot succeed");
+    println!("\nzero-budget request rejected: {err}");
+
+    let stats = client.stats().expect("stats");
+    println!(
+        "\nserver stats: {} requests, {} compares completed, {} errors",
+        stats.requests, stats.completed, stats.errors
+    );
+    for span in &stats.spans {
+        println!(
+            "  span {:<16} {} reports, {} µs total",
+            span.label, span.reports, span.wall_us
+        );
+    }
+
+    client.shutdown().expect("shutdown");
+    server.wait();
+    println!("\nserver drained and stopped");
+}

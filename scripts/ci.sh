@@ -39,6 +39,24 @@ IC_OBS_JSONL=target/ic-bench/obs_report.jsonl \
 test -s target/ic-bench/obs_report.jsonl
 echo "    wrote target/ic-bench/obs_report.jsonl"
 
+# The serving layer: unit + e2e/error-path/wire-property tests (exact-score
+# parity with the direct Comparator, snapshot isolation under concurrent
+# loads, graceful drain, typed errors, admission control).
+echo "==> cargo test -q --offline -p ic-serve (serving layer)"
+cargo test -q --offline -p ic-serve
+
+# The serving layer's end-to-end cost: loopback request throughput at 1 and
+# 4 concurrent client connections, recorded as a JSON artifact.
+echo "==> bench_serve_throughput (serving-layer loopback req/s)"
+cargo run -q --offline --release -p ic-bench --bin bench_serve_throughput
+test -f target/ic-bench/BENCH_serve.json
+echo "    wrote target/ic-bench/BENCH_serve.json"
+
+# Public docs must build clean across the workspace (broken intra-doc links
+# and malformed doc comments are errors, not warnings).
+echo "==> cargo doc --workspace --no-deps --offline (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc -q --workspace --no-deps --offline
+
 if rustfmt --version >/dev/null 2>&1; then
     echo "==> cargo fmt --check"
     cargo fmt --check

@@ -24,6 +24,7 @@
 //! | [`cleaning`] | FDs, error injection, repair systems, F1 metrics |
 //! | [`versioning`] | version ops, diff baseline, comparison stats |
 //! | [`obs`] | spans, metrics, observation sinks (span trees, JSONL) |
+//! | [`serve`] | similarity service: instance catalog, wire protocol, server, client |
 //!
 //! ## Quickstart
 //!
@@ -80,4 +81,5 @@ pub use ic_exchange as exchange;
 pub use ic_model as model;
 pub use ic_obs as obs;
 pub use ic_pool as pool;
+pub use ic_serve as serve;
 pub use ic_versioning as versioning;
