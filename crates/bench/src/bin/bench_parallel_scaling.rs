@@ -12,7 +12,7 @@
 //!
 //! Run: `cargo run -p ic-bench --release --bin bench_parallel_scaling`
 
-use ic_bench::harness::Suite;
+use ic_bench::harness::{available_cores, Suite};
 use ic_core::{compare_many, signature_match, SignatureConfig};
 use ic_datagen::{mod_cell, Dataset};
 use ic_model::{Catalog, Instance};
@@ -60,6 +60,18 @@ fn scaling_over(
             &format!("{id_prefix}/speedup_{threads}t"),
             &format!("{speedup:.2}"),
         );
+        // On a multi-core machine, adding threads must not *slow down* the
+        // signature match (lenient 0.9× floor: scheduling noise). A
+        // single-core box cannot honor this, so the assertion is gated on
+        // the recorded core count (ROADMAP's perf caveat).
+        if available_cores() > 1 {
+            assert!(
+                speedup >= 0.9,
+                "{id_prefix}: {threads}-thread run regressed to {speedup:.2}x \
+                 the sequential baseline on a {}-core machine",
+                available_cores()
+            );
+        }
     }
 }
 
@@ -107,6 +119,12 @@ fn main() {
             &format!("compare_many/speedup_{threads}t"),
             &format!("{speedup:.2}"),
         );
+        if available_cores() > 1 {
+            assert!(
+                speedup >= 0.9,
+                "compare_many: {threads}-thread run regressed to {speedup:.2}x"
+            );
+        }
     }
 
     suite.set_meta("identical_across_threads", "true");

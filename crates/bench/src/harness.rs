@@ -50,17 +50,22 @@ pub struct Suite {
 impl Suite {
     /// Creates a suite with default warmup/sample counts. The worker-pool
     /// size ([`ic_pool::configured_threads`]) is recorded as `pool_threads`
-    /// metadata so perf diffs across machines stay interpretable.
+    /// metadata and the machine's available core count as `cores`, so perf
+    /// diffs across machines stay interpretable (and scaling assertions
+    /// can be gated on actually having more than one core).
     pub fn new(name: &str) -> Self {
         Self {
             name: name.to_string(),
             warmup: DEFAULT_WARMUP,
             samples: DEFAULT_SAMPLES,
             records: Vec::new(),
-            meta: vec![(
-                "pool_threads".to_string(),
-                ic_pool::configured_threads().to_string(),
-            )],
+            meta: vec![
+                (
+                    "pool_threads".to_string(),
+                    ic_pool::configured_threads().to_string(),
+                ),
+                ("cores".to_string(), available_cores().to_string()),
+            ],
         }
     }
 
@@ -176,6 +181,15 @@ impl Suite {
     }
 }
 
+/// The machine's available core count (1 if it cannot be determined) —
+/// recorded in every suite's metadata and used by scaling benches to skip
+/// speedup assertions that cannot hold on a single core.
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// Escapes a string as a JSON literal.
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -208,7 +222,9 @@ mod tests {
         assert!(json.contains("\"id\": \"noop\""));
         assert!(json.contains("median_ns"));
         assert!(json.contains("\"pool_threads\""));
+        assert!(json.contains("\"cores\""));
         assert_eq!(suite.records().len(), 1);
+        assert!(available_cores() >= 1);
     }
 
     #[test]

@@ -1,0 +1,484 @@
+//! The [`CompareCache`]: incremental delta re-scoring over retained
+//! signature maps.
+//!
+//! A cache holds named instances together with their [`InstanceSigMaps`].
+//! Comparing two cached instances seeds [`crate::signature_match_seeded`]
+//! with both sides' maps, so the per-relation signature-map builds — the
+//! index phase of the signature algorithm — are skipped entirely. Applying
+//! a tuple-level [`Delta`] to a cached instance *repairs* its maps in
+//! place (a few index operations per edited tuple) instead of rebuilding
+//! them, which is the whole point: re-scoring a pair after a small delta
+//! costs `O(|delta|)` index work instead of `O(|instance|)`.
+//!
+//! **Bit-identity contract.** Every comparison through the cache returns
+//! exactly the bytes a fresh [`Comparator::compare`] over the same
+//! instances would, at any pool thread count. The maps are built and
+//! repaired without a deadline, so a budgeted comparison that times out
+//! never leaves a half-built index behind — the next call still agrees
+//! with from-scratch. Timed-out outcomes are never memoized.
+//!
+//! **Keying and invalidation.** Entries are keyed by caller-chosen names.
+//! Re-inserting a different instance under an existing name drops that
+//! entry's maps and every memoized outcome involving the name; applying a
+//! delta keeps the (repaired) maps but also drops the memoized outcomes.
+//! A delta that fails validation mid-sequence evicts the entry entirely —
+//! its instance has a prefix of the ops applied and no longer matches what
+//! the caller believes is cached.
+
+use crate::comparator::Comparator;
+use crate::delta::{apply_op, Applied, Delta, DeltaError};
+use crate::error::Error;
+use crate::signature::InstanceSigMaps;
+use crate::similarity::Comparison;
+use ic_model::{FxHashMap, Instance, TupleId};
+use std::sync::Arc;
+
+/// Why a [`CompareCache`] call failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheError {
+    /// An underlying comparison error (schema mismatch, budget, config).
+    Core(Error),
+    /// The named instance is not in the cache.
+    UnknownKey(String),
+    /// A delta op failed validation; the entry was evicted (see the
+    /// [module docs](self)).
+    Delta(DeltaError),
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::Core(e) => write!(f, "{e}"),
+            CacheError::UnknownKey(k) => write!(f, "unknown cache key {k:?}"),
+            CacheError::Delta(e) => write!(f, "delta rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CacheError::Core(e) => Some(e),
+            CacheError::Delta(e) => Some(e),
+            CacheError::UnknownKey(_) => None,
+        }
+    }
+}
+
+impl From<Error> for CacheError {
+    fn from(e: Error) -> Self {
+        CacheError::Core(e)
+    }
+}
+
+impl From<DeltaError> for CacheError {
+    fn from(e: DeltaError) -> Self {
+        CacheError::Delta(e)
+    }
+}
+
+/// Work and hit counters of a [`CompareCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Full signature-map builds performed (one per instance, lazily).
+    pub map_builds: u64,
+    /// Comparisons that found both sides' maps already built.
+    pub map_hits: u64,
+    /// Comparisons answered from the memoized-outcome table.
+    pub outcome_hits: u64,
+    /// Seeded comparisons actually run.
+    pub compares: u64,
+    /// Deltas applied (each may contain many ops).
+    pub deltas_applied: u64,
+    /// Entries invalidated by a replacing insert or evicted by a failed
+    /// delta.
+    pub invalidations: u64,
+    /// Tuples indexed by full map builds — the from-scratch index cost.
+    pub tuples_indexed_full: u64,
+    /// Index repair operations performed by delta repairs — the
+    /// incremental index cost. `tuples_indexed_full / tuples_indexed_repair`
+    /// per comparison is the index-work saving of the incremental path.
+    pub tuples_indexed_repair: u64,
+}
+
+struct Entry {
+    instance: Arc<Instance>,
+    maps: Option<InstanceSigMaps>,
+}
+
+/// A comparison cache over one [`Comparator`]; see the [module
+/// docs](self) for semantics and contracts.
+pub struct CompareCache<'a> {
+    cmp: &'a Comparator<'a>,
+    entries: FxHashMap<String, Entry>,
+    outcomes: FxHashMap<(String, String), Comparison>,
+    stats: CacheStats,
+}
+
+impl std::fmt::Debug for CompareCache<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompareCache")
+            .field("entries", &self.entries.len())
+            .field("outcomes", &self.outcomes.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<'a> CompareCache<'a> {
+    /// Creates an empty cache over `cmp` (see
+    /// [`Comparator::compare_cache`]).
+    pub fn new(cmp: &'a Comparator<'a>) -> Self {
+        Self {
+            cmp,
+            entries: FxHashMap::default(),
+            outcomes: FxHashMap::default(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The comparator this cache runs on.
+    pub fn comparator(&self) -> &'a Comparator<'a> {
+        self.cmp
+    }
+
+    /// Registers (or replaces) the instance under `key`. Replacing with a
+    /// *different* instance (not the same `Arc`) invalidates the entry's
+    /// maps and every memoized outcome involving `key`; re-inserting the
+    /// same `Arc` is a no-op.
+    pub fn insert(
+        &mut self,
+        key: impl Into<String>,
+        instance: Arc<Instance>,
+    ) -> Result<(), CacheError> {
+        self.cmp.check_instance(&instance)?;
+        let key = key.into();
+        if let Some(existing) = self.entries.get(&key) {
+            if Arc::ptr_eq(&existing.instance, &instance) {
+                return Ok(());
+            }
+            self.stats.invalidations += 1;
+            self.purge_outcomes(&key);
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                instance,
+                maps: None,
+            },
+        );
+        Ok(())
+    }
+
+    /// Convenience: [`CompareCache::insert`] taking ownership of a plain
+    /// instance.
+    pub fn insert_owned(
+        &mut self,
+        key: impl Into<String>,
+        instance: Instance,
+    ) -> Result<(), CacheError> {
+        self.insert(key, Arc::new(instance))
+    }
+
+    /// Removes the entry under `key` (and its memoized outcomes).
+    /// Returns the instance if it was cached.
+    pub fn remove(&mut self, key: &str) -> Option<Arc<Instance>> {
+        let entry = self.entries.remove(key)?;
+        self.purge_outcomes(key);
+        Some(entry.instance)
+    }
+
+    /// The cached instance under `key`, if any.
+    pub fn instance(&self, key: &str) -> Option<&Arc<Instance>> {
+        self.entries.get(key).map(|e| &e.instance)
+    }
+
+    /// The entry's signature maps, if already built.
+    pub fn maps(&self, key: &str) -> Option<&InstanceSigMaps> {
+        self.entries.get(key).and_then(|e| e.maps.as_ref())
+    }
+
+    /// Work and hit counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn purge_outcomes(&mut self, key: &str) {
+        self.outcomes.retain(|(l, r), _| l != key && r != key);
+    }
+
+    /// Builds the entry's maps if absent. Runs under the comparator's
+    /// thread pin / observer, with no deadline (the index must never be
+    /// left half-built by a budget).
+    fn ensure_maps(&mut self, key: &str) -> Result<(), CacheError> {
+        let cmp = self.cmp;
+        let entry = self
+            .entries
+            .get_mut(key)
+            .ok_or_else(|| CacheError::UnknownKey(key.to_string()))?;
+        if entry.maps.is_some() {
+            self.stats.map_hits += 1;
+            return Ok(());
+        }
+        let instance = Arc::clone(&entry.instance);
+        let maps = cmp.run(|| InstanceSigMaps::build(&instance, cmp.signature_config()));
+        self.stats.map_builds += 1;
+        self.stats.tuples_indexed_full += maps.built_tuples();
+        entry.maps = Some(maps);
+        Ok(())
+    }
+
+    /// Compares two cached instances, seeding the signature algorithm with
+    /// both sides' maps (building them on first use) and memoizing the
+    /// outcome. Byte-identical to [`Comparator::compare`] on the same
+    /// instances; timed-out outcomes are returned but never memoized.
+    pub fn compare(&mut self, left: &str, right: &str) -> Result<Comparison, CacheError> {
+        let memo_key = (left.to_string(), right.to_string());
+        if let Some(hit) = self.outcomes.get(&memo_key) {
+            self.stats.outcome_hits += 1;
+            return Ok(hit.clone());
+        }
+        self.ensure_maps(left)?;
+        self.ensure_maps(right)?;
+        self.stats.compares += 1;
+        let le = self.entries.get(left).expect("ensured above");
+        let re = self.entries.get(right).expect("ensured above");
+        let result = self.cmp.compare_with_maps(
+            &le.instance,
+            &re.instance,
+            le.maps.as_ref(),
+            re.maps.as_ref(),
+        )?;
+        if !result.outcome.timed_out {
+            self.outcomes.insert(memo_key, result.clone());
+        }
+        Ok(result)
+    }
+
+    /// Applies a tuple-level delta to the cached instance under `key`,
+    /// repairing its signature maps op by op, and drops the memoized
+    /// outcomes involving `key`. Returns the ids of inserted tuples.
+    ///
+    /// The cached instance is copy-on-write: if the caller still holds the
+    /// `Arc` passed to [`CompareCache::insert`], their copy is untouched.
+    /// On an invalid op the entry is evicted (see the [module
+    /// docs](self)) and the error returned.
+    pub fn apply_delta(&mut self, key: &str, delta: &Delta) -> Result<Vec<TupleId>, CacheError> {
+        let entry = self
+            .entries
+            .get_mut(key)
+            .ok_or_else(|| CacheError::UnknownKey(key.to_string()))?;
+        let mut inserted = Vec::new();
+        let mut failed: Option<DeltaError> = None;
+        let repairs_before = entry.maps.as_ref().map_or(0, InstanceSigMaps::repair_ops);
+        let instance = Arc::make_mut(&mut entry.instance);
+        for op in &delta.ops {
+            match apply_op(instance, op) {
+                Ok(Applied::Inserted { rel, id }) => {
+                    if let Some(maps) = entry.maps.as_mut() {
+                        maps.index_tuple(instance, rel, id);
+                    }
+                    inserted.push(id);
+                }
+                Ok(Applied::Deleted { rel, old }) => {
+                    if let Some(maps) = entry.maps.as_mut() {
+                        maps.unindex_tuple(rel, &old);
+                    }
+                }
+                Ok(Applied::Modified { rel, old, id }) => {
+                    if let Some(maps) = entry.maps.as_mut() {
+                        maps.unindex_tuple(rel, &old);
+                        maps.index_tuple(instance, rel, id);
+                    }
+                }
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            }
+        }
+        let repairs_after = entry.maps.as_ref().map_or(0, InstanceSigMaps::repair_ops);
+        self.stats.tuples_indexed_repair += repairs_after - repairs_before;
+        if let Some(e) = failed {
+            self.entries.remove(key);
+            self.purge_outcomes(key);
+            self.stats.invalidations += 1;
+            return Err(CacheError::Delta(e));
+        }
+        self.stats.deltas_applied += 1;
+        self.purge_outcomes(key);
+        Ok(inserted)
+    }
+
+    /// The hot-path combination: apply `delta` to the cached `right`
+    /// instance, then re-compare `(left, right′)` reusing both sides'
+    /// (repaired) maps. Byte-identical to a from-scratch comparison of the
+    /// updated pair.
+    pub fn compare_delta(
+        &mut self,
+        left: &str,
+        right: &str,
+        delta: &Delta,
+    ) -> Result<Comparison, CacheError> {
+        self.apply_delta(right, delta)?;
+        self.compare(left, right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::DeltaOp;
+    use ic_model::{AttrId, Catalog, RelId, Schema};
+
+    fn setup() -> (Catalog, Instance, Instance, RelId) {
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let rel = cat.schema().rel("R").unwrap();
+        let mut l = Instance::new("I", &cat);
+        let mut r = Instance::new("J", &cat);
+        for i in 0..12 {
+            let a = cat.konst(&format!("a{}", i % 5));
+            let b = if i % 3 == 0 {
+                cat.fresh_null()
+            } else {
+                cat.konst(&format!("b{i}"))
+            };
+            l.insert(rel, vec![a, b]);
+            let b2 = if i % 4 == 0 { cat.fresh_null() } else { b };
+            r.insert(rel, vec![a, b2]);
+        }
+        (cat, l, r, rel)
+    }
+
+    #[test]
+    fn cached_compare_is_bit_identical_to_fresh() {
+        let (cat, l, r, _) = setup();
+        let cmp = Comparator::new(&cat).build().unwrap();
+        let fresh = cmp.compare(&l, &r).unwrap();
+        let mut cache = cmp.compare_cache();
+        cache.insert_owned("l", l).unwrap();
+        cache.insert_owned("r", r).unwrap();
+        let cached = cache.compare("l", "r").unwrap();
+        assert_eq!(cached.score().to_bits(), fresh.score().to_bits());
+        assert_eq!(cached.outcome.best.pairs, fresh.outcome.best.pairs);
+        // Second call hits the outcome memo.
+        cache.compare("l", "r").unwrap();
+        assert_eq!(cache.stats().outcome_hits, 1);
+        assert_eq!(cache.stats().map_builds, 2);
+    }
+
+    #[test]
+    fn delta_recompare_matches_from_scratch() {
+        let (mut cat, l, r, rel) = setup();
+        let (x, y) = (cat.konst("x"), cat.konst("y"));
+        let n = cat.fresh_null();
+        let delta = Delta::new(vec![
+            DeltaOp::Delete { id: TupleId(3) },
+            DeltaOp::Modify {
+                id: TupleId(5),
+                attr: AttrId(1),
+                value: n,
+            },
+            DeltaOp::Insert {
+                rel,
+                values: vec![x, y],
+            },
+        ]);
+        let cmp = Comparator::new(&cat).build().unwrap();
+        let mut cache = cmp.compare_cache();
+        cache.insert_owned("l", l.clone()).unwrap();
+        cache.insert_owned("r", r.clone()).unwrap();
+        cache.compare("l", "r").unwrap();
+        let incremental = cache.compare_delta("l", "r", &delta).unwrap();
+        let mut r2 = r;
+        delta.apply(&mut r2).unwrap();
+        let scratch = cmp.compare(&l, &r2).unwrap();
+        assert_eq!(incremental.score().to_bits(), scratch.score().to_bits());
+        assert_eq!(incremental.outcome.best.pairs, scratch.outcome.best.pairs);
+        // Repair cost: 4 index ops (delete 1, modify 2, insert 1), no
+        // rebuild.
+        assert_eq!(cache.stats().map_builds, 2);
+        assert_eq!(cache.stats().tuples_indexed_repair, 4);
+    }
+
+    #[test]
+    fn replacing_insert_invalidates() {
+        let (cat, l, r, _) = setup();
+        let cmp = Comparator::new(&cat).build().unwrap();
+        let mut cache = cmp.compare_cache();
+        cache.insert_owned("l", l.clone()).unwrap();
+        cache.insert_owned("r", r).unwrap();
+        cache.compare("l", "r").unwrap();
+        // Replace "r" with a different instance: maps + memo dropped.
+        cache.insert_owned("r", l.clone()).unwrap();
+        assert!(cache.maps("r").is_none());
+        assert_eq!(cache.stats().invalidations, 1);
+        let after = cache.compare("l", "r").unwrap();
+        let fresh = cmp.compare(&l, &l).unwrap();
+        assert_eq!(after.score().to_bits(), fresh.score().to_bits());
+        assert_eq!(cache.stats().outcome_hits, 0);
+    }
+
+    #[test]
+    fn failed_delta_evicts_entry() {
+        let (cat, l, r, _) = setup();
+        let cmp = Comparator::new(&cat).build().unwrap();
+        let mut cache = cmp.compare_cache();
+        cache.insert_owned("l", l).unwrap();
+        cache.insert_owned("r", r).unwrap();
+        cache.compare("l", "r").unwrap();
+        let bad = Delta::new(vec![DeltaOp::Delete { id: TupleId(999) }]);
+        assert!(matches!(
+            cache.apply_delta("r", &bad),
+            Err(CacheError::Delta(DeltaError::UnknownTuple(_)))
+        ));
+        assert!(cache.instance("r").is_none());
+        assert!(matches!(
+            cache.compare("l", "r"),
+            Err(CacheError::UnknownKey(_))
+        ));
+    }
+
+    #[test]
+    fn caller_arc_is_copy_on_write() {
+        let (mut cat, l, r, _) = setup();
+        let x = cat.konst("x");
+        let cmp = Comparator::new(&cat).build().unwrap();
+        let mut cache = cmp.compare_cache();
+        let shared = Arc::new(r);
+        cache.insert_owned("l", l).unwrap();
+        cache.insert("r", Arc::clone(&shared)).unwrap();
+        let delta = Delta::new(vec![DeltaOp::Modify {
+            id: TupleId(0),
+            attr: AttrId(0),
+            value: x,
+        }]);
+        cache.apply_delta("r", &delta).unwrap();
+        // The caller's copy is untouched.
+        assert_ne!(shared.tuple(TupleId(0)).unwrap().value(AttrId(0)), x);
+        assert_eq!(
+            cache
+                .instance("r")
+                .unwrap()
+                .tuple(TupleId(0))
+                .unwrap()
+                .value(AttrId(0)),
+            x
+        );
+    }
+
+    #[test]
+    fn unknown_keys_are_reported() {
+        let (cat, _, _, _) = setup();
+        let cmp = Comparator::new(&cat).build().unwrap();
+        let mut cache = cmp.compare_cache();
+        assert!(matches!(
+            cache.compare("a", "b"),
+            Err(CacheError::UnknownKey(_))
+        ));
+        assert!(matches!(
+            cache.apply_delta("a", &Delta::default()),
+            Err(CacheError::UnknownKey(_))
+        ));
+    }
+}

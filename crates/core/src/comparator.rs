@@ -30,12 +30,16 @@
 //! configuration (caught at `build`), per-call schema mismatches, and —
 //! for the `_strict` variants — exhausted budgets.
 
+use crate::cache::{CacheError, CompareCache};
+use crate::delta::Delta;
 use crate::error::Error;
 use crate::exact::{exact_match, ExactConfig, ExactOutcome};
 use crate::mapping::MatchMode;
 use crate::score::ScoreConfig;
-use crate::signature::{signature_match, SignatureConfig, SignatureOutcome};
-use crate::similarity::{compare, compare_many, Comparison};
+use crate::signature::{
+    signature_match, signature_match_seeded, InstanceSigMaps, SignatureConfig, SignatureOutcome,
+};
+use crate::similarity::{compare, compare_many, compare_seeded, Comparison};
 use ic_model::{Catalog, Instance};
 use std::time::Duration;
 
@@ -249,7 +253,7 @@ impl<'c> Comparator<'c> {
 
     /// Rejects instances that were not built for this comparator's catalog
     /// (their relation ids would be interpreted against the wrong schema).
-    fn check_instance(&self, inst: &Instance) -> Result<(), Error> {
+    pub(crate) fn check_instance(&self, inst: &Instance) -> Result<(), Error> {
         let expected = self.catalog.schema().len();
         if inst.num_relations() != expected {
             return Err(Error::SchemaMismatch {
@@ -261,7 +265,7 @@ impl<'c> Comparator<'c> {
     }
 
     /// Runs `f` under this comparator's thread-count pin and observer.
-    fn run<R>(&self, f: impl FnOnce() -> R) -> R {
+    pub(crate) fn run<R>(&self, f: impl FnOnce() -> R) -> R {
         let threads = self.threads;
         let with_pool = move || match threads {
             Some(n) => ic_pool::with_threads(n, f),
@@ -300,6 +304,84 @@ impl<'c> Comparator<'c> {
         self.check_instance(left)?;
         self.check_instance(right)?;
         Ok(self.run(|| signature_match(left, right, self.catalog, &self.sig_cfg)))
+    }
+
+    /// Builds the reusable per-relation signature maps of `inst` under this
+    /// comparator's configuration — the seed for
+    /// [`signature_with_maps`](Self::signature_with_maps) /
+    /// [`compare_with_maps`](Self::compare_with_maps).
+    pub fn build_maps(&self, inst: &Instance) -> Result<InstanceSigMaps, Error> {
+        self.check_instance(inst)?;
+        Ok(self.run(|| InstanceSigMaps::build(inst, &self.sig_cfg)))
+    }
+
+    /// [`signature`](Self::signature) seeded with prebuilt maps for either
+    /// side — byte-identical under the contract of
+    /// [`signature_match_seeded`], skipping the seeded sides' map builds.
+    pub fn signature_with_maps(
+        &self,
+        left: &Instance,
+        right: &Instance,
+        left_maps: Option<&InstanceSigMaps>,
+        right_maps: Option<&InstanceSigMaps>,
+    ) -> Result<SignatureOutcome, Error> {
+        self.check_instance(left)?;
+        self.check_instance(right)?;
+        Ok(self.run(|| {
+            signature_match_seeded(
+                left,
+                right,
+                self.catalog,
+                &self.sig_cfg,
+                left_maps,
+                right_maps,
+            )
+        }))
+    }
+
+    /// [`compare`](Self::compare) seeded with prebuilt maps for either
+    /// side — byte-identical under the contract of
+    /// [`signature_match_seeded`].
+    pub fn compare_with_maps(
+        &self,
+        left: &Instance,
+        right: &Instance,
+        left_maps: Option<&InstanceSigMaps>,
+        right_maps: Option<&InstanceSigMaps>,
+    ) -> Result<Comparison, Error> {
+        self.check_instance(left)?;
+        self.check_instance(right)?;
+        Ok(self.run(|| {
+            compare_seeded(
+                left,
+                right,
+                self.catalog,
+                &self.sig_cfg,
+                left_maps,
+                right_maps,
+            )
+        }))
+    }
+
+    /// Creates an empty [`CompareCache`] over this comparator — the entry
+    /// point of the incremental delta re-scoring path.
+    pub fn compare_cache(&self) -> CompareCache<'_> {
+        CompareCache::new(self)
+    }
+
+    /// Convenience for the hot loop: apply `delta` to the cached `right`
+    /// instance of `cache` and re-compare against the cached `left`,
+    /// reusing both sides' signature maps. Equivalent to
+    /// [`CompareCache::compare_delta`]; the cache must have been created
+    /// from a comparator with the same configuration (normally this one).
+    pub fn compare_delta(
+        &self,
+        cache: &mut CompareCache<'_>,
+        left: &str,
+        right: &str,
+        delta: &Delta,
+    ) -> Result<Comparison, CacheError> {
+        cache.compare_delta(left, right, delta)
     }
 
     /// Runs the exact branch-and-bound. A budget/node-limit stop is *not*

@@ -36,8 +36,10 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod comparator;
 pub mod compat;
+pub mod delta;
 pub mod error;
 pub mod exact;
 pub mod explain;
@@ -54,8 +56,10 @@ pub mod strsim;
 pub mod unionfind;
 pub mod universe;
 
+pub use cache::{CacheError, CacheStats, CompareCache};
 pub use comparator::{Comparator, ComparatorBuilder};
 pub use compat::{c_compatible, compatible_tuples, pair_compatible, CandidateIndex};
+pub use delta::{Delta, DeltaError, DeltaOp};
 pub use error::Error;
 #[allow(deprecated)]
 pub use exact::exact_match_checked;
@@ -72,11 +76,14 @@ pub use refine::{refine_match, RefineConfig};
 pub use score::{score_state, ConfigError, ScoreConfig};
 #[allow(deprecated)]
 pub use signature::signature_match_checked;
-pub use signature::{signature_match, SignatureConfig, SignatureOutcome, SignatureStats};
+pub use signature::{
+    signature_match, signature_match_seeded, InstanceSigMaps, SignatureConfig, SignatureOutcome,
+    SignatureStats,
+};
 #[allow(deprecated)]
 pub use similarity::compare_many_checked;
 pub use similarity::{
-    compare, compare_both, compare_many, similarity_exact, similarity_signature,
+    compare, compare_both, compare_many, compare_seeded, similarity_exact, similarity_signature,
     symmetric_difference_similarity, Comparison,
 };
 pub use state::MatchState;

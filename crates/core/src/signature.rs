@@ -146,6 +146,7 @@ type KeyedTuples = FxHashMap<Box<[Sym]>, Vec<TupleId>>;
 
 /// Signature map of one side of one relation: for each distinct attribute
 /// set (mask), the tuples keyed by their signature on that set.
+#[derive(Debug)]
 struct SigMap {
     /// `(mask, key → tuples)` sorted by decreasing mask size.
     buckets: Vec<(u128, KeyedTuples)>,
@@ -229,6 +230,205 @@ impl SigMap {
             .map(|(i, (mask, _))| (*mask, i))
             .collect();
         (Self { buckets, by_mask }, expired)
+    }
+
+    /// Recomputes [`SigMap::by_mask`] after a bucket insertion or removal
+    /// shifted the bucket indices.
+    fn reindex_masks(&mut self) {
+        self.by_mask = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, (mask, _))| (*mask, i))
+            .collect();
+    }
+
+    /// Index of the bucket for `mask`, inserting an empty bucket at its
+    /// sorted position (decreasing popcount, then mask) if absent — the
+    /// same total order [`SigMap::build`] establishes, so a repaired map
+    /// probes buckets in exactly the order a fresh build would.
+    fn bucket_index_or_insert(&mut self, mask: u128) -> usize {
+        if let Some(&i) = self.by_mask.get(&mask) {
+            return i;
+        }
+        let key = (Reverse(mask.count_ones()), mask);
+        let pos = self
+            .buckets
+            .partition_point(|(m, _)| (Reverse(m.count_ones()), *m) < key);
+        self.buckets.insert(pos, (mask, KeyedTuples::default()));
+        self.reindex_masks();
+        pos
+    }
+
+    /// Removes every index entry of `t`. Empty keys and buckets are dropped
+    /// so the repaired map is structurally identical to a fresh build over
+    /// the remaining tuples. Returns `1` if the tuple was indexable.
+    fn remove_tuple(&mut self, t: &Tuple, partial: bool, max_per_tuple: usize) -> u64 {
+        if t.arity() > 128 {
+            return 0;
+        }
+        for mask in tuple_masks(t, partial, max_per_tuple) {
+            let Some(&bi) = self.by_mask.get(&mask) else {
+                continue;
+            };
+            let keyed = &mut self.buckets[bi].1;
+            let key = signature_key(t, mask);
+            if let Some(ids) = keyed.get_mut(&key) {
+                ids.retain(|&id| id != t.id());
+                if ids.is_empty() {
+                    keyed.remove(&key);
+                }
+            }
+            if keyed.is_empty() {
+                self.buckets.remove(bi);
+                self.reindex_masks();
+            }
+        }
+        1
+    }
+
+    /// Indexes `t`, placing its id at the position a fresh build would:
+    /// bucket tuple lists are in relation-storage order, so the id is
+    /// binary-searched in by `pos_of` (current storage position of a live
+    /// tuple). Returns `1` if the tuple was indexable.
+    fn add_tuple(
+        &mut self,
+        t: &Tuple,
+        partial: bool,
+        max_per_tuple: usize,
+        pos_of: &dyn Fn(TupleId) -> u32,
+    ) -> u64 {
+        if t.arity() > 128 {
+            return 0;
+        }
+        let pos = pos_of(t.id());
+        for mask in tuple_masks(t, partial, max_per_tuple) {
+            let bi = self.bucket_index_or_insert(mask);
+            let ids = self.buckets[bi]
+                .1
+                .entry(signature_key(t, mask))
+                .or_default();
+            let at = ids.partition_point(|&id| pos_of(id) < pos);
+            ids.insert(at, t.id());
+        }
+        1
+    }
+}
+
+/// The masks a tuple is indexed under — mirrors [`SigMap::build`] exactly:
+/// complete mode indexes only the maximal (ground-attribute) mask, partial
+/// mode all non-empty subsets up to the per-tuple cap, largest first.
+fn tuple_masks(t: &Tuple, partial: bool, max_per_tuple: usize) -> Vec<u128> {
+    let gmask = ground_mask(t);
+    if partial {
+        subsets_desc(gmask, max_per_tuple)
+    } else {
+        vec![gmask]
+    }
+}
+
+/// Persistent signature maps of one instance, reusable across comparisons
+/// and repairable under tuple-level deltas ([`crate::Delta`]).
+///
+/// A fresh [`signature_match`] rebuilds one `SigMap` per relation per
+/// side; seeding [`signature_match_seeded`] with prebuilt maps skips those
+/// builds entirely. The **bit-identity contract**: a map produced by
+/// [`InstanceSigMaps::build`] and then repaired with
+/// [`InstanceSigMaps::unindex_tuple`] / [`InstanceSigMaps::index_tuple`]
+/// after each instance mutation is structurally identical to a map freshly
+/// built over the mutated instance — same buckets in the same order, same
+/// tuple lists in relation-storage order — so a seeded run returns exactly
+/// the bytes a from-scratch run would, at any pool thread count.
+///
+/// Maps are built and repaired without a deadline: a budget only bounds the
+/// *matching* phases of a seeded run, never the index, so a timed-out
+/// comparison leaves the maps fully consistent for the next call.
+///
+/// The maps depend on the instance contents plus the `partial` and
+/// `max_signatures_per_tuple` fields of the build config; seeding a run
+/// whose config disagrees on those fields is a contract violation
+/// ([`signature_match_seeded`] panics).
+#[derive(Debug)]
+pub struct InstanceSigMaps {
+    partial: bool,
+    max_per_tuple: usize,
+    rels: Vec<SigMap>,
+    /// Tuples indexed by the initial full build.
+    built_tuples: u64,
+    /// Index repair operations (unindex + index) applied since the build.
+    repair_ops: u64,
+}
+
+impl InstanceSigMaps {
+    /// Builds the per-relation signature maps of `instance` under `cfg`
+    /// (only [`SignatureConfig::partial`] and
+    /// [`SignatureConfig::max_signatures_per_tuple`] matter). Runs without
+    /// a deadline; fans out over [`ic_pool`] like the in-run build.
+    pub fn build(instance: &Instance, cfg: &SignatureConfig) -> Self {
+        let _span = crate::obs::span("signature.sigmap_build");
+        let mut rels = Vec::with_capacity(instance.num_relations());
+        let mut built_tuples = 0u64;
+        for r in 0..instance.num_relations() {
+            let rel = RelId(r as u16);
+            let tuples = instance.tuples(rel);
+            built_tuples += tuples.iter().filter(|t| t.arity() <= 128).count() as u64;
+            let (map, _) = SigMap::build(tuples, cfg.partial, cfg.max_signatures_per_tuple, None);
+            rels.push(map);
+        }
+        Self {
+            partial: cfg.partial,
+            max_per_tuple: cfg.max_signatures_per_tuple,
+            rels,
+            built_tuples,
+            repair_ops: 0,
+        }
+    }
+
+    /// Whether these maps can seed a run under `cfg` (the map-shaping
+    /// fields agree).
+    pub fn compatible_with(&self, cfg: &SignatureConfig) -> bool {
+        self.partial == cfg.partial && self.max_per_tuple == cfg.max_signatures_per_tuple
+    }
+
+    /// Tuples indexed by the initial full build (arity ≤ 128 only).
+    pub fn built_tuples(&self) -> u64 {
+        self.built_tuples
+    }
+
+    /// Index repair operations applied since the build: one per tuple
+    /// removed from or inserted into the index (a cell modification counts
+    /// two). The from-scratch equivalent of a repair is
+    /// [`InstanceSigMaps::built_tuples`] operations, so the ratio of the
+    /// two is the index-work saving of the incremental path.
+    pub fn repair_ops(&self) -> u64 {
+        self.repair_ops
+    }
+
+    /// Removes `t` (about to be deleted from, or just modified in, relation
+    /// `rel`) from the index. Call with the tuple's *old* contents.
+    pub fn unindex_tuple(&mut self, rel: RelId, t: &Tuple) {
+        let n = self.rels[rel.0 as usize].remove_tuple(t, self.partial, self.max_per_tuple);
+        self.repair_ops += n;
+        crate::obs::counter("sig.sigmap.repair_ops", n);
+    }
+
+    /// Indexes the live tuple `id` of relation `rel` in `instance` (just
+    /// inserted or just modified). The instance provides current storage
+    /// positions so the repaired bucket lists keep relation-storage order.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a live tuple of `rel` in `instance`.
+    pub fn index_tuple(&mut self, instance: &Instance, rel: RelId, id: TupleId) {
+        let t = instance.tuple(id).expect("tuple to index must be live");
+        let pos_of = |tid: TupleId| instance.loc(tid).expect("indexed tuples are live").1;
+        let n = self.rels[rel.0 as usize].add_tuple(t, self.partial, self.max_per_tuple, &pos_of);
+        self.repair_ops += n;
+        crate::obs::counter("sig.sigmap.repair_ops", n);
+    }
+
+    /// The signature map of one relation, if the instance has it.
+    fn sigmap(&self, rel: RelId) -> Option<&SigMap> {
+        self.rels.get(rel.0 as usize)
     }
 }
 
@@ -338,7 +538,12 @@ impl Run<'_> {
     /// each yields its candidate list in bucket order (largest masks first).
     /// The greedy consumption stays sequential in probe order, making the
     /// final match bit-identical to a one-thread run.
-    fn find_sig_matches(&mut self, rel: RelId, sig_side: Side) -> usize {
+    ///
+    /// With `seeded` maps the build is skipped entirely: the caller
+    /// guarantees the map indexes exactly `sig_side`'s tuples of `rel`
+    /// under the run's config (see [`InstanceSigMaps`]), so every phase
+    /// after the build sees byte-identical inputs to a from-scratch run.
+    fn find_sig_matches(&mut self, rel: RelId, sig_side: Side, seeded: Option<&SigMap>) -> usize {
         if self.out_of_budget() {
             return 0;
         }
@@ -351,17 +556,28 @@ impl Run<'_> {
         if sig_tuples.first().map_or(0, Tuple::arity) > 128 {
             return 0; // fall back to the exhaustive completion
         }
-        let (sigmap, build_expired) = {
-            let _span = crate::obs::span("signature.sigmap_build");
-            SigMap::build(
-                sig_tuples,
-                self.cfg.partial,
-                self.cfg.max_signatures_per_tuple,
-                self.deadline,
-            )
+        let owned: SigMap;
+        let sigmap: &SigMap = match seeded {
+            Some(map) => {
+                crate::obs::counter("sig.sigmap.reused", 1);
+                map
+            }
+            None => {
+                let (map, build_expired) = {
+                    let _span = crate::obs::span("signature.sigmap_build");
+                    SigMap::build(
+                        sig_tuples,
+                        self.cfg.partial,
+                        self.cfg.max_signatures_per_tuple,
+                        self.deadline,
+                    )
+                };
+                self.timed_out |= build_expired;
+                owned = map;
+                &owned
+            }
         };
         crate::obs::counter("sig.sigmap.buckets", sigmap.buckets.len() as u64);
-        self.timed_out |= build_expired;
         let _span = crate::obs::span("signature.probe");
         let cfg = self.cfg;
         // Budget check inside the parallel discovery: the closures never
@@ -559,6 +775,39 @@ pub fn signature_match(
     catalog: &Catalog,
     cfg: &SignatureConfig,
 ) -> SignatureOutcome {
+    signature_match_seeded(left, right, catalog, cfg, None, None)
+}
+
+/// Like [`signature_match`], but optionally seeded with prebuilt
+/// [`InstanceSigMaps`] for either side, skipping the per-relation
+/// signature-map builds for a seeded side.
+///
+/// **Bit-identity contract**: provided the maps were built (or repaired)
+/// over exactly the instances passed here, with the same `partial` /
+/// `max_signatures_per_tuple` settings as `cfg`, the outcome is
+/// byte-identical to [`signature_match`] — the seeded maps are structurally
+/// equal to the maps a fresh run builds, and every phase after the build is
+/// unchanged. The only observable difference is wall-clock (`elapsed`) and,
+/// under a budget, that a seeded run cannot time out *inside* a build it
+/// never performs.
+///
+/// # Panics
+/// Panics if a seeded side's maps were built under a different `partial` /
+/// `max_signatures_per_tuple` configuration than `cfg`.
+pub fn signature_match_seeded(
+    left: &Instance,
+    right: &Instance,
+    catalog: &Catalog,
+    cfg: &SignatureConfig,
+    left_maps: Option<&InstanceSigMaps>,
+    right_maps: Option<&InstanceSigMaps>,
+) -> SignatureOutcome {
+    for maps in [left_maps, right_maps].into_iter().flatten() {
+        assert!(
+            maps.compatible_with(cfg),
+            "seeded signature maps were built under a different partial/cap configuration"
+        );
+    }
     let _span = crate::obs::span("signature");
     let start = Instant::now();
     let mut run = Run {
@@ -573,8 +822,9 @@ pub fn signature_match(
 
     let mut sig_matches = 0usize;
     for rel in catalog.schema().rel_ids() {
-        sig_matches += run.find_sig_matches(rel, Side::Left);
-        sig_matches += run.find_sig_matches(rel, Side::Right);
+        sig_matches += run.find_sig_matches(rel, Side::Left, left_maps.and_then(|m| m.sigmap(rel)));
+        sig_matches +=
+            run.find_sig_matches(rel, Side::Right, right_maps.and_then(|m| m.sigmap(rel)));
     }
     let sig_score = score_state(&run.state, &cfg.score, catalog).score;
 

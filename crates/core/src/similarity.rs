@@ -6,7 +6,9 @@
 
 use crate::exact::{exact_match, ExactConfig, ExactOutcome};
 use crate::explain::{explain, InstanceDiff};
-use crate::signature::{signature_match, SignatureConfig, SignatureOutcome};
+use crate::signature::{
+    signature_match, signature_match_seeded, InstanceSigMaps, SignatureConfig, SignatureOutcome,
+};
 use ic_model::{Catalog, Instance, Value};
 
 /// A one-call comparison bundle: the similarity score, the witnessing
@@ -36,6 +38,26 @@ pub fn compare(
 ) -> Comparison {
     let _span = crate::obs::span("compare");
     let outcome = signature_match(left, right, catalog, cfg);
+    let diff = {
+        let _span = crate::obs::span("compare.explain");
+        explain(&outcome.best, left, right)
+    };
+    Comparison { outcome, diff }
+}
+
+/// [`compare`] seeded with prebuilt [`InstanceSigMaps`] for either side —
+/// byte-identical to [`compare`] under the seeding contract of
+/// [`signature_match_seeded`], skipping the signature-map builds.
+pub fn compare_seeded(
+    left: &Instance,
+    right: &Instance,
+    catalog: &Catalog,
+    cfg: &SignatureConfig,
+    left_maps: Option<&InstanceSigMaps>,
+    right_maps: Option<&InstanceSigMaps>,
+) -> Comparison {
+    let _span = crate::obs::span("compare");
+    let outcome = signature_match_seeded(left, right, catalog, cfg, left_maps, right_maps);
     let diff = {
         let _span = crate::obs::span("compare.explain");
         explain(&outcome.best, left, right)

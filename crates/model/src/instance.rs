@@ -189,6 +189,14 @@ impl Instance {
         Some(&self.relations[rel.0 as usize][idx as usize])
     }
 
+    /// The storage location `(relation, position)` of a tuple: `position`
+    /// is the tuple's current index within its relation's storage order.
+    /// Returns `None` if the tuple was removed (positions shift left on
+    /// removal, so a location is only valid until the next mutation).
+    pub fn loc(&self, id: TupleId) -> Option<(RelId, u32)> {
+        self.locs.get(id.0 as usize).copied().flatten()
+    }
+
     /// The relation a tuple belongs to. Returns `None` if removed.
     pub fn rel_of(&self, id: TupleId) -> Option<RelId> {
         self.locs

@@ -20,6 +20,10 @@
 //!   (queue-full returns `overloaded` instead of blocking), per-request
 //!   deadlines, per-request [`ic_obs`] spans exported through `stats`, and
 //!   graceful drain-then-close shutdown.
+//! * [`sigcache`] — a signature-map cache keyed by instance pointer
+//!   identity: hot catalog instances pay the sigmap build once, and a
+//!   `load` that replaces an instance invalidates its entry automatically
+//!   (copy-on-write snapshots make staleness a pointer comparison).
 //!
 //! [`client`] is a small blocking client over the same protocol.
 //!
@@ -62,6 +66,7 @@ pub mod frame;
 pub mod json;
 pub mod proto;
 pub mod server;
+pub mod sigcache;
 
 pub use catalog::{CatalogError, ServeCatalog, Snapshot};
 pub use client::{Client, ClientError, CompareOptions};
@@ -71,3 +76,4 @@ pub use proto::{
     Algo, CompareScores, ErrorCode, InstanceInfo, Request, Response, ServerStats, SpanStat,
 };
 pub use server::{Server, ServerConfig, ServerHandle, COMPARE_LABEL};
+pub use sigcache::{SigCacheStats, SigMapCache};

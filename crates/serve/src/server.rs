@@ -37,6 +37,7 @@ use crate::proto::{
     Algo, CompareScores, DecodeError, ErrorCode, InstanceInfo, Request, Response, ServerStats,
     SpanStat,
 };
+use crate::sigcache::SigMapCache;
 use ic_core::Comparator;
 use ic_obs::StatsSink;
 use std::io;
@@ -107,6 +108,10 @@ struct Shared {
     /// closed) during shutdown so the workers drain and exit.
     queue: Mutex<Option<SyncSender<CompareJob>>>,
     stats_sink: Arc<StatsSink>,
+    /// Signature maps of hot catalog instances, reused across `compare`
+    /// requests and invalidated by pointer identity when `load` replaces
+    /// an instance (see [`SigMapCache`]).
+    sig_cache: SigMapCache,
     requests: AtomicU64,
     completed: AtomicU64,
     overloaded: AtomicU64,
@@ -142,6 +147,7 @@ impl Server {
             stop: AtomicBool::new(false),
             queue: Mutex::new(Some(tx)),
             stats_sink: Arc::new(StatsSink::new()),
+            sig_cache: SigMapCache::new(),
             requests: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             overloaded: AtomicU64::new(0),
@@ -210,6 +216,12 @@ impl ServerHandle {
     /// Whether shutdown has been initiated (locally or over the wire).
     pub fn is_stopping(&self) -> bool {
         self.shared.stopping()
+    }
+
+    /// The server's signature-map cache (hit/miss/invalidation counters
+    /// via [`SigMapCache::stats`]).
+    pub fn sig_cache(&self) -> &SigMapCache {
+        &self.shared.sig_cache
     }
 
     /// Initiates graceful shutdown and blocks until every admitted request
@@ -628,16 +640,52 @@ fn run_compare(shared: &Shared, job: &CompareJob, remaining: Option<Duration>) -
 
     let start = Instant::now();
     let scores = match job.algo {
-        Algo::Signature => match cmp.signature_strict(left, right) {
-            Ok(out) => CompareScores {
-                signature: Some(out.best.score()),
-                exact: None,
-                pairs: Some(out.best.pairs.len() as u64),
-                optimal: None,
-                elapsed_us: start.elapsed().as_micros() as u64,
-            },
-            Err(e) => return core_error(job.id, &e),
-        },
+        Algo::Signature => {
+            // Reuse (and, when unbudgeted, populate) the server's sigmap
+            // cache. Seeding is bit-identical to building per request, so
+            // this only changes wall-clock, never scores. Budgeted
+            // requests still *use* cached maps but never pay for a build
+            // they would account against the deadline.
+            let mut seeds: [Option<Arc<ic_core::InstanceSigMaps>>; 2] = [None, None];
+            for (slot, (name, inst)) in seeds
+                .iter_mut()
+                .zip([(&job.left, left), (&job.right, right)])
+            {
+                *slot = shared.sig_cache.lookup(name, inst);
+                if slot.is_none() && remaining.is_none() {
+                    match cmp.build_maps(inst) {
+                        Ok(maps) => {
+                            let maps = Arc::new(maps);
+                            shared
+                                .sig_cache
+                                .store(name, Arc::clone(inst), Arc::clone(&maps));
+                            *slot = Some(maps);
+                        }
+                        Err(e) => return core_error(job.id, &e),
+                    }
+                }
+            }
+            let [lm, rm] = seeds;
+            match cmp.signature_with_maps(left, right, lm.as_deref(), rm.as_deref()) {
+                Ok(out) if out.timed_out => {
+                    return core_error(
+                        job.id,
+                        &ic_core::Error::Budget {
+                            budget: remaining,
+                            elapsed: out.elapsed,
+                        },
+                    )
+                }
+                Ok(out) => CompareScores {
+                    signature: Some(out.best.score()),
+                    exact: None,
+                    pairs: Some(out.best.pairs.len() as u64),
+                    optimal: None,
+                    elapsed_us: start.elapsed().as_micros() as u64,
+                },
+                Err(e) => return core_error(job.id, &e),
+            }
+        }
         Algo::Exact => match cmp.exact_strict(left, right) {
             Ok(out) => CompareScores {
                 signature: None,

@@ -172,6 +172,85 @@ fn shutdown_drains_admitted_requests() {
     }
 }
 
+/// Acceptance criterion (incremental re-scoring, serve layer): repeated
+/// compares against hot catalog instances reuse the server's signature-map
+/// cache, a `load`-style replacement invalidates the stale entry, and the
+/// post-replacement score is bit-identical to a fresh [`Comparator`] over
+/// the new snapshot — the cache can never leak a stale index into a score.
+#[test]
+fn sigmap_cache_reuses_and_invalidates_on_replacement() {
+    let sc = mod_cell(Dataset::Doctors, 12, 0.3, 9);
+    let replacement = sc.source.clone(); // replaces "target" below
+    let (src, tgt) = (sc.source.clone(), sc.target.clone());
+    let direct = {
+        let cmp = Comparator::new(&sc.catalog).build().unwrap();
+        cmp.signature(&src, &tgt).unwrap().best.score()
+    };
+
+    let catalog = Arc::new(ServeCatalog::from_catalog(sc.catalog));
+    catalog.register("source", sc.source).unwrap();
+    catalog.register("target", sc.target).unwrap();
+    let server = start(Arc::clone(&catalog), ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // First compare: two cache misses, maps built and stored.
+    let first = client
+        .compare(
+            "source",
+            "target",
+            Algo::Signature,
+            CompareOptions::default(),
+        )
+        .unwrap();
+    let stats = server.sig_cache().stats();
+    assert_eq!((stats.hits, stats.misses, stats.invalidations), (0, 2, 0));
+    assert_eq!(server.sig_cache().len(), 2);
+    assert_eq!(first.signature.unwrap().to_bits(), direct.to_bits());
+
+    // Second compare: both sides served from the cache, same bits.
+    let second = client
+        .compare(
+            "source",
+            "target",
+            Algo::Signature,
+            CompareOptions::default(),
+        )
+        .unwrap();
+    assert_eq!(server.sig_cache().stats().hits, 2);
+    assert_eq!(
+        second.signature.unwrap().to_bits(),
+        first.signature.unwrap().to_bits()
+    );
+
+    // Replace "target": the cached entry is pinned to the old Arc and must
+    // be invalidated; the new score matches a fresh Comparator on the new
+    // snapshot (which compares "source" to itself).
+    catalog.register("target", replacement).unwrap();
+    let third = client
+        .compare(
+            "source",
+            "target",
+            Algo::Signature,
+            CompareOptions::default(),
+        )
+        .unwrap();
+    let stats = server.sig_cache().stats();
+    assert_eq!(stats.invalidations, 1, "stale target entry must be dropped");
+    assert_eq!(stats.hits, 3, "source entry survives the replacement");
+    let snap = catalog.snapshot();
+    let fresh = Comparator::new(&snap.catalog).build().unwrap();
+    let expected = fresh
+        .signature(snap.get("source").unwrap(), snap.get("target").unwrap())
+        .unwrap()
+        .best
+        .score();
+    assert_eq!(third.signature.unwrap().to_bits(), expected.to_bits());
+    assert!((third.signature.unwrap() - 1.0).abs() < 1e-12);
+
+    client.shutdown().unwrap();
+    server.wait();
+}
+
 /// Acceptance criterion: `stats` exports per-request `ic-obs` spans — the
 /// `serve.compare` report count equals the number of compares processed.
 #[test]

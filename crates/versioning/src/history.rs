@@ -11,7 +11,7 @@
 //! similarity starting from a given endpoint; [`find_endpoints`] guesses the
 //! endpoints as the pair with the *lowest* similarity.
 
-use ic_core::{signature_match, SignatureConfig};
+use ic_core::{signature_match, signature_match_seeded, InstanceSigMaps, SignatureConfig};
 use ic_model::{Catalog, Instance};
 
 /// Computes the symmetric pairwise similarity matrix of `versions` with the
@@ -28,6 +28,42 @@ pub fn similarity_matrix(
             let s = signature_match(versions[i], versions[j], catalog, cfg)
                 .best
                 .score();
+            m[i][j] = s;
+            m[j][i] = s;
+        }
+    }
+    m
+}
+
+/// [`similarity_matrix`] over shared signature maps: each version's
+/// per-relation maps are built **once** and seed every comparison the
+/// version participates in — `n` index builds instead of the `n(n−1)`
+/// a from-scratch matrix performs (each of the `n(n−1)/2` pairs builds
+/// both sides). Bit-identical to [`similarity_matrix`] under the seeding
+/// contract of [`signature_match_seeded`].
+pub fn similarity_matrix_cached(
+    versions: &[&Instance],
+    catalog: &Catalog,
+    cfg: &SignatureConfig,
+) -> Vec<Vec<f64>> {
+    let maps: Vec<InstanceSigMaps> = versions
+        .iter()
+        .map(|v| InstanceSigMaps::build(v, cfg))
+        .collect();
+    let n = versions.len();
+    let mut m = vec![vec![1.0f64; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let s = signature_match_seeded(
+                versions[i],
+                versions[j],
+                catalog,
+                cfg,
+                Some(&maps[i]),
+                Some(&maps[j]),
+            )
+            .best
+            .score();
             m[i][j] = s;
             m[j][i] = s;
         }
@@ -162,6 +198,27 @@ mod tests {
             assert_eq!(row[i], 1.0);
             for (j, &v) in row.iter().enumerate() {
                 assert!((v - m[j][i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cached_matrix_is_bit_identical_to_sequential() {
+        let chain = evolve_chain(Dataset::Iris, 60, 4, &EvolveParams::default(), 21);
+        let refs: Vec<&ic_model::Instance> = chain.versions.iter().collect();
+        for cfg in [
+            SignatureConfig::default(),
+            SignatureConfig {
+                partial: true,
+                ..Default::default()
+            },
+        ] {
+            let seq = similarity_matrix(&refs, &chain.catalog, &cfg);
+            let cached = similarity_matrix_cached(&refs, &chain.catalog, &cfg);
+            for (row_s, row_c) in seq.iter().zip(&cached) {
+                for (a, b) in row_s.iter().zip(row_c) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "partial={}", cfg.partial);
+                }
             }
         }
     }

@@ -12,6 +12,13 @@
 use ic_core::{signature_match, SignatureConfig};
 use ic_model::{align_instances, Catalog, Instance};
 
+// NOTE on incremental reuse: heterogeneous lake tables are aligned into a
+// fresh union schema per pair, so their signature maps cannot be shared
+// across pairs. Lakes whose tables already share one catalog skip the
+// alignment and *can* reuse per-table maps — see
+// [`find_duplicate_groups_shared`] and
+// [`crate::history::similarity_matrix_cached`].
+
 /// A table in the lake: its own catalog plus its instance.
 #[derive(Debug)]
 pub struct LakeTable {
@@ -61,7 +68,35 @@ pub fn find_duplicate_groups(
     threshold: f64,
     cfg: &SignatureConfig,
 ) -> Vec<Vec<usize>> {
-    let n = lake.len();
+    cluster_by_similarity(lake.len(), threshold, |i, j| {
+        table_similarity(&lake[i], &lake[j], cfg)
+    })
+}
+
+/// [`find_duplicate_groups`] for a lake whose tables share one `catalog`
+/// (no per-pair alignment needed): the pairwise similarities come from
+/// [`crate::history::similarity_matrix_cached`], which builds each table's
+/// signature maps once and reuses them across every pair. Scores — and
+/// therefore groups — are identical to running the signature algorithm
+/// from scratch per pair.
+pub fn find_duplicate_groups_shared(
+    tables: &[&Instance],
+    catalog: &Catalog,
+    threshold: f64,
+    cfg: &SignatureConfig,
+) -> Vec<Vec<usize>> {
+    let m = crate::history::similarity_matrix_cached(tables, catalog, cfg);
+    cluster_by_similarity(tables.len(), threshold, |i, j| m[i][j])
+}
+
+/// Single-linkage clustering by pairwise similarity: indices whose
+/// similarity reaches `threshold` join the same group (transitive
+/// closure); only groups with ≥ 2 members are returned, each sorted.
+fn cluster_by_similarity(
+    n: usize,
+    threshold: f64,
+    sim: impl Fn(usize, usize) -> f64,
+) -> Vec<Vec<usize>> {
     let mut parent: Vec<usize> = (0..n).collect();
     fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
@@ -72,7 +107,7 @@ pub fn find_duplicate_groups(
     }
     for i in 0..n {
         for j in (i + 1)..n {
-            if table_similarity(&lake[i], &lake[j], cfg) >= threshold {
+            if sim(i, j) >= threshold {
                 let (a, b) = (find(&mut parent, i), find(&mut parent, j));
                 if a != b {
                     parent[a] = b;
@@ -173,6 +208,46 @@ mod tests {
         ];
         let groups = find_duplicate_groups(&lake, 0.8, &SignatureConfig::default());
         assert_eq!(groups, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn shared_catalog_groups_match_per_pair_scores() {
+        // One shared catalog: the map-reusing path must produce the same
+        // groups as scoring each pair from scratch.
+        let mut cat = Catalog::new(Schema::single("T", &["A", "B"]));
+        let rel = cat.schema().rel("T").unwrap();
+        let mut mk = |rows: &[(&str, bool)]| {
+            let mut inst = Instance::new("t", &cat);
+            for &(a, null_b) in rows {
+                let va = cat.konst(a);
+                let vb = if null_b {
+                    cat.fresh_null()
+                } else {
+                    cat.konst(&format!("{a}!"))
+                };
+                inst.insert(rel, vec![va, vb]);
+            }
+            inst
+        };
+        let tables = [
+            mk(&[("a", false), ("b", false)]),
+            mk(&[("a", false), ("b", true)]),
+            mk(&[("z", false), ("w", false)]),
+            mk(&[("z", false), ("w", false)]),
+            mk(&[("solo", false)]),
+        ];
+        let refs: Vec<&Instance> = tables.iter().collect();
+        let cfg = SignatureConfig::default();
+        let groups = find_duplicate_groups_shared(&refs, &cat, 0.8, &cfg);
+        assert_eq!(groups, vec![vec![0, 1], vec![2, 3]]);
+        // Scores agree with from-scratch signature matching, bit for bit.
+        let m = crate::history::similarity_matrix_cached(&refs, &cat, &cfg);
+        for i in 0..refs.len() {
+            for j in (i + 1)..refs.len() {
+                let scratch = signature_match(refs[i], refs[j], &cat, &cfg).best.score();
+                assert_eq!(m[i][j].to_bits(), scratch.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -20,6 +20,19 @@ cargo test -q --offline
 echo "==> cargo test -q --offline (IC_POOL_THREADS=1)"
 IC_POOL_THREADS=1 cargo test -q --offline -p ic-core -p ic-pool
 
+# The incremental delta re-scoring path must be bit-identical to
+# from-scratch comparison under both pool configurations (the property
+# suite also pins this internally at 1 and 4 comparator threads).
+echo "==> incremental property suite (default thread pool)"
+cargo test -q --offline --test incremental_props
+echo "==> incremental property suite (IC_POOL_THREADS=1)"
+IC_POOL_THREADS=1 cargo test -q --offline --test incremental_props
+
+echo "==> bench_incremental (delta re-scoring speedup + >=5x repair saving)"
+cargo run -q --offline --release -p ic-bench --bin bench_incremental
+test -f target/ic-bench/BENCH_incremental.json
+echo "    wrote target/ic-bench/BENCH_incremental.json"
+
 echo "==> bench_parallel_scaling (thread-scaling smoke + determinism check)"
 cargo run -q --offline --release -p ic-bench --bin bench_parallel_scaling
 test -f target/ic-bench/BENCH_parallel.json

@@ -1,0 +1,316 @@
+//! Property tests of the incremental delta re-scoring path
+//! ([`CompareCache`]): for random instances and random chained tuple-level
+//! deltas (inserts, deletes, cell modifications — null-introducing edits
+//! included), the incrementally repaired comparison must be **bit-for-bit
+//! identical** to comparing from scratch, in complete and partial
+//! signature modes, at any thread count, and the repaired instance must
+//! stay exact-refinable. Runs on `ic-testkit`: seeded, reproducible via
+//! `IC_TESTKIT_SEED`, shrinking on failure.
+
+use ic_testkit::{Gen, Runner};
+use instance_comparison::core::{Comparator, Delta, DeltaOp};
+use instance_comparison::model::{AttrId, Catalog, Instance, RelId, Schema, TupleId, Value};
+use rand::RngExt;
+use std::time::Duration;
+
+/// Descriptor of a random cell: shared constant or a fresh labeled null.
+#[derive(Debug, Clone, Copy)]
+enum Cell {
+    Const(u8),
+    Null,
+}
+
+/// One tuple-level edit, abstract over concrete ids: indices are resolved
+/// against the live tuples at application time (modulo the live count).
+#[derive(Debug, Clone, Copy)]
+enum Edit {
+    Insert([Cell; 2]),
+    Delete(u8),
+    Modify(u8, u8, Cell),
+}
+
+/// A full case: the fixed left instance, the evolving right instance, and
+/// a chain of deltas B → B′ → B″ → …
+type Case = (Vec<[Cell; 2]>, Vec<[Cell; 2]>, Vec<Vec<Edit>>);
+
+fn gen_cell(g: &mut Gen) -> Cell {
+    if g.rng().random_bool(0.6) {
+        Cell::Const(g.rng().random_range(0..5u8))
+    } else {
+        Cell::Null
+    }
+}
+
+fn gen_rows(g: &mut Gen) -> Vec<[Cell; 2]> {
+    g.vec_of(5, |g| [gen_cell(g), gen_cell(g)])
+}
+
+fn gen_edit(g: &mut Gen) -> Edit {
+    match g.rng().random_range(0..3u8) {
+        0 => Edit::Insert([gen_cell(g), gen_cell(g)]),
+        1 => Edit::Delete(g.rng().random_range(0..16u8)),
+        _ => Edit::Modify(
+            g.rng().random_range(0..16u8),
+            g.rng().random_range(0..2u8),
+            gen_cell(g),
+        ),
+    }
+}
+
+fn gen_case(g: &mut Gen) -> Case {
+    let left = gen_rows(g);
+    let base = gen_rows(g);
+    let chain = g.vec_of(3, |g| g.vec_of(3, gen_edit));
+    (left, base, chain)
+}
+
+fn value(cat: &mut Catalog, c: Cell) -> Value {
+    match c {
+        Cell::Const(k) => cat.konst(&format!("c{k}")),
+        Cell::Null => cat.fresh_null(),
+    }
+}
+
+fn build(cat: &mut Catalog, name: &str, rows: &[[Cell; 2]]) -> Instance {
+    let rel = RelId(0);
+    let mut inst = Instance::new(name, cat);
+    for row in rows {
+        let vals: Vec<Value> = row.iter().map(|&c| value(cat, c)).collect();
+        inst.insert(rel, vals);
+    }
+    inst
+}
+
+/// Resolves one edit chain into a concrete [`Delta`] against `cur`,
+/// advancing a scratch copy op by op so indices always refer to live
+/// tuples (the cache applies ops sequentially the same way).
+fn materialize_delta(cat: &mut Catalog, cur: &Instance, edits: &[Edit]) -> Delta {
+    let rel = RelId(0);
+    let mut scratch = cur.clone();
+    let mut ops = Vec::new();
+    for e in edits {
+        let live: Vec<TupleId> = scratch.tuples(rel).iter().map(|t| t.id()).collect();
+        let op = match *e {
+            Edit::Insert(row) => Some(DeltaOp::Insert {
+                rel,
+                values: row.iter().map(|&c| value(cat, c)).collect(),
+            }),
+            Edit::Delete(i) if !live.is_empty() => Some(DeltaOp::Delete {
+                id: live[i as usize % live.len()],
+            }),
+            Edit::Modify(i, a, c) if !live.is_empty() => Some(DeltaOp::Modify {
+                id: live[i as usize % live.len()],
+                attr: AttrId(u16::from(a % 2)),
+                value: value(cat, c),
+            }),
+            _ => None,
+        };
+        if let Some(op) = op {
+            Delta::new(vec![op.clone()])
+                .apply(&mut scratch)
+                .expect("generated op is valid");
+            ops.push(op);
+        }
+    }
+    Delta::new(ops)
+}
+
+/// Materializes a case: catalog, left, base, and per-step (delta, expected
+/// post-state) pairs. Everything value-creating happens here, before any
+/// `Comparator` borrows the catalog.
+fn materialize(case: &Case) -> (Catalog, Instance, Instance, Vec<(Delta, Instance)>) {
+    let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+    let left = build(&mut cat, "L", &case.0);
+    let base = build(&mut cat, "B", &case.1);
+    let mut cur = base.clone();
+    let mut steps = Vec::new();
+    for edits in &case.2 {
+        let delta = materialize_delta(&mut cat, &cur, edits);
+        delta.apply(&mut cur).expect("materialized delta applies");
+        steps.push((delta, cur.clone()));
+    }
+    (cat, left, base, steps)
+}
+
+/// The core assertion: walk the delta chain through a [`CompareCache`] and
+/// demand bit-identity with from-scratch comparison at every step.
+fn assert_chain_bit_identical(case: &Case, partial: bool, threads: usize) {
+    let (cat, left, base, steps) = materialize(case);
+    let cmp = Comparator::new(&cat)
+        .partial(partial)
+        .threads(threads)
+        .build()
+        .unwrap();
+    let mut cache = cmp.compare_cache();
+    cache.insert_owned("A", left.clone()).unwrap();
+    cache.insert_owned("B", base.clone()).unwrap();
+
+    let cached = cache.compare("A", "B").unwrap();
+    let fresh = cmp.compare(&left, &base).unwrap();
+    assert_eq!(cached.score().to_bits(), fresh.score().to_bits());
+    assert_eq!(cached.outcome.best.pairs, fresh.outcome.best.pairs);
+
+    for (step, (delta, expected)) in steps.iter().enumerate() {
+        let inc = cache.compare_delta("A", "B", delta).unwrap();
+        let fresh = cmp.compare(&left, expected).unwrap();
+        assert_eq!(
+            inc.score().to_bits(),
+            fresh.score().to_bits(),
+            "step {step} (partial={partial}, threads={threads}): \
+             incremental {} vs from-scratch {}",
+            inc.score(),
+            fresh.score()
+        );
+        assert_eq!(inc.outcome.best.pairs, fresh.outcome.best.pairs);
+        // The repaired instance is the real one, tuple for tuple.
+        assert_eq!(
+            cache.instance("B").unwrap().tuples(RelId(0)),
+            expected.tuples(RelId(0)),
+            "step {step}: repaired instance diverged"
+        );
+    }
+}
+
+/// Complete-match mode: incremental == from-scratch across chained random
+/// deltas, sequential and parallel.
+#[test]
+fn incremental_matches_scratch_complete() {
+    Runner::new("incremental_matches_scratch_complete")
+        .cases(48)
+        .run(gen_case, |case| {
+            for threads in [1, 4] {
+                assert_chain_bit_identical(case, false, threads);
+            }
+        });
+}
+
+/// Partial-match mode (subset signatures — the repair path touches many
+/// buckets per tuple): incremental == from-scratch, sequential and
+/// parallel.
+#[test]
+fn incremental_matches_scratch_partial() {
+    Runner::new("incremental_matches_scratch_partial")
+        .cases(48)
+        .run(gen_case, |case| {
+            for threads in [1, 4] {
+                assert_chain_bit_identical(case, true, threads);
+            }
+        });
+}
+
+/// Exact-refine mode: the instance the cache maintains through a delta
+/// chain is structurally identical to the real one, so the exact
+/// branch-and-bound over it returns bit-identical scores — refining a
+/// cached signature result never sees a stale instance.
+#[test]
+fn exact_refine_on_repaired_instance_matches_scratch() {
+    Runner::new("exact_refine_on_repaired_instance_matches_scratch")
+        .cases(32)
+        .run(gen_case, |case| {
+            let (cat, left, base, steps) = materialize(case);
+            let cmp = Comparator::new(&cat).build().unwrap();
+            let mut cache = cmp.compare_cache();
+            cache.insert_owned("A", left.clone()).unwrap();
+            cache.insert_owned("B", base).unwrap();
+            for (delta, expected) in &steps {
+                cache.compare_delta("A", "B", delta).unwrap();
+                let repaired = cache.instance("B").unwrap().clone();
+                let via_cache = cmp.exact(&left, &repaired).unwrap();
+                let scratch = cmp.exact(&left, expected).unwrap();
+                assert_eq!(via_cache.optimal, scratch.optimal);
+                assert_eq!(
+                    via_cache.best.score().to_bits(),
+                    scratch.best.score().to_bits()
+                );
+                assert_eq!(via_cache.best.pairs, scratch.best.pairs);
+            }
+        });
+}
+
+/// Budget/timeout interaction (satellite 2): a `timed_out` comparison —
+/// before or between delta repairs — must never be memoized and must
+/// leave the cache's instance and signature maps in a state from which an
+/// unbudgeted run still matches from-scratch, bit for bit.
+#[test]
+fn timed_out_compare_leaves_cache_consistent() {
+    Runner::new("timed_out_compare_leaves_cache_consistent")
+        .cases(32)
+        .run(gen_case, |case| {
+            let (cat, left, base, steps) = materialize(case);
+            // An already-expired deadline: every matching phase times out,
+            // while map builds and delta repairs (deadline-free) proceed.
+            let strained = Comparator::new(&cat)
+                .budget(Duration::ZERO)
+                .build()
+                .unwrap();
+            let mut cache = strained.compare_cache();
+            cache.insert_owned("A", left.clone()).unwrap();
+            cache.insert_owned("B", base).unwrap();
+
+            let first = cache.compare("A", "B").unwrap();
+            let again = cache.compare("A", "B").unwrap();
+            assert_eq!(first.score().to_bits(), again.score().to_bits());
+            if first.outcome.timed_out {
+                assert_eq!(
+                    cache.stats().outcome_hits,
+                    0,
+                    "timed-out comparisons must not be memoized"
+                );
+            }
+            for (delta, expected) in &steps {
+                let _ = cache.compare_delta("A", "B", delta).unwrap();
+                // Seed an *unbudgeted* run from the strained cache's maps
+                // and instance: it must equal from-scratch exactly.
+                let relaxed = Comparator::new(&cat).build().unwrap();
+                let seeded = relaxed
+                    .signature_with_maps(
+                        &left,
+                        cache.instance("B").unwrap(),
+                        cache.maps("A"),
+                        cache.maps("B"),
+                    )
+                    .unwrap();
+                let scratch = relaxed.signature(&left, expected).unwrap();
+                assert!(!seeded.timed_out && !scratch.timed_out);
+                assert_eq!(
+                    seeded.best.score().to_bits(),
+                    scratch.best.score().to_bits()
+                );
+                assert_eq!(seeded.best.pairs, scratch.best.pairs);
+            }
+        });
+}
+
+/// Thread-count independence of the whole cached pipeline: the same chain
+/// walked at 1 and 4 threads yields identical bits at every step (the
+/// `IC_POOL_THREADS` matrix in CI crosses this with the ambient pool).
+#[test]
+fn cached_chain_is_thread_count_invariant() {
+    Runner::new("cached_chain_is_thread_count_invariant")
+        .cases(24)
+        .run(gen_case, |case| {
+            let (cat, left, base, steps) = materialize(case);
+            let mut per_thread_scores: Vec<Vec<u64>> = Vec::new();
+            for threads in [1, 4] {
+                let cmp = Comparator::new(&cat).threads(threads).build().unwrap();
+                let mut cache = cmp.compare_cache();
+                cache.insert_owned("A", left.clone()).unwrap();
+                cache.insert_owned("B", base.clone()).unwrap();
+                let mut scores = vec![cache.compare("A", "B").unwrap().score().to_bits()];
+                for (delta, _) in &steps {
+                    scores.push(
+                        cache
+                            .compare_delta("A", "B", delta)
+                            .unwrap()
+                            .score()
+                            .to_bits(),
+                    );
+                }
+                per_thread_scores.push(scores);
+            }
+            assert_eq!(
+                per_thread_scores[0], per_thread_scores[1],
+                "1-thread vs 4-thread cached chains diverged"
+            );
+        });
+}
