@@ -430,6 +430,25 @@ impl InstanceSigMaps {
     fn sigmap(&self, rel: RelId) -> Option<&SigMap> {
         self.rels.get(rel.0 as usize)
     }
+
+    /// Visits every signature bucket of these maps: one call per distinct
+    /// `(relation, mask, key)` entry with the number of tuples indexed
+    /// under it. This is the hook catalog-level indexes (ic-index) use to
+    /// derive posting lists from the same per-tuple signatures the matcher
+    /// probes, without exposing the map internals.
+    ///
+    /// Visit order is unspecified (bucket-internal hash order); callers
+    /// that need determinism must sort what they collect.
+    pub fn for_each_signature(&self, mut f: impl FnMut(RelId, u128, &[Sym], usize)) {
+        for (r, map) in self.rels.iter().enumerate() {
+            let rel = RelId(r as u16);
+            for (mask, keyed) in &map.buckets {
+                for (key, ids) in keyed {
+                    f(rel, *mask, key, ids.len());
+                }
+            }
+        }
+    }
 }
 
 /// Enumerates subsets of `mask` in decreasing popcount order, up to `cap`

@@ -1,0 +1,234 @@
+//! Shared-catalog data lakes: many instances — clusters of evolved
+//! versions — interned into **one** catalog, the workload shape of
+//! catalog-level search (`ic-index`) and duplicate grouping
+//! (`ic-versioning`).
+//!
+//! [`crate::evolve_chain`] creates a fresh catalog per chain, which is the
+//! right shape for pairwise version ordering but useless for indexing:
+//! a catalog index compares instances of a single catalog. `generate_lake`
+//! produces `clusters × versions_per_cluster` schema-aligned instances in
+//! one catalog, where versions within a cluster share most of their rows
+//! and clusters are constant-disjoint (every constant carries its cluster
+//! prefix), so ground truth for recall experiments is known by
+//! construction: a query's nearest neighbours are its own cluster.
+
+use crate::evolve::EvolveParams;
+use ic_model::{AttrId, Catalog, Instance, RelId, Schema, TupleId, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters of [`generate_lake`].
+#[derive(Debug, Clone, Copy)]
+pub struct LakeParams {
+    /// Number of version clusters.
+    pub clusters: usize,
+    /// Versions per cluster (≥ 1; version 0 is the cluster original).
+    pub versions_per_cluster: usize,
+    /// Rows of each cluster's original version.
+    pub rows: usize,
+    /// Relation arity (≥ 2: one unique id column + payload columns).
+    pub arity: usize,
+    /// Mutation rates applied between consecutive versions.
+    pub evolve: EvolveParams,
+    /// Master seed; everything is deterministic in it.
+    pub seed: u64,
+}
+
+impl Default for LakeParams {
+    fn default() -> Self {
+        Self {
+            clusters: 8,
+            versions_per_cluster: 4,
+            rows: 24,
+            arity: 4,
+            evolve: EvolveParams::default(),
+            seed: 7,
+        }
+    }
+}
+
+/// A generated lake: one shared catalog, `clusters × versions_per_cluster`
+/// instances named `c{cluster}v{version}`.
+#[derive(Debug)]
+pub struct Lake {
+    /// The shared catalog all instances are interned into.
+    pub catalog: Catalog,
+    /// The single relation of the lake schema.
+    pub rel: RelId,
+    /// All instances, grouped by cluster, versions in order.
+    pub instances: Vec<Instance>,
+    /// `cluster_of[i]` is the cluster of `instances[i]`.
+    pub cluster_of: Vec<usize>,
+    /// Versions per cluster (copied from the params).
+    pub versions_per_cluster: usize,
+}
+
+impl Lake {
+    /// Index of instance `c{cluster}v{version}` in [`Lake::instances`].
+    pub fn index_of(&self, cluster: usize, version: usize) -> usize {
+        cluster * self.versions_per_cluster + version
+    }
+}
+
+/// Generates a shared-catalog lake. Deterministic in `params.seed`; each
+/// cluster draws from its own derived RNG stream, so a cluster's contents
+/// do not depend on how many clusters the lake has.
+pub fn generate_lake(params: &LakeParams) -> Lake {
+    assert!(params.arity >= 2, "lake schema needs id + payload columns");
+    assert!(params.versions_per_cluster >= 1, "need at least version 0");
+    let attr_names: Vec<String> = (0..params.arity).map(|j| format!("a{j}")).collect();
+    let attr_refs: Vec<&str> = attr_names.iter().map(String::as_str).collect();
+    let mut catalog = Catalog::new(Schema::single("T", &attr_refs));
+    let rel = catalog.schema().rel("T").expect("just created");
+
+    let mut instances = Vec::with_capacity(params.clusters * params.versions_per_cluster);
+    let mut cluster_of = Vec::with_capacity(instances.capacity());
+    // Small per-payload-column vocabulary: realistic low-cardinality
+    // columns, shared *within* a cluster only.
+    const POOL: usize = 7;
+
+    for c in 0..params.clusters {
+        let mut rng = StdRng::seed_from_u64(
+            params
+                .seed
+                .wrapping_add((c as u64).wrapping_mul(0x9E37_79B9)),
+        );
+        let mut v0 = Instance::new(format!("c{c}v0"), &catalog);
+        for row in 0..params.rows {
+            let mut values: Vec<Value> = Vec::with_capacity(params.arity);
+            values.push(catalog.konst(&format!("c{c}_id{row}")));
+            for j in 1..params.arity {
+                values.push(catalog.konst(&format!("c{c}_p{j}_{}", row % POOL)));
+            }
+            v0.insert(rel, values);
+        }
+        let mut versions = vec![v0];
+
+        for v in 1..params.versions_per_cluster {
+            let prev = versions.last().expect("at least v0");
+            let mut next = prev.clone();
+            next.set_name(format!("c{c}v{v}"));
+
+            // Deletions.
+            let ids: Vec<TupleId> = next.tuples(rel).iter().map(|t| t.id()).collect();
+            let n_delete = ((ids.len() as f64) * params.evolve.delete_frac).round() as usize;
+            let mut pool = ids;
+            for _ in 0..n_delete.min(pool.len()) {
+                let i = rng.random_range(0..pool.len());
+                next.remove(pool.swap_remove(i));
+            }
+
+            // Cell modifications — fresh constants stay cluster-prefixed
+            // so clusters remain constant-disjoint.
+            let ids: Vec<TupleId> = next.tuples(rel).iter().map(|t| t.id()).collect();
+            if !ids.is_empty() {
+                let n_changes =
+                    ((ids.len() * params.arity) as f64 * params.evolve.cell_noise).round() as usize;
+                for k in 0..n_changes {
+                    let tid = ids[rng.random_range(0..ids.len())];
+                    let attr = AttrId(rng.random_range(0..params.arity) as u16);
+                    let value = if rng.random::<f64>() < 0.5 {
+                        catalog.fresh_null()
+                    } else {
+                        catalog.konst(&format!("c{c}_upd_{v}_{k}"))
+                    };
+                    next.set_value(tid, attr, value);
+                }
+            }
+
+            // Insertions.
+            let n_insert = ((params.rows as f64) * params.evolve.insert_frac).round() as usize;
+            for k in 0..n_insert {
+                let mut values: Vec<Value> = Vec::with_capacity(params.arity);
+                values.push(catalog.konst(&format!("c{c}_newid_{v}_{k}")));
+                for j in 1..params.arity {
+                    let r: usize = rng.random_range(0..POOL);
+                    values.push(catalog.konst(&format!("c{c}_p{j}_{r}")));
+                }
+                next.insert(rel, values);
+            }
+
+            if params.evolve.shuffle {
+                let n = next.tuples(rel).len();
+                let mut order: Vec<usize> = (0..n).collect();
+                order.shuffle(&mut rng);
+                next.permute(rel, &order);
+            }
+            versions.push(next);
+        }
+
+        for inst in versions {
+            instances.push(inst);
+            cluster_of.push(c);
+        }
+    }
+
+    Lake {
+        catalog,
+        rel,
+        instances,
+        cluster_of,
+        versions_per_cluster: params.versions_per_cluster,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lake_shape_and_names() {
+        let params = LakeParams {
+            clusters: 3,
+            versions_per_cluster: 2,
+            rows: 10,
+            ..LakeParams::default()
+        };
+        let lake = generate_lake(&params);
+        assert_eq!(lake.instances.len(), 6);
+        assert_eq!(lake.instances[0].name(), "c0v0");
+        assert_eq!(lake.instances[3].name(), "c1v1");
+        assert_eq!(lake.cluster_of, vec![0, 0, 1, 1, 2, 2]);
+        assert_eq!(lake.index_of(1, 1), 3);
+    }
+
+    #[test]
+    fn clusters_are_constant_disjoint() {
+        let lake = generate_lake(&LakeParams {
+            clusters: 2,
+            versions_per_cluster: 3,
+            rows: 12,
+            ..LakeParams::default()
+        });
+        let c0: std::collections::HashSet<_> = lake.instances[..3]
+            .iter()
+            .flat_map(|i| i.consts())
+            .collect();
+        let c1: std::collections::HashSet<_> = lake.instances[3..]
+            .iter()
+            .flat_map(|i| i.consts())
+            .collect();
+        assert!(c0.is_disjoint(&c1), "cluster domains must not overlap");
+    }
+
+    #[test]
+    fn deterministic_and_cluster_count_invariant() {
+        let small = generate_lake(&LakeParams {
+            clusters: 2,
+            ..LakeParams::default()
+        });
+        let big = generate_lake(&LakeParams {
+            clusters: 4,
+            ..LakeParams::default()
+        });
+        // Cluster 0 and 1 are identical regardless of how many clusters
+        // follow (per-cluster RNG streams).
+        for (a, b) in small.instances.iter().zip(big.instances.iter()) {
+            let ta: Vec<_> = a.tuples(small.rel).iter().map(|t| t.values()).collect();
+            let tb: Vec<_> = b.tuples(big.rel).iter().map(|t| t.values()).collect();
+            assert_eq!(a.name(), b.name());
+            assert_eq!(ta.len(), tb.len());
+        }
+    }
+}

@@ -10,11 +10,13 @@
 
 pub mod datasets;
 pub mod evolve;
+pub mod lake;
 pub mod multirel;
 pub mod scenario;
 
 pub use datasets::{generate_table, Card, ColumnGen, ColumnSpec, Dataset, TableSpec};
 pub use evolve::{evolve_chain, evolve_chain_from_spec, Chain, EvolveParams};
+pub use lake::{generate_lake, Lake, LakeParams};
 pub use multirel::{conference_scenario, conference_schema, MultiRelScenario};
 pub use scenario::{
     add_random_and_redundant, build_scenario, build_scenario_from_spec, mod_cell, mod_cell_typos,

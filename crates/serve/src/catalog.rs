@@ -14,12 +14,19 @@
 //! and bounded by CSV parsing anyway, while reads are the hot path and
 //! stay lock-free after the one `Mutex`-guarded `Arc` clone.
 
+use crate::lockutil::lock_recover;
 use ic_model::csv::{read_csv_into, CsvError, CsvOptions};
 use ic_model::{Catalog, Instance, Schema};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// A snapshot-change observer registered with
+/// [`ServeCatalog::subscribe`]. Called with the snapshot that was just
+/// published, after the swap, outside any catalog lock.
+pub type SnapshotObserver = Box<dyn Fn(&Snapshot) + Send + Sync>;
 
 /// An immutable view of the catalog at one version. Everything a request
 /// needs — value domains and instances — is reachable from here and
@@ -52,6 +59,12 @@ impl Snapshot {
     /// Whether the catalog holds no instances.
     pub fn is_empty(&self) -> bool {
         self.instances.is_empty()
+    }
+
+    /// Iterates `(name, instance)` pairs in name order — the shape
+    /// consumed by cache sweeps and index synchronisation.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Arc<Instance>)> {
+        self.instances.iter().map(|(n, i)| (n.as_str(), i))
     }
 }
 
@@ -123,10 +136,21 @@ impl std::error::Error for CatalogError {
 
 /// A concurrent registry of named, schema-aligned instances with
 /// copy-on-write replacement. See the [module docs](self).
-#[derive(Debug)]
 pub struct ServeCatalog {
     current: Mutex<Arc<Snapshot>>,
     csv: CsvOptions,
+    subscribers: Mutex<Vec<(u64, SnapshotObserver)>>,
+    next_subscriber: AtomicU64,
+}
+
+impl fmt::Debug for ServeCatalog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServeCatalog")
+            .field("version", &self.version())
+            .field("instances", &self.snapshot().len())
+            .field("subscribers", &lock_recover(&self.subscribers).len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl ServeCatalog {
@@ -146,6 +170,8 @@ impl ServeCatalog {
                 instances: BTreeMap::new(),
             })),
             csv: CsvOptions::default(),
+            subscribers: Mutex::new(Vec::new()),
+            next_subscriber: AtomicU64::new(1),
         }
     }
 
@@ -158,13 +184,37 @@ impl ServeCatalog {
 
     /// The current snapshot. Cheap (`Arc` clone under a short lock); the
     /// returned view is immutable and survives any concurrent mutation.
+    /// Poison-tolerant: snapshots are swapped whole, so a panicking
+    /// writer cannot publish a torn one (locks recover from poison).
     pub fn snapshot(&self) -> Arc<Snapshot> {
-        Arc::clone(&self.current.lock().unwrap())
+        Arc::clone(&lock_recover(&self.current))
     }
 
     /// The current snapshot version.
     pub fn version(&self) -> u64 {
-        self.current.lock().unwrap().version
+        lock_recover(&self.current).version
+    }
+
+    /// Registers `observer` to run after every successful mutation, with
+    /// the just-published snapshot. Observers run on the mutating thread,
+    /// after the snapshot swap with the snapshot lock released, in
+    /// registration order. An observer may read or even mutate the catalog
+    /// (triggering nested notification), but must not subscribe or
+    /// unsubscribe from within. Returns a token for
+    /// [`unsubscribe`](Self::unsubscribe).
+    pub fn subscribe(&self, observer: SnapshotObserver) -> u64 {
+        let id = self.next_subscriber.fetch_add(1, Ordering::Relaxed);
+        lock_recover(&self.subscribers).push((id, observer));
+        id
+    }
+
+    /// Removes a previously registered observer; returns whether it was
+    /// still registered.
+    pub fn unsubscribe(&self, token: u64) -> bool {
+        let mut subs = lock_recover(&self.subscribers);
+        let before = subs.len();
+        subs.retain(|(id, _)| *id != token);
+        subs.len() != before
     }
 
     /// Registers (or replaces) an instance that was built against this
@@ -255,16 +305,26 @@ impl ServeCatalog {
 
     /// Clones the current snapshot's contents, applies `f`, and swaps the
     /// result in (version bumped) — unless `f` fails, in which case the
-    /// current snapshot stays untouched.
+    /// current snapshot stays untouched. Subscribers observe the new
+    /// snapshot after the swap, with the lock released.
     fn mutate(
         &self,
         f: impl FnOnce(&mut Snapshot) -> Result<(), CatalogError>,
     ) -> Result<(), CatalogError> {
-        let mut slot = self.current.lock().unwrap();
-        let mut next = Snapshot::clone(&slot);
-        next.version += 1;
-        f(&mut next)?;
-        *slot = Arc::new(next);
+        let published = {
+            let mut slot = lock_recover(&self.current);
+            let mut next = Snapshot::clone(&slot);
+            next.version += 1;
+            f(&mut next)?;
+            let next = Arc::new(next);
+            *slot = Arc::clone(&next);
+            next
+        };
+        // Hold the subscriber lock only to walk the list; observers that
+        // mutate the catalog re-enter `current`, never `subscribers`.
+        for (_, observer) in lock_recover(&self.subscribers).iter() {
+            observer(&published);
+        }
         Ok(())
     }
 }
@@ -374,5 +434,61 @@ mod tests {
         assert!(sc.remove("a"));
         assert!(!sc.remove("a"));
         assert_eq!(sc.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn snapshot_iter_yields_name_ordered_pins() {
+        let sc = catalog_with(&["b", "a"]);
+        let snap = sc.snapshot();
+        let pairs: Vec<(&str, &Arc<Instance>)> = snap.iter().collect();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].0, "a");
+        assert_eq!(pairs[1].0, "b");
+        assert!(Arc::ptr_eq(pairs[1].1, snap.get("b").unwrap()));
+    }
+
+    #[test]
+    fn subscribers_see_published_snapshots_and_unsubscribe() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let sc = catalog_with(&[]);
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen_in_observer = Arc::clone(&seen);
+        let token = sc.subscribe(Box::new(move |snap| {
+            seen_in_observer.store(snap.version, Ordering::SeqCst);
+        }));
+
+        sc.register_with("n", |cat| Ok(two_tuple_instance(cat, "n", "a", "b")))
+            .unwrap();
+        assert_eq!(seen.load(Ordering::SeqCst), sc.version());
+
+        // Failed mutations publish nothing.
+        let before = seen.load(Ordering::SeqCst);
+        let _ = sc.load_csv_dir("bad", Path::new("/definitely/missing/dir"));
+        assert_eq!(seen.load(Ordering::SeqCst), before);
+
+        assert!(sc.unsubscribe(token));
+        assert!(!sc.unsubscribe(token));
+        sc.remove("n");
+        assert_eq!(seen.load(Ordering::SeqCst), before, "unsubscribed");
+    }
+
+    #[test]
+    fn catalog_survives_poisoned_snapshot_lock() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        let sc = catalog_with(&["a"]);
+        // Poison the snapshot mutex by panicking while holding it.
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = sc.current.lock().unwrap();
+            panic!("request handler dies mid-lock");
+        }));
+        assert!(sc.current.is_poisoned());
+        // Reads and writes keep working: snapshots are swapped whole, so
+        // the poisoned state is still consistent.
+        assert_eq!(sc.snapshot().len(), 1);
+        sc.register_with("b", |cat| Ok(two_tuple_instance(cat, "b", "x", "y")))
+            .unwrap();
+        assert_eq!(sc.snapshot().len(), 2);
     }
 }

@@ -8,7 +8,8 @@
 
 use crate::frame::{write_frame, FrameError, FrameReader};
 use crate::proto::{
-    Algo, CompareScores, DecodeError, ErrorCode, InstanceInfo, Request, Response, ServerStats,
+    Algo, CompareScores, DecodeError, ErrorCode, InstanceInfo, Request, Response, SearchResults,
+    ServerStats,
 };
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -171,6 +172,28 @@ impl Client {
         }
     }
 
+    /// Ranks the catalog against the instance named `query`, returning at
+    /// most `k` hits ordered by `(score desc, name asc)`. Hit scores are
+    /// bit-identical to unbudgeted [`compare`](Self::compare) calls on the
+    /// same pairs; the prefilter only decides which entries get scored.
+    pub fn search(
+        &mut self,
+        query: &str,
+        k: u64,
+        opts: CompareOptions,
+    ) -> Result<SearchResults, ClientError> {
+        match self.call(Request::Search {
+            id: 0,
+            query: query.into(),
+            k,
+            lambda: opts.lambda,
+            budget_ms: opts.budget_ms,
+        })? {
+            Response::Searched { results, .. } => Ok(results),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Fetches server statistics.
     pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
         match self.call(Request::Stats { id: 0 })? {
@@ -194,6 +217,7 @@ fn set_id(req: &mut Request, new_id: u64) {
         Request::Load { id, .. }
         | Request::List { id }
         | Request::Compare { id, .. }
+        | Request::Search { id, .. }
         | Request::Stats { id }
         | Request::Shutdown { id } => *id = new_id,
     }

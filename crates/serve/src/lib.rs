@@ -13,17 +13,29 @@
 //!   a torn update.
 //! * [`proto`] + [`frame`] + [`json`] — a length-prefixed JSON-lines wire
 //!   format (hand-rolled encoder/decoder, no serde) with request kinds
-//!   `load`, `list`, `compare`, `stats`, `shutdown`, request ids echoed in
-//!   responses, and typed error payloads mapped from [`ic_core::Error`].
+//!   `load`, `list`, `compare`, `search`, `stats`, `shutdown`, request ids
+//!   echoed in responses, and typed error payloads mapped from
+//!   [`ic_core::Error`].
 //! * [`server`] — a `std::net::TcpListener` runtime: acceptor thread,
 //!   bounded request queue feeding [`ic_pool`] workers, admission control
 //!   (queue-full returns `overloaded` instead of blocking), per-request
 //!   deadlines, per-request [`ic_obs`] spans exported through `stats`, and
 //!   graceful drain-then-close shutdown.
 //! * [`sigcache`] — a signature-map cache keyed by instance pointer
-//!   identity: hot catalog instances pay the sigmap build once, and a
-//!   `load` that replaces an instance invalidates its entry automatically
-//!   (copy-on-write snapshots make staleness a pointer comparison).
+//!   identity: hot catalog instances pay the sigmap build once, a `load`
+//!   that replaces an instance invalidates its entry automatically
+//!   (copy-on-write snapshots make staleness a pointer comparison), and a
+//!   catalog-subscription sweep evicts entries for removed instances so
+//!   nothing stays pinned forever.
+//!
+//! `search` requests run through an [`ic_index::CatalogIndex`] kept in
+//! sync with the catalog: sketch + signature-overlap prefiltering chooses
+//! which entries get a full comparison, and every returned score is
+//! bit-identical to an unbudgeted `compare` of the same pair.
+//!
+//! All serve-layer locks are poison-tolerant: a panic inside one request
+//! (engine bug, panicking observation sink) is answered with a typed
+//! `internal` error and subsequent requests proceed normally.
 //!
 //! [`client`] is a small blocking client over the same protocol.
 //!
@@ -64,6 +76,7 @@ pub mod catalog;
 pub mod client;
 pub mod frame;
 pub mod json;
+mod lockutil;
 pub mod proto;
 pub mod server;
 pub mod sigcache;
@@ -73,7 +86,8 @@ pub use client::{Client, ClientError, CompareOptions};
 pub use frame::{FrameError, FrameReader, MAX_FRAME_LEN};
 pub use json::Json;
 pub use proto::{
-    Algo, CompareScores, ErrorCode, InstanceInfo, Request, Response, ServerStats, SpanStat,
+    Algo, CompareScores, ErrorCode, InstanceInfo, Request, Response, SearchResult, SearchResults,
+    ServerStats, SpanStat,
 };
-pub use server::{Server, ServerConfig, ServerHandle, COMPARE_LABEL};
+pub use server::{Server, ServerConfig, ServerHandle, COMPARE_LABEL, SEARCH_LABEL};
 pub use sigcache::{SigCacheStats, SigMapCache};

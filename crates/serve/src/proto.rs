@@ -80,6 +80,23 @@ pub enum Request {
         /// falls back to the server's default budget.
         budget_ms: Option<u64>,
     },
+    /// Top-k similarity search: rank the catalog against one query
+    /// instance using the sketch/signature prefilter index, running the
+    /// full comparison only on prefilter survivors.
+    Search {
+        /// Request id, echoed in the response.
+        id: u64,
+        /// Catalog name of the query instance.
+        query: String,
+        /// Number of results wanted (0 is answered with `bad_request`).
+        k: u64,
+        /// λ penalty override (`None` = server default 0.5).
+        lambda: Option<f64>,
+        /// Per-request wall-clock deadline in milliseconds, measured from
+        /// admission; exceeding it mid-search is a `budget` error, never a
+        /// truncated result. `None` falls back to the server default.
+        budget_ms: Option<u64>,
+    },
     /// Server statistics: request counters and per-label observation spans.
     Stats {
         /// Request id, echoed in the response.
@@ -99,6 +116,7 @@ impl Request {
             Request::Load { id, .. }
             | Request::List { id }
             | Request::Compare { id, .. }
+            | Request::Search { id, .. }
             | Request::Stats { id }
             | Request::Shutdown { id } => *id,
         }
@@ -140,6 +158,27 @@ impl Request {
                     ("left", Json::Str(left.clone())),
                     ("right", Json::Str(right.clone())),
                     ("algo", Json::Str(algo.as_str().into())),
+                ];
+                if let Some(l) = lambda {
+                    members.push(("lambda", Json::Num(*l)));
+                }
+                if let Some(b) = budget_ms {
+                    members.push(("budget_ms", Json::Num(*b as f64)));
+                }
+                Json::obj(members)
+            }
+            Request::Search {
+                id,
+                query,
+                k,
+                lambda,
+                budget_ms,
+            } => {
+                let mut members = vec![
+                    ("id", Json::Num(*id as f64)),
+                    ("kind", Json::Str("search".into())),
+                    ("query", Json::Str(query.clone())),
+                    ("k", Json::Num(*k as f64)),
                 ];
                 if let Some(l) = lambda {
                     members.push(("lambda", Json::Num(*l)));
@@ -197,6 +236,29 @@ impl Request {
                     left: req_str(v, "left")?.to_string(),
                     right: req_str(v, "right")?.to_string(),
                     algo,
+                    lambda,
+                    budget_ms,
+                })
+            }
+            "search" => {
+                let lambda = match v.get("lambda") {
+                    None | Some(Json::Null) => None,
+                    Some(l) => Some(
+                        l.as_f64()
+                            .ok_or(DecodeError::Shape("lambda not a number"))?,
+                    ),
+                };
+                let budget_ms = match v.get("budget_ms") {
+                    None | Some(Json::Null) => None,
+                    Some(b) => Some(
+                        b.as_u64()
+                            .ok_or(DecodeError::Shape("budget_ms not a non-negative integer"))?,
+                    ),
+                };
+                Ok(Request::Search {
+                    id,
+                    query: req_str(v, "query")?.to_string(),
+                    k: req_u64(v, "k")?,
                     lambda,
                     budget_ms,
                 })
@@ -315,6 +377,33 @@ pub struct CompareScores {
     pub elapsed_us: u64,
 }
 
+/// One ranked hit in a `searched` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// Catalog name of the matched instance.
+    pub name: String,
+    /// Full signature similarity — bit-identical to a direct `compare` of
+    /// the same pair; the prefilter never alters scores, only which
+    /// entries get scored.
+    pub score: f64,
+    /// Matched tuple pairs of the scoring run.
+    pub pairs: u64,
+}
+
+/// The payload of a `searched` response: ranked hits plus how much of the
+/// catalog the prefilter let through to full comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResults {
+    /// Hits ordered by `(score desc, name asc)`, at most `k`.
+    pub hits: Vec<SearchResult>,
+    /// Entries that received a full comparison.
+    pub compared: u64,
+    /// Entries in the searched catalog.
+    pub total: u64,
+    /// Server-side wall-clock for the whole search, microseconds.
+    pub elapsed_us: u64,
+}
+
 /// Per-observation-label statistics in a `stats` response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanStat {
@@ -370,6 +459,13 @@ pub enum Response {
         /// The scores.
         scores: CompareScores,
     },
+    /// A `search` result.
+    Searched {
+        /// Echoed request id.
+        id: u64,
+        /// Ranked hits and prefilter accounting.
+        results: SearchResults,
+    },
     /// A `stats` result.
     Stats {
         /// Echoed request id.
@@ -401,6 +497,7 @@ impl Response {
             Response::Loaded { id, .. }
             | Response::Listing { id, .. }
             | Response::Compared { id, .. }
+            | Response::Searched { id, .. }
             | Response::Stats { id, .. }
             | Response::ShuttingDown { id }
             | Response::Error { id, .. } => *id,
@@ -464,6 +561,29 @@ impl Response {
                 members.push(("elapsed_us", Json::Num(scores.elapsed_us as f64)));
                 Json::obj(members)
             }
+            Response::Searched { id, results } => Json::obj(vec![
+                ("id", Json::Num(*id as f64)),
+                ("kind", Json::Str("searched".into())),
+                (
+                    "hits",
+                    Json::Arr(
+                        results
+                            .hits
+                            .iter()
+                            .map(|h| {
+                                Json::obj(vec![
+                                    ("name", Json::Str(h.name.clone())),
+                                    ("score", Json::Num(h.score)),
+                                    ("pairs", Json::Num(h.pairs as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("compared", Json::Num(results.compared as f64)),
+                ("total", Json::Num(results.total as f64)),
+                ("elapsed_us", Json::Num(results.elapsed_us as f64)),
+            ]),
             Response::Stats { id, stats } => Json::obj(vec![
                 ("id", Json::Num(*id as f64)),
                 ("kind", Json::Str("stats".into())),
@@ -548,6 +668,32 @@ impl Response {
                     elapsed_us: req_u64(v, "elapsed_us")?,
                 },
             }),
+            "searched" => {
+                let items = v
+                    .get("hits")
+                    .and_then(Json::as_arr)
+                    .ok_or(DecodeError::Shape("missing hits array"))?;
+                let mut hits = Vec::with_capacity(items.len());
+                for item in items {
+                    hits.push(SearchResult {
+                        name: req_str(item, "name")?.to_string(),
+                        score: item
+                            .get("score")
+                            .and_then(Json::as_f64)
+                            .ok_or(DecodeError::Shape("missing or non-number score"))?,
+                        pairs: req_u64(item, "pairs")?,
+                    });
+                }
+                Ok(Response::Searched {
+                    id,
+                    results: SearchResults {
+                        hits,
+                        compared: req_u64(v, "compared")?,
+                        total: req_u64(v, "total")?,
+                        elapsed_us: req_u64(v, "elapsed_us")?,
+                    },
+                })
+            }
             "stats" => {
                 let items = v
                     .get("spans")
@@ -661,7 +807,21 @@ mod tests {
                 lambda: None,
                 budget_ms: None,
             },
-            Request::Stats { id: 5 },
+            Request::Search {
+                id: 5,
+                query: "néedle".into(),
+                k: 10,
+                lambda: Some(0.5),
+                budget_ms: Some(250),
+            },
+            Request::Search {
+                id: 6,
+                query: "q".into(),
+                k: 0,
+                lambda: None,
+                budget_ms: None,
+            },
+            Request::Stats { id: 7 },
             Request::Shutdown { id: u64::MAX >> 12 },
         ];
         for r in reqs {
@@ -693,6 +853,35 @@ mod tests {
                     pairs: Some(9),
                     optimal: None,
                     elapsed_us: 1234,
+                },
+            },
+            Response::Searched {
+                id: 9,
+                results: SearchResults {
+                    hits: vec![
+                        SearchResult {
+                            name: "c0v1".into(),
+                            score: 0.9375,
+                            pairs: 12,
+                        },
+                        SearchResult {
+                            name: "c0v2".into(),
+                            score: 0.5,
+                            pairs: 7,
+                        },
+                    ],
+                    compared: 5,
+                    total: 40,
+                    elapsed_us: 987,
+                },
+            },
+            Response::Searched {
+                id: 10,
+                results: SearchResults {
+                    hits: vec![],
+                    compared: 0,
+                    total: 0,
+                    elapsed_us: 1,
                 },
             },
             Response::Stats {

@@ -33,15 +33,18 @@
 use crate::catalog::{CatalogError, ServeCatalog, Snapshot};
 use crate::frame::{write_frame, FrameError, FrameReader};
 use crate::json::Json;
+use crate::lockutil::lock_recover;
 use crate::proto::{
-    Algo, CompareScores, DecodeError, ErrorCode, InstanceInfo, Request, Response, ServerStats,
-    SpanStat,
+    Algo, CompareScores, DecodeError, ErrorCode, InstanceInfo, Request, Response, SearchResult,
+    SearchResults, ServerStats, SpanStat,
 };
 use crate::sigcache::SigMapCache;
-use ic_core::Comparator;
+use ic_core::{Comparator, SignatureConfig};
+use ic_index::{CatalogIndex, SearchOptions};
 use ic_obs::StatsSink;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -52,15 +55,18 @@ use std::time::{Duration, Instant};
 /// count in the `stats` response equals the number of compares processed.
 pub const COMPARE_LABEL: &str = "serve.compare";
 
+/// The observation label every search request runs under.
+pub const SEARCH_LABEL: &str = "serve.search";
+
 /// Tuning knobs for [`Server::start`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServerConfig {
     /// Worker loops fed by the request queue (≥ 1).
     pub workers: usize,
     /// Bounded queue capacity; a full queue rejects with `overloaded`.
     pub queue_depth: usize,
-    /// Deadline applied to `compare` requests that carry no `budget_ms`.
-    /// `None` = unbounded.
+    /// Deadline applied to `compare`/`search` requests that carry no
+    /// `budget_ms`. `None` = unbounded.
     pub default_budget: Option<Duration>,
     /// How often blocked reads re-check the stop flag. Bounds both the
     /// shutdown latency and the idle wakeup rate.
@@ -70,6 +76,24 @@ pub struct ServerConfig {
     /// thus admission-control behavior) deterministic. `None` in
     /// production.
     pub worker_delay: Option<Duration>,
+    /// An additional observation sink teed alongside the server's own
+    /// stats aggregation — external metrics export. A sink that panics
+    /// fails the request it observed with a typed `internal` error; it
+    /// never takes down a worker or poisons server state.
+    pub extra_sink: Option<Arc<dyn ic_obs::Sink>>,
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("workers", &self.workers)
+            .field("queue_depth", &self.queue_depth)
+            .field("default_budget", &self.default_budget)
+            .field("poll_interval", &self.poll_interval)
+            .field("worker_delay", &self.worker_delay)
+            .field("extra_sink", &self.extra_sink.is_some())
+            .finish()
+    }
 }
 
 impl Default for ServerConfig {
@@ -80,17 +104,30 @@ impl Default for ServerConfig {
             default_budget: None,
             poll_interval: Duration::from_millis(25),
             worker_delay: None,
+            extra_sink: None,
         }
     }
 }
 
-/// One admitted `compare`, parked in the bounded queue.
-struct CompareJob {
+/// What an admitted job does once a worker picks it up.
+enum JobKind {
+    Compare {
+        left: String,
+        right: String,
+        algo: Algo,
+        lambda: Option<f64>,
+    },
+    Search {
+        query: String,
+        k: usize,
+        lambda: Option<f64>,
+    },
+}
+
+/// One admitted request, parked in the bounded queue.
+struct Job {
     id: u64,
-    left: String,
-    right: String,
-    algo: Algo,
-    lambda: Option<f64>,
+    kind: JobKind,
     /// The catalog state this request was admitted under (copy-on-write:
     /// concurrent loads cannot tear it).
     snapshot: Arc<Snapshot>,
@@ -106,12 +143,20 @@ struct Shared {
     stop: AtomicBool,
     /// `Some` while the server admits compare work; taken (and thereby
     /// closed) during shutdown so the workers drain and exit.
-    queue: Mutex<Option<SyncSender<CompareJob>>>,
+    queue: Mutex<Option<SyncSender<Job>>>,
     stats_sink: Arc<StatsSink>,
     /// Signature maps of hot catalog instances, reused across `compare`
     /// requests and invalidated by pointer identity when `load` replaces
-    /// an instance (see [`SigMapCache`]).
-    sig_cache: SigMapCache,
+    /// an instance; swept on every catalog mutation so removed instances
+    /// do not stay pinned (see [`SigMapCache`]).
+    sig_cache: Arc<SigMapCache>,
+    /// The sketch + signature prefilter index behind `search` requests,
+    /// synchronised lazily to the admitted snapshot.
+    index: Arc<CatalogIndex>,
+    /// Highest catalog version the index has been synchronised to.
+    /// Guards [`ensure_index_synced`] so concurrent searches do not
+    /// duplicate sync work; lookups inside `topk` stay concurrent.
+    index_version: Mutex<u64>,
     requests: AtomicU64,
     completed: AtomicU64,
     overloaded: AtomicU64,
@@ -121,6 +166,33 @@ struct Shared {
 impl Shared {
     fn stopping(&self) -> bool {
         self.stop.load(Ordering::Acquire)
+    }
+
+    /// The sink jobs observe under: the server's own stats aggregation,
+    /// teed with the configured extra sink if any.
+    fn job_sink(&self) -> Arc<dyn ic_obs::Sink> {
+        let stats = Arc::clone(&self.stats_sink) as Arc<dyn ic_obs::Sink>;
+        match &self.cfg.extra_sink {
+            None => stats,
+            Some(extra) => Arc::new(TeeSink {
+                first: stats,
+                second: Arc::clone(extra),
+            }),
+        }
+    }
+}
+
+/// Fans one observation report out to two sinks, stats first — so the
+/// server's own counters are recorded even if the extra sink panics.
+struct TeeSink {
+    first: Arc<dyn ic_obs::Sink>,
+    second: Arc<dyn ic_obs::Sink>,
+}
+
+impl ic_obs::Sink for TeeSink {
+    fn on_report(&self, report: &ic_obs::Report) {
+        self.first.on_report(report);
+        self.second.on_report(report);
     }
 }
 
@@ -140,14 +212,26 @@ impl Server {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
 
-        let (tx, rx) = sync_channel::<CompareJob>(cfg.queue_depth.max(1));
+        let (tx, rx) = sync_channel::<Job>(cfg.queue_depth.max(1));
+        let sig_cache = Arc::new(SigMapCache::new());
+        // Removal-driven eviction: every successful catalog mutation sweeps
+        // the cache, so entries for removed (or replaced) instances are
+        // dropped even if nobody ever looks them up again.
+        let catalog_sub = {
+            let cache = Arc::clone(&sig_cache);
+            catalog.subscribe(Box::new(move |snap| {
+                cache.sweep(snap);
+            }))
+        };
         let shared = Arc::new(Shared {
             catalog,
             cfg,
             stop: AtomicBool::new(false),
             queue: Mutex::new(Some(tx)),
             stats_sink: Arc::new(StatsSink::new()),
-            sig_cache: SigMapCache::new(),
+            sig_cache,
+            index: Arc::new(CatalogIndex::new(&SignatureConfig::default())),
+            index_version: Mutex::new(0),
             requests: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             overloaded: AtomicU64::new(0),
@@ -177,6 +261,7 @@ impl Server {
             conns,
             acceptor: Some(acceptor),
             worker_host: Some(worker_host),
+            catalog_sub,
         })
     }
 }
@@ -190,6 +275,10 @@ pub struct ServerHandle {
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
     acceptor: Option<JoinHandle<()>>,
     worker_host: Option<JoinHandle<()>>,
+    /// Token of the sigcache sweep subscription on the catalog; released
+    /// on shutdown so the catalog does not keep calling into a dead
+    /// server's cache.
+    catalog_sub: u64,
 }
 
 impl std::fmt::Debug for ServerHandle {
@@ -242,17 +331,18 @@ impl ServerHandle {
 
     fn stop_and_join(&mut self) {
         self.shared.stop.store(true, Ordering::Release);
+        self.shared.catalog.unsubscribe(self.catalog_sub);
         // Join order is the drain order: stop admissions (acceptor, then
         // the connection threads, which finish their in-flight request),
         // close the queue, let the workers drain it, join them.
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
         }
-        let conns = std::mem::take(&mut *self.conns.lock().unwrap());
+        let conns = std::mem::take(&mut *lock_recover(&self.conns));
         for c in conns {
             let _ = c.join();
         }
-        drop(self.shared.queue.lock().unwrap().take());
+        drop(lock_recover(&self.shared.queue).take());
         if let Some(w) = self.worker_host.take() {
             let _ = w.join();
         }
@@ -286,7 +376,7 @@ fn run_acceptor(
                     .name("ic-serve-conn".into())
                     .spawn(move || handle_conn(&shared, stream));
                 match handle {
-                    Ok(h) => conns.lock().unwrap().push(h),
+                    Ok(h) => lock_recover(conns).push(h),
                     Err(_) => { /* thread spawn failed; drop the connection */ }
                 }
             }
@@ -445,10 +535,57 @@ fn handle_request(shared: &Arc<Shared>, req: Request) -> (Response, bool) {
             algo,
             lambda,
             budget_ms,
-        } => (
-            admit_compare(shared, id, left, right, algo, lambda, budget_ms),
-            false,
-        ),
+        } => {
+            let snapshot = shared.catalog.snapshot();
+            for name in [&left, &right] {
+                if snapshot.get(name).is_none() {
+                    return (unknown_instance(id, name), false);
+                }
+            }
+            let kind = JobKind::Compare {
+                left,
+                right,
+                algo,
+                lambda,
+            };
+            (admit_job(shared, id, kind, snapshot, budget_ms), false)
+        }
+        Request::Search {
+            id,
+            query,
+            k,
+            lambda,
+            budget_ms,
+        } => {
+            let snapshot = shared.catalog.snapshot();
+            if snapshot.get(&query).is_none() {
+                return (unknown_instance(id, &query), false);
+            }
+            if k == 0 {
+                return (
+                    Response::Error {
+                        id,
+                        code: ErrorCode::BadRequest,
+                        message: "search k must be at least 1".into(),
+                    },
+                    false,
+                );
+            }
+            let kind = JobKind::Search {
+                query,
+                k: k.min(usize::MAX as u64) as usize,
+                lambda,
+            };
+            (admit_job(shared, id, kind, snapshot, budget_ms), false)
+        }
+    }
+}
+
+fn unknown_instance(id: u64, name: &str) -> Response {
+    Response::Error {
+        id,
+        code: ErrorCode::UnknownInstance,
+        message: format!("no instance named {name:?} in the catalog"),
     }
 }
 
@@ -473,44 +610,30 @@ fn collect_stats(shared: &Shared) -> ServerStats {
     }
 }
 
-/// Admission: resolve the snapshot, stamp the deadline, try the bounded
-/// queue, wait for the worker's reply.
-fn admit_compare(
+/// Admission: stamp the deadline, try the bounded queue, wait for the
+/// worker's reply. Name validation against the admitted snapshot happened
+/// in [`handle_request`].
+fn admit_job(
     shared: &Arc<Shared>,
     id: u64,
-    left: String,
-    right: String,
-    algo: Algo,
-    lambda: Option<f64>,
+    kind: JobKind,
+    snapshot: Arc<Snapshot>,
     budget_ms: Option<u64>,
 ) -> Response {
-    let snapshot = shared.catalog.snapshot();
-    for name in [&left, &right] {
-        if snapshot.get(name).is_none() {
-            return Response::Error {
-                id,
-                code: ErrorCode::UnknownInstance,
-                message: format!("no instance named {name:?} in the catalog"),
-            };
-        }
-    }
     let budget = budget_ms
         .map(Duration::from_millis)
         .or(shared.cfg.default_budget);
     let deadline = budget.map(|b| Instant::now() + b);
     let (reply_tx, reply_rx) = std::sync::mpsc::channel();
-    let job = CompareJob {
+    let job = Job {
         id,
-        left,
-        right,
-        algo,
-        lambda,
+        kind,
         snapshot,
         deadline,
         reply: reply_tx,
     };
 
-    let sender = shared.queue.lock().unwrap().clone();
+    let sender = lock_recover(&shared.queue).clone();
     let Some(sender) = sender else {
         return Response::Error {
             id,
@@ -551,7 +674,7 @@ fn admit_compare(
 
 /// Runs `cfg.workers` worker loops inside one `ic_pool` scope; returns when
 /// the queue sender is dropped (shutdown) *and* every queued job drained.
-fn run_workers(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<CompareJob>>>) {
+fn run_workers(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Job>>>) {
     let workers = shared.cfg.workers.max(1);
     ic_pool::with_threads(workers, || {
         ic_pool::scope(|s| {
@@ -562,11 +685,11 @@ fn run_workers(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<CompareJob>>>) {
     });
 }
 
-fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<CompareJob>>) {
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
     loop {
         // The guard is dropped as soon as `recv` returns: jobs are handed
         // out one at a time but *processed* concurrently.
-        let job = rx.lock().unwrap().recv();
+        let job = lock_recover(rx).recv();
         match job {
             Ok(job) => process_job(shared, job),
             Err(_) => return, // queue closed and drained
@@ -574,7 +697,7 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<CompareJob>>) {
     }
 }
 
-fn process_job(shared: &Shared, job: CompareJob) {
+fn process_job(shared: &Shared, job: Job) {
     if let Some(delay) = shared.cfg.worker_delay {
         std::thread::sleep(delay);
     }
@@ -598,8 +721,19 @@ fn process_job(shared: &Shared, job: CompareJob) {
         None => None,
     };
 
-    let resp = run_compare(shared, &job, remaining);
-    if matches!(resp, Response::Compared { .. }) {
+    // Fault isolation: a panic anywhere in one request — the engine, an
+    // observation sink — is converted into a typed `internal` error for
+    // *that* request. The worker thread survives, and every mutex it might
+    // have poisoned is recovered by `lock_recover`, so subsequent requests
+    // are unaffected.
+    let resp = catch_unwind(AssertUnwindSafe(|| run_job(shared, &job, remaining))).unwrap_or_else(
+        |panic| Response::Error {
+            id: job.id,
+            code: ErrorCode::Internal,
+            message: format!("request processing panicked: {}", panic_message(&panic)),
+        },
+    );
+    if matches!(resp, Response::Compared { .. } | Response::Searched { .. }) {
         shared.completed.fetch_add(1, Ordering::Relaxed);
     } else {
         shared.errors.fetch_add(1, Ordering::Relaxed);
@@ -607,15 +741,42 @@ fn process_job(shared: &Shared, job: CompareJob) {
     let _ = job.reply.send(resp);
 }
 
-fn run_compare(shared: &Shared, job: &CompareJob, remaining: Option<Duration>) -> Response {
+fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> &str {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+fn run_job(shared: &Shared, job: &Job, remaining: Option<Duration>) -> Response {
+    match &job.kind {
+        JobKind::Compare {
+            left,
+            right,
+            algo,
+            lambda,
+        } => run_compare(shared, job, left, right, *algo, *lambda, remaining),
+        JobKind::Search { query, k, lambda } => run_search(shared, job, query, *k, *lambda),
+    }
+}
+
+fn run_compare(
+    shared: &Shared,
+    job: &Job,
+    left_name: &str,
+    right_name: &str,
+    algo: Algo,
+    lambda: Option<f64>,
+    remaining: Option<Duration>,
+) -> Response {
     // Per-request observability: one observation per compare, aggregated
     // by label in the StatsSink and exported through `stats`.
-    let _obs = ic_obs::observe(
-        COMPARE_LABEL,
-        Arc::clone(&shared.stats_sink) as Arc<dyn ic_obs::Sink>,
-    );
+    let _obs = ic_obs::observe(COMPARE_LABEL, shared.job_sink());
 
-    let (Some(left), Some(right)) = (job.snapshot.get(&job.left), job.snapshot.get(&job.right))
+    let (Some(left), Some(right)) = (job.snapshot.get(left_name), job.snapshot.get(right_name))
     else {
         // Unreachable in practice: admission validated against this very
         // snapshot. Kept as a typed error rather than a panic.
@@ -627,7 +788,7 @@ fn run_compare(shared: &Shared, job: &CompareJob, remaining: Option<Duration>) -
     };
 
     let mut builder = Comparator::new(&job.snapshot.catalog);
-    if let Some(lambda) = job.lambda {
+    if let Some(lambda) = lambda {
         builder = builder.lambda(lambda);
     }
     if let Some(budget) = remaining {
@@ -639,7 +800,7 @@ fn run_compare(shared: &Shared, job: &CompareJob, remaining: Option<Duration>) -
     };
 
     let start = Instant::now();
-    let scores = match job.algo {
+    let scores = match algo {
         Algo::Signature => {
             // Reuse (and, when unbudgeted, populate) the server's sigmap
             // cache. Seeding is bit-identical to building per request, so
@@ -649,7 +810,7 @@ fn run_compare(shared: &Shared, job: &CompareJob, remaining: Option<Duration>) -
             let mut seeds: [Option<Arc<ic_core::InstanceSigMaps>>; 2] = [None, None];
             for (slot, (name, inst)) in seeds
                 .iter_mut()
-                .zip([(&job.left, left), (&job.right, right)])
+                .zip([(left_name, left), (right_name, right)])
             {
                 *slot = shared.sig_cache.lookup(name, inst);
                 if slot.is_none() && remaining.is_none() {
@@ -719,6 +880,81 @@ fn run_compare(shared: &Shared, job: &CompareJob, remaining: Option<Duration>) -
         },
     };
     Response::Compared { id: job.id, scores }
+}
+
+/// Brings the prefilter index up to date with `snap`. The version guard
+/// serialises *sync work* (so concurrent searches over the same new
+/// snapshot build each entry once) while `topk` lookups stay concurrent on
+/// the index's own segment locks.
+fn ensure_index_synced(shared: &Shared, snap: &Snapshot) {
+    // A snapshot holding any instance has version ≥ 1 (mutations bump it),
+    // and version 0 means empty on both sides — so `>=` is safe.
+    let mut synced = lock_recover(&shared.index_version);
+    if *synced >= snap.version {
+        return;
+    }
+    shared.index.sync(snap.iter());
+    *synced = snap.version;
+}
+
+fn run_search(
+    shared: &Shared,
+    job: &Job,
+    query_name: &str,
+    k: usize,
+    lambda: Option<f64>,
+) -> Response {
+    let _obs = ic_obs::observe(SEARCH_LABEL, shared.job_sink());
+
+    let Some(query) = job.snapshot.get(query_name) else {
+        return Response::Error {
+            id: job.id,
+            code: ErrorCode::UnknownInstance,
+            message: "query vanished from the admitted snapshot".into(),
+        };
+    };
+
+    ensure_index_synced(shared, &job.snapshot);
+
+    // The comparator carries **no** budget: every score a search returns
+    // is exact and bit-identical to a direct unbudgeted `compare`. The
+    // request deadline is enforced between comparisons by `topk` itself —
+    // exceeding it fails the whole request with `budget` rather than
+    // silently returning a truncated ranking.
+    let mut builder = Comparator::new(&job.snapshot.catalog);
+    if let Some(lambda) = lambda {
+        builder = builder.lambda(lambda);
+    }
+    let cmp = match builder.build() {
+        Ok(cmp) => cmp,
+        Err(e) => return core_error(job.id, &e),
+    };
+
+    let opts = SearchOptions {
+        deadline: job.deadline,
+        ..SearchOptions::default()
+    };
+    let start = Instant::now();
+    match shared.index.topk(query, k, &cmp, &opts) {
+        Ok(out) => Response::Searched {
+            id: job.id,
+            results: SearchResults {
+                hits: out
+                    .hits
+                    .into_iter()
+                    .map(|h| SearchResult {
+                        name: h.name,
+                        score: h.score,
+                        pairs: h.pairs as u64,
+                    })
+                    .collect(),
+                compared: out.compared as u64,
+                total: out.total as u64,
+                elapsed_us: start.elapsed().as_micros() as u64,
+            },
+        },
+        Err(e) => core_error(job.id, &e),
+    }
 }
 
 fn core_error(id: u64, e: &ic_core::Error) -> Response {

@@ -14,7 +14,18 @@
 //! Maps are built without a deadline and reused by every worker; under the
 //! seeding contract of [`ic_core::signature_match_seeded`] the scores are
 //! bit-identical to building from scratch per request.
+//!
+//! Pointer-identity invalidation alone is **lazy**: it only fires when a
+//! stale name is looked up again. An instance *removed* from the catalog
+//! is never looked up again, so its entry — maps plus the pinned
+//! `Arc<Instance>` keeping the whole instance alive — would leak forever.
+//! [`SigMapCache::sweep`] is the removal-driven complement: given a fresh
+//! snapshot it drops every entry whose name is gone or whose pin no longer
+//! matches, counted as evictions. The server runs it from a
+//! [`crate::catalog::ServeCatalog::subscribe`] hook on every mutation.
 
+use crate::catalog::Snapshot;
+use crate::lockutil::lock_recover;
 use ic_core::InstanceSigMaps;
 use ic_model::Instance;
 use std::collections::HashMap;
@@ -30,6 +41,10 @@ pub struct SigCacheStats {
     pub misses: u64,
     /// Cached entries dropped because the catalog instance was replaced.
     pub invalidations: u64,
+    /// Entries dropped by removal-driven eviction ([`SigMapCache::evict`]
+    /// and [`SigMapCache::sweep`]) — without it, removed catalog entries
+    /// would stay pinned in the cache forever.
+    pub evictions: u64,
 }
 
 /// A name → (instance pin, signature maps) cache shared by the server's
@@ -40,6 +55,7 @@ pub struct SigMapCache {
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl SigMapCache {
@@ -53,7 +69,7 @@ impl SigMapCache {
     /// catalog has since replaced the instance — is removed and counted
     /// as an invalidation.
     pub fn lookup(&self, name: &str, current: &Arc<Instance>) -> Option<Arc<InstanceSigMaps>> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_recover(&self.inner);
         match inner.get(name) {
             Some((pinned, maps)) if Arc::ptr_eq(pinned, current) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -76,28 +92,57 @@ impl SigMapCache {
     /// from. Racing workers may both build after a miss; last store wins —
     /// both maps are correct for the same pinned instance.
     pub fn store(&self, name: &str, instance: Arc<Instance>, maps: Arc<InstanceSigMaps>) {
-        self.inner
-            .lock()
-            .unwrap()
-            .insert(name.to_string(), (instance, maps));
+        lock_recover(&self.inner).insert(name.to_string(), (instance, maps));
+    }
+
+    /// Drops the entry for `name`, if any; returns whether one existed.
+    /// Counted as an eviction.
+    pub fn evict(&self, name: &str) -> bool {
+        let existed = lock_recover(&self.inner).remove(name).is_some();
+        if existed {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        existed
+    }
+
+    /// Drops every entry that `snapshot` no longer backs: the name is gone
+    /// from the catalog, or the catalog now holds a different instance
+    /// under it (the pin no longer matches by pointer). Returns the number
+    /// of entries dropped; each counts as an eviction.
+    ///
+    /// This is what keeps the cache from leaking removed instances —
+    /// `lookup` only ever invalidates names that are still being asked
+    /// for.
+    pub fn sweep(&self, snapshot: &Snapshot) -> usize {
+        let mut inner = lock_recover(&self.inner);
+        let before = inner.len();
+        inner.retain(|name, (pinned, _)| {
+            snapshot
+                .get(name)
+                .is_some_and(|current| Arc::ptr_eq(current, pinned))
+        });
+        let dropped = before - inner.len();
+        self.evictions.fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
     }
 
     /// Number of entries currently cached.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().len()
+        lock_recover(&self.inner).len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().unwrap().is_empty()
+        lock_recover(&self.inner).is_empty()
     }
 
-    /// A snapshot of the hit/miss/invalidation counters.
+    /// A snapshot of the hit/miss/invalidation/eviction counters.
     pub fn stats(&self) -> SigCacheStats {
         SigCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -143,7 +188,58 @@ mod tests {
                 hits: 1,
                 misses: 2,
                 invalidations: 1,
+                evictions: 0,
             }
         );
+    }
+
+    #[test]
+    fn sweep_drops_removed_and_replaced_entries() {
+        use crate::catalog::ServeCatalog;
+
+        let sc = ServeCatalog::new(Schema::single("R", &["A"]));
+        for name in ["keep", "gone", "replaced"] {
+            sc.register_with(name, |cat| {
+                let mut inst = Instance::new(name, cat);
+                let v = cat.konst(name);
+                inst.insert(RelId(0), vec![v]);
+                Ok(inst)
+            })
+            .unwrap();
+        }
+
+        let cfg = SignatureConfig::default();
+        let cache = SigMapCache::new();
+        let snap = sc.snapshot();
+        for (name, pin) in snap.iter() {
+            cache.store(
+                name,
+                Arc::clone(pin),
+                Arc::new(InstanceSigMaps::build(pin, &cfg)),
+            );
+        }
+        assert_eq!(cache.len(), 3);
+
+        sc.remove("gone");
+        sc.register_with("replaced", |cat| {
+            let mut inst = Instance::new("replaced", cat);
+            let v = cat.konst("other");
+            inst.insert(RelId(0), vec![v]);
+            Ok(inst)
+        })
+        .unwrap();
+
+        let dropped = cache.sweep(&sc.snapshot());
+        assert_eq!(dropped, 2, "one removed + one replaced entry");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 2);
+        // The surviving entry still answers for its live pin.
+        let snap = sc.snapshot();
+        assert!(cache.lookup("keep", snap.get("keep").unwrap()).is_some());
+
+        assert!(cache.evict("keep"));
+        assert!(!cache.evict("keep"));
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().evictions, 3);
     }
 }

@@ -4,9 +4,9 @@
 //! drain the queue, and `stats` must report the per-request spans.
 
 use ic_core::Comparator;
-use ic_datagen::{mod_cell, Dataset};
+use ic_datagen::{generate_lake, mod_cell, Dataset, LakeParams};
 use ic_model::{Catalog, Instance, Schema};
-use ic_serve::{Algo, Client, CompareOptions, ServeCatalog, Server, ServerConfig};
+use ic_serve::{Algo, Client, CompareOptions, ErrorCode, ServeCatalog, Server, ServerConfig};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -222,10 +222,18 @@ fn sigmap_cache_reuses_and_invalidates_on_replacement() {
         first.signature.unwrap().to_bits()
     );
 
-    // Replace "target": the cached entry is pinned to the old Arc and must
-    // be invalidated; the new score matches a fresh Comparator on the new
-    // snapshot (which compares "source" to itself).
+    // Replace "target": the catalog-subscription sweep evicts the stale
+    // entry the moment the mutation publishes (it is pinned to the old
+    // Arc), so the next compare is a clean miss — and the new score
+    // matches a fresh Comparator on the new snapshot (which compares
+    // "source" to itself).
     catalog.register("target", replacement).unwrap();
+    assert_eq!(
+        server.sig_cache().stats().evictions,
+        1,
+        "sweep must drop the replaced target entry eagerly"
+    );
+    assert_eq!(server.sig_cache().len(), 1);
     let third = client
         .compare(
             "source",
@@ -235,7 +243,7 @@ fn sigmap_cache_reuses_and_invalidates_on_replacement() {
         )
         .unwrap();
     let stats = server.sig_cache().stats();
-    assert_eq!(stats.invalidations, 1, "stale target entry must be dropped");
+    assert_eq!(stats.invalidations, 0, "sweep beat lazy invalidation to it");
     assert_eq!(stats.hits, 3, "source entry survives the replacement");
     let snap = catalog.snapshot();
     let fresh = Comparator::new(&snap.catalog).build().unwrap();
@@ -284,5 +292,173 @@ fn stats_report_per_request_spans() {
     assert_eq!(listing[0].tuples, 1);
 
     client.shutdown().unwrap();
+    server.wait();
+}
+
+/// Acceptance criterion (top-k search): a served `search` returns hits
+/// whose names *and* scores are bit-identical to ranking the catalog with
+/// a client-side loop of unbudgeted `compare` calls — the prefilter index
+/// only chooses which entries get scored, never how.
+#[test]
+fn served_search_is_bit_identical_to_client_side_compare_loop() {
+    let lake = generate_lake(&LakeParams {
+        clusters: 4,
+        versions_per_cluster: 3,
+        rows: 12,
+        ..LakeParams::default()
+    });
+    let catalog = Arc::new(ServeCatalog::from_catalog(lake.catalog));
+    let names: Vec<String> = lake
+        .instances
+        .iter()
+        .map(|i| i.name().to_string())
+        .collect();
+    for inst in lake.instances {
+        let name = inst.name().to_string();
+        catalog.register(&name, inst).unwrap();
+    }
+    let server = start(Arc::clone(&catalog), ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let (query, k) = ("c1v0", 5);
+    let mut brute: Vec<(String, f64, u64)> = names
+        .iter()
+        .map(|name| {
+            let scores = client
+                .compare(query, name, Algo::Signature, CompareOptions::default())
+                .unwrap();
+            (
+                name.clone(),
+                scores.signature.unwrap(),
+                scores.pairs.unwrap(),
+            )
+        })
+        .collect();
+    brute.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+    let results = client.search(query, k, CompareOptions::default()).unwrap();
+    assert_eq!(results.total, names.len() as u64);
+    assert_eq!(results.hits.len(), k as usize);
+    for (hit, (bn, bs, bp)) in results.hits.iter().zip(brute.iter()) {
+        assert_eq!(&hit.name, bn);
+        assert_eq!(hit.score.to_bits(), bs.to_bits(), "bit-identical scores");
+        assert_eq!(hit.pairs, *bp);
+    }
+    assert_eq!(results.hits[0].name, query, "query matches itself at 1.0");
+    assert_eq!(results.hits[0].score, 1.0);
+
+    // The search ran under its own observation label.
+    let stats = client.stats().unwrap();
+    let span = stats
+        .spans
+        .iter()
+        .find(|s| s.label == ic_serve::SEARCH_LABEL)
+        .expect("stats must carry the serve.search span aggregate");
+    assert_eq!(span.reports, 1);
+
+    // Typed failures: unknown query, k = 0.
+    let err = client
+        .search("nope", 3, CompareOptions::default())
+        .unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::UnknownInstance));
+    let err = client
+        .search(query, 0, CompareOptions::default())
+        .unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::BadRequest));
+
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+/// Acceptance criterion (cache leak bugfix): removing instances from the
+/// catalog evicts their sigcache entries — `SigMapCache::len()` returns to
+/// its pre-load level instead of pinning removed instances forever — and
+/// re-registering under the same names works from a clean slate.
+#[test]
+fn remove_then_reload_evicts_sigcache_entries() {
+    let catalog = flip_catalog(); // "base" and "probe"
+    let server = start(Arc::clone(&catalog), ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let pre_load = server.sig_cache().len();
+    assert_eq!(pre_load, 0);
+
+    client
+        .compare("base", "probe", Algo::Signature, CompareOptions::default())
+        .unwrap();
+    assert_eq!(server.sig_cache().len(), 2, "both sides cached");
+
+    // Remove both; the catalog-subscription sweep must evict both entries
+    // even though nothing ever looks those names up again.
+    assert!(catalog.remove("probe"));
+    assert_eq!(server.sig_cache().len(), 1);
+    assert!(catalog.remove("base"));
+    assert_eq!(server.sig_cache().len(), pre_load, "back to pre-load level");
+    assert_eq!(server.sig_cache().stats().evictions, 2);
+
+    // Reload under the same names: clean rebuild, correct score.
+    register_const(&catalog, "base", "x");
+    register_const(&catalog, "probe", "y");
+    let scores = client
+        .compare("base", "probe", Algo::Signature, CompareOptions::default())
+        .unwrap();
+    assert_eq!(scores.signature, Some(0.0), "x vs y share nothing");
+    assert_eq!(server.sig_cache().len(), 2);
+
+    client.shutdown().unwrap();
+    server.wait();
+}
+
+/// A sink that panics on its first report only — fault injection for the
+/// worker's panic isolation.
+struct PanicOnceSink {
+    fired: std::sync::atomic::AtomicBool,
+}
+
+impl ic_obs::Sink for PanicOnceSink {
+    fn on_report(&self, _report: &ic_obs::Report) {
+        if !self.fired.swap(true, std::sync::atomic::Ordering::SeqCst) {
+            panic!("injected observer failure");
+        }
+    }
+}
+
+/// Acceptance criterion (poisoned-lock bugfix): a panic inside one request
+/// — here, a panicking observation sink — answers *that* request with a
+/// typed `internal` error and leaves the server fully functional:
+/// subsequent requests on the same and on new connections succeed, and
+/// shutdown still drains cleanly.
+#[test]
+fn panicking_observer_sink_does_not_wedge_subsequent_requests() {
+    let catalog = flip_catalog();
+    let cfg = ServerConfig {
+        extra_sink: Some(Arc::new(PanicOnceSink {
+            fired: std::sync::atomic::AtomicBool::new(false),
+        })),
+        ..ServerConfig::default()
+    };
+    let server = start(Arc::clone(&catalog), cfg);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let err = client
+        .compare("base", "probe", Algo::Signature, CompareOptions::default())
+        .unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::Internal));
+
+    // Same connection, next request: must succeed with the right score.
+    let scores = client
+        .compare("base", "probe", Algo::Signature, CompareOptions::default())
+        .unwrap();
+    assert_eq!(scores.signature, Some(1.0));
+
+    // Fresh connection too, and search exercises the index path.
+    let mut other = Client::connect(server.local_addr()).unwrap();
+    let results = other.search("base", 2, CompareOptions::default()).unwrap();
+    assert_eq!(results.hits[0].score, 1.0);
+
+    let stats = other.stats().unwrap();
+    assert!(stats.errors >= 1, "the panicked request was counted");
+    assert!(stats.completed >= 2);
+
+    other.shutdown().unwrap();
     server.wait();
 }

@@ -9,7 +9,8 @@
 //! missing columns with fresh nulls, Sec. 4.3) and then runs the signature
 //! algorithm. Scores are therefore comparable across heterogeneous tables.
 
-use ic_core::{signature_match, SignatureConfig};
+use ic_core::{signature_match, signature_match_seeded, InstanceSigMaps, SignatureConfig};
+use ic_index::Sketch;
 use ic_model::{align_instances, Catalog, Instance};
 
 // NOTE on incremental reuse: heterogeneous lake tables are aligned into a
@@ -74,19 +75,52 @@ pub fn find_duplicate_groups(
 }
 
 /// [`find_duplicate_groups`] for a lake whose tables share one `catalog`
-/// (no per-pair alignment needed): the pairwise similarities come from
-/// [`crate::history::similarity_matrix_cached`], which builds each table's
-/// signature maps once and reuses them across every pair. Scores — and
-/// therefore groups — are identical to running the signature algorithm
-/// from scratch per pair.
+/// (no per-pair alignment needed). Each table's signature maps are built
+/// **once** and seed every comparison the table participates in (the
+/// [`ic_core::signature_match_seeded`] contract: bit-identical to building
+/// per pair), and each table gets an [`ic_index::Sketch`] whose
+/// [`one_to_one_score_bound`](ic_index::Sketch::one_to_one_score_bound)
+/// skips pairs that provably cannot reach `threshold` — without scoring
+/// them at all.
+///
+/// The bound is only sound for fully injective matches with per-cell
+/// scores ≤ 1, so pruning is gated on the configuration: both injectivity
+/// flags set and no string-similarity weight (the default configuration
+/// qualifies). Other configurations score every pair. Either way the
+/// groups are identical to clustering a full
+/// [`crate::history::similarity_matrix_cached`]: a pruned pair's true
+/// score is below `threshold`, so it could never have joined a group.
 pub fn find_duplicate_groups_shared(
     tables: &[&Instance],
     catalog: &Catalog,
     threshold: f64,
     cfg: &SignatureConfig,
 ) -> Vec<Vec<usize>> {
-    let m = crate::history::similarity_matrix_cached(tables, catalog, cfg);
-    cluster_by_similarity(tables.len(), threshold, |i, j| m[i][j])
+    let maps: Vec<InstanceSigMaps> = tables
+        .iter()
+        .map(|t| InstanceSigMaps::build(t, cfg))
+        .collect();
+    let sketches: Vec<Sketch> = tables.iter().map(|t| Sketch::build(t)).collect();
+    let prune = cfg.mode.left_injective
+        && cfg.mode.right_injective
+        && cfg.score.string_sim_weight.is_none();
+    cluster_by_similarity(tables.len(), threshold, |i, j| {
+        if prune && sketches[i].one_to_one_score_bound(&sketches[j]) < threshold {
+            // Sound skip: the true one-to-one score cannot reach the
+            // threshold, so this pair never links a group.
+            return 0.0;
+        }
+        signature_match_seeded(
+            tables[i],
+            tables[j],
+            catalog,
+            cfg,
+            Some(&maps[i]),
+            Some(&maps[j]),
+        )
+        .best
+        .score()
+    })
 }
 
 /// Single-linkage clustering by pairwise similarity: indices whose
@@ -246,6 +280,41 @@ mod tests {
             for j in (i + 1)..refs.len() {
                 let scratch = signature_match(refs[i], refs[j], &cat, &cfg).best.score();
                 assert_eq!(m[i][j].to_bits(), scratch.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn sketch_pruned_groups_equal_full_matrix_groups() {
+        // A lake of disjoint clusters plus one tiny outlier: the sketch
+        // bound prunes cross-size pairs, yet the groups must equal
+        // clustering the full cached similarity matrix — for the prunable
+        // default config *and* for a general-mode config where pruning is
+        // unsound and therefore disabled.
+        let lake = ic_datagen::generate_lake(&ic_datagen::LakeParams {
+            clusters: 3,
+            versions_per_cluster: 3,
+            rows: 14,
+            ..ic_datagen::LakeParams::default()
+        });
+        let mut cat = lake.catalog;
+        let mut tiny = Instance::new("tiny", &cat);
+        let v = cat.konst("tiny_only");
+        tiny.insert(lake.rel, vec![v, v, v, v]);
+        let tables: Vec<&Instance> = lake.instances.iter().chain([&tiny]).collect();
+
+        for cfg in [
+            SignatureConfig::default(),
+            SignatureConfig {
+                mode: ic_core::MatchMode::general(),
+                ..SignatureConfig::default()
+            },
+        ] {
+            for threshold in [0.6, 0.9] {
+                let fast = find_duplicate_groups_shared(&tables, &cat, threshold, &cfg);
+                let m = crate::history::similarity_matrix_cached(&tables, &cat, &cfg);
+                let full = cluster_by_similarity(tables.len(), threshold, |i, j| m[i][j]);
+                assert_eq!(fast, full, "threshold {threshold}");
             }
         }
     }

@@ -1,57 +1,88 @@
 //! Dataset search and deduplication in a data lake (paper Sec. 1):
-//! given a query table, rank a lake of heterogeneous tables by similarity
-//! — schemas are aligned automatically — and cluster near-duplicates.
+//! given a query table, rank a lake of tables by similarity without
+//! comparing the query against every entry. A [`CatalogIndex`] prefilters
+//! by per-instance sketches and signature-bucket overlap, then runs the
+//! full signature comparison only on surviving candidates — every returned
+//! score is bit-identical to the brute-force comparison of the same pair.
+//!
+//! The example also checks its own work: it runs the O(n) brute-force scan
+//! the index replaces, reports recall@k against it, and shows the fraction
+//! of the lake that actually got a full comparison.
 //!
 //! Run with: `cargo run --release --example dataset_search`
 
-use instance_comparison::core::SignatureConfig;
-use instance_comparison::datagen::{evolve_chain, Dataset, EvolveParams};
-use instance_comparison::model::{Catalog, Instance, Schema};
-use instance_comparison::versioning::{find_duplicate_groups, rank_by_similarity, LakeTable};
-
-/// An unrelated table with its own schema (simulating lake heterogeneity).
-fn unrelated_table(seed: u64) -> LakeTable {
-    let mut cat = Catalog::new(Schema::single("Sensors", &["sensor", "reading", "unit"]));
-    let rel = cat.schema().rel("Sensors").unwrap();
-    let mut inst = Instance::new("sensors", &cat);
-    for i in 0..100 {
-        let s = cat.konst(&format!("s{}", (seed + i) % 40));
-        let r = cat.konst(&format!("{}", (seed * 31 + i * 7) % 1000));
-        let u = cat.konst("C");
-        inst.insert(rel, vec![s, r, u]);
-    }
-    LakeTable::new(cat, inst)
-}
+use instance_comparison::core::{Comparator, SignatureConfig};
+use instance_comparison::datagen::{generate_lake, LakeParams};
+use instance_comparison::index::{CatalogIndex, SearchOptions};
+use instance_comparison::model::Instance;
+use instance_comparison::versioning::find_duplicate_groups_shared;
+use std::sync::Arc;
 
 fn main() {
-    // Build a small lake: several evolved versions of an Iris-like table
-    // (mutual near-duplicates) plus unrelated tables.
-    let chain = evolve_chain(Dataset::Iris, 100, 3, &EvolveParams::default(), 77);
-    let mut lake: Vec<LakeTable> = Vec::new();
-    let mut labels: Vec<String> = Vec::new();
-    for (i, v) in chain.versions.iter().enumerate() {
-        lake.push(LakeTable::new(chain.catalog.clone(), v.clone()));
-        labels.push(format!("iris-v{i}"));
-    }
-    for k in 0..3 {
-        lake.push(unrelated_table(1000 + k));
-        labels.push(format!("sensors-{k}"));
+    // A lake of 24 clusters × 4 evolved versions sharing one catalog:
+    // versions within a cluster are mutual near-duplicates, clusters are
+    // constant-disjoint from each other.
+    let lake = generate_lake(&LakeParams {
+        clusters: 24,
+        versions_per_cluster: 4,
+        rows: 24,
+        arity: 4,
+        ..LakeParams::default()
+    });
+    let pins: Vec<Arc<Instance>> = lake.instances.iter().cloned().map(Arc::new).collect();
+
+    let cfg = SignatureConfig::default();
+    let index = CatalogIndex::new(&cfg);
+    index.sync(pins.iter().map(|p| (p.name(), p)));
+    let cmp = Comparator::new(&lake.catalog).build().unwrap();
+
+    // Search: which lake tables look like cluster 2's newest version?
+    let query = &pins[lake.index_of(2, 3)];
+    let k = 5;
+    let out = index
+        .topk(query, k, &cmp, &SearchOptions::default())
+        .unwrap();
+    println!("query: {}  (lake of {} tables)\n", query.name(), out.total);
+    println!("{:<8} {:>8} {:>7}", "table", "score", "pairs");
+    for hit in &out.hits {
+        println!("{:<8} {:>8.3} {:>7}", hit.name, hit.score, hit.pairs);
     }
 
-    // Search: which lake tables look like the newest iris version?
-    let query_idx = chain.versions.len() - 1;
-    let query = LakeTable::new(chain.catalog.clone(), chain.versions[query_idx].clone());
-    println!("query: {}\n", labels[query_idx]);
-    println!("{:<12} {:>8}", "table", "score");
-    for (idx, score) in rank_by_similarity(&query, &lake, &SignatureConfig::default()) {
-        println!("{:<12} {:>8.3}", labels[idx], score);
-    }
+    // Brute force the same ranking to measure recall. Scores come from the
+    // same comparator, so any hit the index returns must match bit-for-bit.
+    let mut brute: Vec<(String, f64)> = pins
+        .iter()
+        .map(|p| {
+            let score = cmp.signature(query, p).unwrap().best.score();
+            (p.name().to_string(), score)
+        })
+        .collect();
+    brute.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+    let found = out
+        .hits
+        .iter()
+        .filter(|h| {
+            brute[..k]
+                .iter()
+                .any(|(name, score)| *name == h.name && score.to_bits() == h.score.to_bits())
+        })
+        .count();
+    println!(
+        "\nrecall@{k}: {:.2}  (full comparisons: {}/{} = {:.0}% of the lake)",
+        found as f64 / k as f64,
+        out.compared,
+        out.total,
+        100.0 * out.compared as f64 / out.total as f64
+    );
 
-    // Deduplication: cluster near-duplicates at a 0.6 threshold.
-    let groups = find_duplicate_groups(&lake, 0.6, &SignatureConfig::default());
+    // Deduplication: cluster near-duplicates at a 0.6 threshold. The
+    // shared-catalog variant reuses signature maps and skips pairs whose
+    // sketch bound already rules the threshold out.
+    let tables: Vec<&Instance> = lake.instances.iter().collect();
+    let groups = find_duplicate_groups_shared(&tables, &lake.catalog, 0.6, &cfg);
     println!("\nnear-duplicate groups (threshold 0.6):");
     for g in groups {
-        let names: Vec<&str> = g.iter().map(|&i| labels[i].as_str()).collect();
+        let names: Vec<&str> = g.iter().map(|&i| lake.instances[i].name()).collect();
         println!("  {{{}}}", names.join(", "));
     }
 }

@@ -65,6 +65,18 @@ cargo run -q --offline --release -p ic-bench --bin bench_serve_throughput
 test -f target/ic-bench/BENCH_serve.json
 echo "    wrote target/ic-bench/BENCH_serve.json"
 
+# The search path must stay exact: topk over the whole catalog reproduces
+# the brute-force ranking bit-for-bit at 1 and 4 comparator threads.
+echo "==> search property suite (topk == brute force, threads 1 and 4)"
+cargo test -q --offline --test search_props
+
+# The index's point: recall@10 of 1.0 on a 10k-instance lake while fully
+# comparing <20% of the catalog, with query throughput as a JSON artifact.
+echo "==> bench_search (recall@k vs brute force + prefilter rate + queries/s)"
+cargo run -q --offline --release -p ic-bench --bin bench_search
+test -f target/ic-bench/BENCH_search.json
+echo "    wrote target/ic-bench/BENCH_search.json"
+
 # Public docs must build clean across the workspace (broken intra-doc links
 # and malformed doc comments are errors, not warnings).
 echo "==> cargo doc --workspace --no-deps --offline (warnings denied)"
