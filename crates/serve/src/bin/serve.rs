@@ -14,7 +14,7 @@
 //! can load further instances at runtime via the `load` request kind.
 
 use ic_model::{RelationSchema, Schema};
-use ic_serve::{ServeCatalog, Server, ServerConfig};
+use ic_serve::{Runtime, ServeCatalog, Server, ServerConfig};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -27,6 +27,8 @@ usage: serve [options]
   --workers N            worker loops (default 2)
   --queue N              bounded request-queue depth (default 64)
   --budget-ms N          default per-request deadline in ms (default: none)
+  --runtime MODE         connection runtime: event | threaded
+                         (default: IC_SERVE_RUNTIME env, else event on Linux)
   --help                 print this help";
 
 struct Args {
@@ -82,6 +84,15 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--budget-ms expects an integer".to_string())?;
                 args.cfg.default_budget = Some(Duration::from_millis(ms));
+            }
+            "--runtime" => {
+                args.cfg.runtime = match value("--runtime")?.as_str() {
+                    "event" => Runtime::EventLoop,
+                    "threaded" => Runtime::Threaded,
+                    other => {
+                        return Err(format!("--runtime expects event|threaded (got {other:?})"))
+                    }
+                };
             }
             other => return Err(format!("unknown flag {other:?}")),
         }

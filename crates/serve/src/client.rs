@@ -2,9 +2,20 @@
 //! `serve_demo` example, and the throughput bench; also the reference for
 //! writing clients in other languages.
 //!
-//! One request is in flight per client at a time (send, then block for the
-//! response with the matching id). Server-side typed error payloads become
-//! [`ClientError::Server`], so callers can match on the [`ErrorCode`].
+//! Two usage modes:
+//!
+//! * **Sequential** — [`Client::call`] and the typed wrappers send one
+//!   request and block for its response.
+//! * **Pipelined** — [`Client::send`] writes a request and returns its id
+//!   without waiting; [`Client::recv`] blocks for the *next* response on
+//!   the wire, whichever request it answers. Under the event-loop server
+//!   runtime responses complete out of order, so callers match responses
+//!   to ids themselves (every [`Response`] echoes one). Keeping several
+//!   requests in flight on one connection hides round-trip and queueing
+//!   latency.
+//!
+//! Server-side typed error payloads become [`ClientError::Server`], so
+//! callers can match on the [`ErrorCode`].
 
 use crate::frame::{write_frame, FrameError, FrameReader};
 use crate::proto::{
@@ -114,20 +125,38 @@ impl Client {
     /// Sends `req` (overriding its id with a fresh one) and blocks for the
     /// response carrying that id. The raw protocol-level call; the typed
     /// wrappers below are usually more convenient.
-    pub fn call(&mut self, mut req: Request) -> Result<Response, ClientError> {
-        let id = self.next_id;
-        self.next_id += 1;
-        set_id(&mut req, id);
-        write_frame(&mut self.writer, &req.encode())?;
+    ///
+    /// Responses to other ids (from interleaved [`send`](Self::send)s) are
+    /// skipped and **dropped** — don't mix `call` with outstanding
+    /// pipelined requests you still care about.
+    pub fn call(&mut self, req: Request) -> Result<Response, ClientError> {
+        let id = self.send(req)?;
         loop {
-            let payload = self.reader.next_frame()?;
-            let resp = Response::decode(&payload)?;
-            // Responses to *this* client's other requests cannot appear
-            // (one in flight), but a stray id is tolerated by skipping.
+            let resp = self.recv()?;
             if resp.id() == id {
                 return Ok(resp);
             }
         }
+    }
+
+    /// Pipelined mode: writes `req` (overriding its id with a fresh one)
+    /// and returns that id immediately, without waiting for the response.
+    /// Pair with [`recv`](Self::recv) and match ids yourself; any number
+    /// of requests may be in flight on one connection.
+    pub fn send(&mut self, mut req: Request) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        set_id(&mut req, id);
+        write_frame(&mut self.writer, &req.encode())?;
+        Ok(id)
+    }
+
+    /// Pipelined mode: blocks for the next response on the wire — for
+    /// *any* in-flight id. Under the event-loop server runtime, responses
+    /// arrive in completion order, not send order.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        let payload = self.reader.next_frame()?;
+        Ok(Response::decode(&payload)?)
     }
 
     /// Loads a CSV directory into the server catalog under `name`;

@@ -15,13 +15,24 @@
 //! with line-oriented tools.
 //!
 //! [`FrameReader`] is incremental: it buffers partial input across calls,
-//! so it works both on blocking sockets and on sockets with a read timeout
-//! (the server polls its shutdown flag between timeouts).
+//! so it works on blocking sockets, on sockets with a read timeout (the
+//! threaded server polls its shutdown flag between timeouts), and on fully
+//! nonblocking sockets driven by a readiness loop.
+//!
+//! The reader enforces a maximum payload length ([`MAX_FRAME_LEN`] by
+//! default, configurable down via [`FrameReader::with_max_len`]). An
+//! oversized declared length is rejected **at the header** — the payload is
+//! never buffered — and the violation is *recoverable*: the reader skips
+//! the declared bytes in bounded chunks and resumes at the next frame
+//! boundary, so a server can answer with a typed `bad_frame` error instead
+//! of dropping the connection.
 
 use std::io::{self, Read, Write};
 
-/// Frames larger than this are rejected at the header, before any payload
-/// is buffered (16 MiB — far above any legitimate request).
+/// Hard upper bound on a frame payload; declared lengths above this are
+/// rejected at the header, before any payload is buffered (16 MiB — far
+/// above any legitimate request). Readers may lower the bound per
+/// connection via [`FrameReader::with_max_len`], never raise it.
 pub const MAX_FRAME_LEN: usize = 16 << 20;
 
 /// Maximum digits in the length header (enough for [`MAX_FRAME_LEN`]).
@@ -33,7 +44,11 @@ const MAX_HEADER_DIGITS: usize = 9;
 pub enum FrameError {
     /// The length header was not a decimal number followed by `\n`.
     BadHeader,
-    /// The declared length exceeds [`MAX_FRAME_LEN`].
+    /// The declared length exceeds the reader's payload cap (the
+    /// [`MAX_FRAME_LEN`] protocol bound, or a lower per-connection cap set
+    /// with [`FrameReader::with_max_len`]). Recoverable: the reader skips
+    /// the oversized payload and the next call resumes at the following
+    /// frame boundary.
     TooLarge(usize),
     /// The byte after the payload was not `\n`.
     MissingTerminator,
@@ -51,7 +66,10 @@ impl std::fmt::Display for FrameError {
         match self {
             FrameError::BadHeader => write!(f, "malformed frame header"),
             FrameError::TooLarge(n) => {
-                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME_LEN}-byte cap")
+                write!(
+                    f,
+                    "declared frame length of {n} bytes exceeds the reader's cap"
+                )
             }
             FrameError::MissingTerminator => write!(f, "frame payload not newline-terminated"),
             FrameError::Truncated => write!(f, "stream ended mid-frame"),
@@ -106,16 +124,43 @@ pub struct FrameReader<R> {
     buf: Vec<u8>,
     /// Bytes of `buf` already consumed by returned frames.
     consumed: usize,
+    /// Per-reader payload cap (≤ [`MAX_FRAME_LEN`]).
+    max_len: usize,
+    /// Bytes of an oversized frame still to discard before the next
+    /// header. Skipped data is consumed from `buf` as it arrives and never
+    /// accumulates — the memory bound is the read chunk size, not the
+    /// declared length.
+    skip: usize,
 }
 
 impl<R: Read> FrameReader<R> {
-    /// Wraps a reader.
+    /// Wraps a reader with the default [`MAX_FRAME_LEN`] payload cap.
     pub fn new(inner: R) -> Self {
+        Self::with_max_len(inner, MAX_FRAME_LEN)
+    }
+
+    /// Wraps a reader with a per-connection payload cap. Caps above
+    /// [`MAX_FRAME_LEN`] are clamped to it (the header digit budget is
+    /// sized for the protocol-wide bound).
+    pub fn with_max_len(inner: R, max_len: usize) -> Self {
         Self {
             inner,
             buf: Vec::with_capacity(1024),
             consumed: 0,
+            max_len: max_len.min(MAX_FRAME_LEN),
+            skip: 0,
         }
+    }
+
+    /// The underlying reader (e.g. to reach socket metadata or, for
+    /// `&TcpStream`-style readers, the write half).
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    /// Mutable access to the underlying reader.
+    pub fn get_mut(&mut self) -> &mut R {
+        &mut self.inner
     }
 
     /// Tries to decode one frame, reading more input as needed.
@@ -127,7 +172,9 @@ impl<R: Read> FrameReader<R> {
             let mut chunk = [0u8; 4096];
             match self.inner.read(&mut chunk) {
                 Ok(0) => {
-                    return Err(if self.buf.len() == self.consumed {
+                    // An unfinished oversized-frame skip is still "mid-
+                    // frame" even though the buffer itself is drained.
+                    return Err(if self.buf.len() == self.consumed && self.skip == 0 {
                         FrameError::Closed
                     } else {
                         FrameError::Truncated
@@ -167,6 +214,16 @@ impl<R: Read> FrameReader<R> {
 
     /// Attempts to decode a frame from the buffered bytes alone.
     fn try_decode(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        // Discard the remainder of a rejected oversized frame first.
+        if self.skip > 0 {
+            let avail = self.buf.len() - self.consumed;
+            let n = avail.min(self.skip);
+            self.consumed += n;
+            self.skip -= n;
+            if self.skip > 0 {
+                return Ok(None); // need more bytes just to discard
+            }
+        }
         let avail = &self.buf[self.consumed..];
         let Some(nl) = avail
             .iter()
@@ -188,7 +245,13 @@ impl<R: Read> FrameReader<R> {
             .unwrap()
             .parse()
             .map_err(|_| FrameError::BadHeader)?;
-        if len > MAX_FRAME_LEN {
+        if len > self.max_len {
+            // Recoverable: consume the header now, arrange to discard the
+            // declared payload (+ terminator) without ever buffering it,
+            // and report the violation once. The next call resumes at the
+            // following frame boundary.
+            self.consumed += nl + 1;
+            self.skip = len + 1;
             return Err(FrameError::TooLarge(len));
         }
         let body_start = nl + 1;
@@ -260,6 +323,60 @@ mod tests {
         assert!(matches!(r.next_frame(), Err(FrameError::Truncated)));
         let mut r = FrameReader::new(Cursor::new(b"2\nabX".to_vec()));
         assert!(matches!(r.next_frame(), Err(FrameError::MissingTerminator)));
+    }
+
+    #[test]
+    fn oversized_frame_is_skipped_and_the_stream_recovers() {
+        // frame, oversized frame, frame: the middle rejection must not
+        // desynchronize the reader.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"before").unwrap();
+        write_frame(&mut wire, &vec![b'x'; 100]).unwrap(); // over the 64-byte cap below
+        write_frame(&mut wire, b"after").unwrap();
+        let mut r = FrameReader::with_max_len(Cursor::new(wire), 64);
+        assert_eq!(r.next_frame().unwrap(), b"before");
+        assert!(matches!(r.next_frame(), Err(FrameError::TooLarge(100))));
+        assert_eq!(r.next_frame().unwrap(), b"after");
+        assert!(matches!(r.next_frame(), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn oversized_skip_never_buffers_the_payload() {
+        // One byte at a time through a tiny cap: the buffer stays bounded
+        // by the chunk size even while discarding a "large" payload.
+        struct OneByte(Cursor<Vec<u8>>);
+        impl Read for OneByte {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                let take = 1.min(buf.len());
+                self.0.read(&mut buf[..take])
+            }
+        }
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &vec![b'y'; 5000]).unwrap();
+        write_frame(&mut wire, b"ok").unwrap();
+        let mut r = FrameReader::with_max_len(OneByte(Cursor::new(wire)), 16);
+        assert!(matches!(r.next_frame(), Err(FrameError::TooLarge(5000))));
+        assert_eq!(r.next_frame().unwrap(), b"ok");
+        assert!(
+            r.buf.capacity() < 4096,
+            "skipped payload was never buffered"
+        );
+    }
+
+    #[test]
+    fn truncation_inside_a_skipped_frame_is_truncated() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &vec![b'z'; 100]).unwrap();
+        wire.truncate(wire.len() - 40); // stream dies mid-skip
+        let mut r = FrameReader::with_max_len(Cursor::new(wire), 8);
+        assert!(matches!(r.next_frame(), Err(FrameError::TooLarge(100))));
+        assert!(matches!(r.next_frame(), Err(FrameError::Truncated)));
+    }
+
+    #[test]
+    fn max_len_is_clamped_to_the_protocol_bound() {
+        let r = FrameReader::with_max_len(Cursor::new(Vec::new()), usize::MAX);
+        assert_eq!(r.max_len, MAX_FRAME_LEN);
     }
 
     #[test]

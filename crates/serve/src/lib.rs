@@ -16,11 +16,18 @@
 //!   `load`, `list`, `compare`, `search`, `stats`, `shutdown`, request ids
 //!   echoed in responses, and typed error payloads mapped from
 //!   [`ic_core::Error`].
-//! * [`server`] — a `std::net::TcpListener` runtime: acceptor thread,
-//!   bounded request queue feeding [`ic_pool`] workers, admission control
-//!   (queue-full returns `overloaded` instead of blocking), per-request
-//!   deadlines, per-request [`ic_obs`] spans exported through `stats`, and
-//!   graceful drain-then-close shutdown.
+//! * [`server`] — the serving runtime: a bounded request queue feeding
+//!   [`ic_pool`] workers, admission control (queue-full returns
+//!   `overloaded` instead of blocking), per-request deadlines, per-request
+//!   [`ic_obs`] spans exported through `stats`, and graceful
+//!   drain-then-close shutdown. Connections are driven either by a
+//!   readiness-based epoll event loop ([`server::Runtime::EventLoop`], the
+//!   Linux default — bounded threads and memory at tens of thousands of
+//!   connections, pipelined requests with out-of-order completion) or by
+//!   the portable thread-per-connection fallback
+//!   ([`server::Runtime::Threaded`]). Both runtimes speak the identical
+//!   contract: bit-identical scores, the same typed errors, the same
+//!   shutdown semantics.
 //! * [`sigcache`] — a signature-map cache keyed by instance pointer
 //!   identity: hot catalog instances pay the sigmap build once, a `load`
 //!   that replaces an instance invalidates its entry automatically
@@ -74,9 +81,13 @@
 
 pub mod catalog;
 pub mod client;
+#[cfg(target_os = "linux")]
+mod conn;
 pub mod frame;
 pub mod json;
 mod lockutil;
+#[cfg(target_os = "linux")]
+pub mod poll;
 pub mod proto;
 pub mod server;
 pub mod sigcache;
@@ -89,5 +100,7 @@ pub use proto::{
     Algo, CompareScores, ErrorCode, InstanceInfo, Request, Response, SearchResult, SearchResults,
     ServerStats, SpanStat,
 };
-pub use server::{Server, ServerConfig, ServerHandle, COMPARE_LABEL, SEARCH_LABEL};
+pub use server::{
+    ConnStats, Runtime, Server, ServerConfig, ServerHandle, COMPARE_LABEL, SEARCH_LABEL,
+};
 pub use sigcache::{SigCacheStats, SigMapCache};

@@ -276,6 +276,11 @@ impl Request {
 pub enum ErrorCode {
     /// The frame payload was not valid JSON (connection closes after this).
     Malformed,
+    /// A framing violation the connection survives: the declared frame
+    /// length exceeded the server's cap, so the payload was discarded
+    /// unread (never buffered) and the stream resumed at the next frame
+    /// boundary. Only the oversized request is lost.
+    BadFrame,
     /// Valid JSON, but not a known request shape.
     BadRequest,
     /// A `compare`/`load` referenced an instance name not in the catalog.
@@ -304,6 +309,7 @@ impl ErrorCode {
     pub fn as_str(self) -> &'static str {
         match self {
             ErrorCode::Malformed => "malformed",
+            ErrorCode::BadFrame => "bad_frame",
             ErrorCode::BadRequest => "bad_request",
             ErrorCode::UnknownInstance => "unknown_instance",
             ErrorCode::Config => "config",
@@ -319,6 +325,7 @@ impl ErrorCode {
     fn parse(s: &str) -> Option<Self> {
         Some(match s {
             "malformed" => ErrorCode::Malformed,
+            "bad_frame" => ErrorCode::BadFrame,
             "bad_request" => ErrorCode::BadRequest,
             "unknown_instance" => ErrorCode::UnknownInstance,
             "config" => ErrorCode::Config,

@@ -1,23 +1,36 @@
-//! The server runtime: acceptor, bounded request queue, deadline-aware
-//! `ic-pool` workers, graceful shutdown.
+//! The server runtime: connection handling, bounded request queue,
+//! deadline-aware `ic-pool` workers, graceful shutdown.
 //!
-//! ## Threading model
+//! ## Two runtimes, one contract
 //!
-//! * One **acceptor** thread polls a non-blocking [`TcpListener`] and
-//!   spawns a handler thread per connection.
-//! * Each **connection** thread decodes frames, answers catalog requests
-//!   (`load`, `list`, `stats`, `shutdown`) inline, and submits `compare`
-//!   work — together with the catalog [`Snapshot`] taken at admission —
-//!   into a **bounded queue**. If the queue is full the request is rejected
-//!   *immediately* with a typed `overloaded` response instead of blocking:
-//!   backpressure is explicit and the connection stays responsive.
-//! * A **worker host** thread runs [`ServerConfig::workers`] worker loops
-//!   inside an [`ic_pool::scope`], so compare execution shares the
-//!   process-wide pool infrastructure (and its observability wiring).
-//!   Workers are *deadline-aware*: a request whose deadline expired while
-//!   queued is answered with a `budget` error without touching the
-//!   comparison engine, and a live deadline is enforced inside the
-//!   algorithms through the existing `SignatureConfig::budget` machinery.
+//! [`ServerConfig::runtime`] selects how connections are driven; every
+//! observable behavior — bit-identical scores, typed error codes,
+//! admission control, drain-then-close shutdown — is the same under both:
+//!
+//! * [`Runtime::EventLoop`] (Linux, the default there) — a single
+//!   **readiness-driven** thread multiplexes the listener and every
+//!   connection over a hand-rolled [`crate::poll`] epoll wrapper.
+//!   Per-connection state machines (see `conn.rs`) feed the incremental
+//!   [`FrameReader`], writes are nonblocking and buffered with a
+//!   per-connection backpressure cap, and requests **pipeline**: a client
+//!   may write many frames before reading; responses complete out of
+//!   order and are matched by the echoed `id`. Memory and thread count
+//!   stay bounded at tens of thousands of idle connections.
+//! * [`Runtime::Threaded`] (portable fallback) — an acceptor thread
+//!   spawns one handler thread per connection; each handler decodes one
+//!   frame at a time and blocks for its response (requests on one
+//!   connection are serialized, so pipelined clients still work — their
+//!   responses just arrive in order).
+//!
+//! In both runtimes, catalog requests (`load`, `list`, `stats`,
+//! `shutdown`) are answered inline, and `compare`/`search` work is
+//! submitted — together with the catalog [`Snapshot`] taken at admission —
+//! into a **bounded queue**. If the queue is full the request is rejected
+//! *immediately* with a typed `overloaded` response instead of blocking.
+//! A **worker host** thread runs [`ServerConfig::workers`] worker loops
+//! inside an [`ic_pool::scope`]. Workers are *deadline-aware*: a request
+//! whose deadline expired while queued is answered with a `budget` error
+//! without touching the comparison engine.
 //!
 //! Note that server workers occupy pool threads for the lifetime of the
 //! server; `ic-pool`'s caller-helping keeps unrelated `par_map` users live
@@ -26,12 +39,13 @@
 //! ## Shutdown
 //!
 //! [`ServerHandle::shutdown`] (or a wire `shutdown` request) flips a stop
-//! flag. The acceptor closes first, connection threads finish the request
-//! they are serving, the queue drains through the workers, and only then
+//! flag. Admission stops, every admitted request drains through the
+//! workers and is written back (the event loop gives stalled peers
+//! [`ServerConfig::drain_grace`] to take their last bytes), and only then
 //! do the worker loops exit — no admitted request is ever dropped.
 
 use crate::catalog::{CatalogError, ServeCatalog, Snapshot};
-use crate::frame::{write_frame, FrameError, FrameReader};
+use crate::frame::{write_frame, FrameError, FrameReader, MAX_FRAME_LEN};
 use crate::json::Json;
 use crate::lockutil::lock_recover;
 use crate::proto::{
@@ -58,9 +72,43 @@ pub const COMPARE_LABEL: &str = "serve.compare";
 /// The observation label every search request runs under.
 pub const SEARCH_LABEL: &str = "serve.search";
 
+/// Which connection runtime drives the server (see [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Runtime {
+    /// Readiness-driven epoll event loop: one driver thread for every
+    /// connection, nonblocking buffered writes, pipelined requests with
+    /// out-of-order completion. Linux-only; on other platforms
+    /// [`Server::start`] falls back to [`Runtime::Threaded`].
+    EventLoop,
+    /// Thread-per-connection fallback: portable, fine at hundreds of
+    /// connections, with blocking per-connection reads and writes.
+    Threaded,
+}
+
+impl Runtime {
+    /// The platform default, overridable with the `IC_SERVE_RUNTIME`
+    /// environment variable (`"event"` or `"threaded"`) — which is how CI
+    /// runs the whole serve suite under both runtimes.
+    pub fn from_env() -> Self {
+        match std::env::var("IC_SERVE_RUNTIME").as_deref() {
+            Ok("threaded") => Runtime::Threaded,
+            Ok("event") => Runtime::EventLoop,
+            _ => {
+                if cfg!(target_os = "linux") {
+                    Runtime::EventLoop
+                } else {
+                    Runtime::Threaded
+                }
+            }
+        }
+    }
+}
+
 /// Tuning knobs for [`Server::start`].
 #[derive(Clone)]
 pub struct ServerConfig {
+    /// Which connection runtime drives the server.
+    pub runtime: Runtime,
     /// Worker loops fed by the request queue (≥ 1).
     pub workers: usize,
     /// Bounded queue capacity; a full queue rejects with `overloaded`.
@@ -71,6 +119,21 @@ pub struct ServerConfig {
     /// How often blocked reads re-check the stop flag. Bounds both the
     /// shutdown latency and the idle wakeup rate.
     pub poll_interval: Duration,
+    /// Per-connection cap on the *declared* length of an incoming frame.
+    /// An oversized header is answered with a typed `bad_frame` error and
+    /// the payload is discarded without ever being buffered; the
+    /// connection survives. Clamped to [`MAX_FRAME_LEN`].
+    pub max_frame_len: usize,
+    /// Event-loop runtime only: cap on buffered unsent response bytes per
+    /// connection. A peer that pipelines requests but stops reading
+    /// responses (slowloris) trips the cap and is disconnected — the
+    /// close is recorded as a backpressure disconnect in [`ConnStats`] —
+    /// while other connections proceed unaffected.
+    pub max_write_buffer: usize,
+    /// Event-loop runtime only: how long shutdown waits for peers to take
+    /// delivery of already-computed responses once all in-flight work has
+    /// drained. A stalled peer cannot hold shutdown hostage beyond this.
+    pub drain_grace: Duration,
     /// Artificial per-job delay in the workers, applied before the
     /// deadline check. A test/bench hook: it makes queue occupancy (and
     /// thus admission-control behavior) deterministic. `None` in
@@ -86,10 +149,14 @@ pub struct ServerConfig {
 impl std::fmt::Debug for ServerConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServerConfig")
+            .field("runtime", &self.runtime)
             .field("workers", &self.workers)
             .field("queue_depth", &self.queue_depth)
             .field("default_budget", &self.default_budget)
             .field("poll_interval", &self.poll_interval)
+            .field("max_frame_len", &self.max_frame_len)
+            .field("max_write_buffer", &self.max_write_buffer)
+            .field("drain_grace", &self.drain_grace)
             .field("worker_delay", &self.worker_delay)
             .field("extra_sink", &self.extra_sink.is_some())
             .finish()
@@ -99,10 +166,14 @@ impl std::fmt::Debug for ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         Self {
+            runtime: Runtime::from_env(),
             workers: 2,
             queue_depth: 64,
             default_budget: None,
             poll_interval: Duration::from_millis(25),
+            max_frame_len: MAX_FRAME_LEN,
+            max_write_buffer: 1 << 20,
+            drain_grace: Duration::from_millis(250),
             worker_delay: None,
             extra_sink: None,
         }
@@ -110,7 +181,7 @@ impl Default for ServerConfig {
 }
 
 /// What an admitted job does once a worker picks it up.
-enum JobKind {
+pub(crate) enum JobKind {
     Compare {
         left: String,
         right: String,
@@ -124,26 +195,87 @@ enum JobKind {
     },
 }
 
+/// Where a worker's finished [`Response`] goes.
+pub(crate) enum ReplyTo {
+    /// Threaded runtime: the connection thread blocks on the paired
+    /// receiver.
+    Channel(std::sync::mpsc::Sender<Response>),
+    /// Event-loop runtime: completions are posted to the driver thread
+    /// (keyed by connection token) and the poller is woken to route them.
+    #[cfg(target_os = "linux")]
+    Token {
+        token: u64,
+        tx: std::sync::mpsc::Sender<(u64, Response)>,
+        wake: Arc<crate::poll::WakeFd>,
+    },
+}
+
+impl ReplyTo {
+    fn send(&self, resp: Response) {
+        match self {
+            ReplyTo::Channel(tx) => {
+                let _ = tx.send(resp);
+            }
+            #[cfg(target_os = "linux")]
+            ReplyTo::Token { token, tx, wake } => {
+                // Send *then* wake: the driver drains completions after
+                // every poll wakeup, so the pair can never be lost.
+                let _ = tx.send((*token, resp));
+                wake.wake();
+            }
+        }
+    }
+}
+
 /// One admitted request, parked in the bounded queue.
-struct Job {
-    id: u64,
-    kind: JobKind,
+pub(crate) struct Job {
+    pub(crate) id: u64,
+    pub(crate) kind: JobKind,
     /// The catalog state this request was admitted under (copy-on-write:
     /// concurrent loads cannot tear it).
-    snapshot: Arc<Snapshot>,
+    pub(crate) snapshot: Arc<Snapshot>,
     /// Absolute deadline derived from `budget_ms` at admission.
-    deadline: Option<Instant>,
-    reply: std::sync::mpsc::Sender<Response>,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) reply: ReplyTo,
+}
+
+/// Lifetime connection counters, incremented by both runtimes.
+#[derive(Default)]
+pub(crate) struct ConnCounters {
+    pub(crate) accepted: AtomicU64,
+    pub(crate) closed_peer: AtomicU64,
+    pub(crate) closed_protocol: AtomicU64,
+    pub(crate) closed_backpressure: AtomicU64,
+    pub(crate) closed_drained: AtomicU64,
+}
+
+/// A point-in-time snapshot of connection lifecycle counters — how many
+/// connections were accepted and why closed ones went away. See
+/// [`ServerHandle::conn_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Connections accepted since the server started.
+    pub accepted: u64,
+    /// Closed because the peer disconnected (or transport error).
+    pub closed_peer: u64,
+    /// Closed after an unrecoverable protocol violation (broken framing).
+    pub closed_protocol: u64,
+    /// Disconnected for exceeding [`ServerConfig::max_write_buffer`] —
+    /// the typed reason a stalled (slowloris) reader is removed.
+    pub closed_backpressure: u64,
+    /// Closed by graceful drain (shutdown, or a `shutdown`-acknowledging
+    /// connection that flushed its final response).
+    pub closed_drained: u64,
 }
 
 /// State shared by every server thread.
-struct Shared {
-    catalog: Arc<ServeCatalog>,
-    cfg: ServerConfig,
-    stop: AtomicBool,
+pub(crate) struct Shared {
+    pub(crate) catalog: Arc<ServeCatalog>,
+    pub(crate) cfg: ServerConfig,
+    pub(crate) stop: AtomicBool,
     /// `Some` while the server admits compare work; taken (and thereby
     /// closed) during shutdown so the workers drain and exit.
-    queue: Mutex<Option<SyncSender<Job>>>,
+    pub(crate) queue: Mutex<Option<SyncSender<Job>>>,
     stats_sink: Arc<StatsSink>,
     /// Signature maps of hot catalog instances, reused across `compare`
     /// requests and invalidated by pointer identity when `load` replaces
@@ -157,14 +289,15 @@ struct Shared {
     /// Guards [`ensure_index_synced`] so concurrent searches do not
     /// duplicate sync work; lookups inside `topk` stay concurrent.
     index_version: Mutex<u64>,
-    requests: AtomicU64,
+    pub(crate) requests: AtomicU64,
     completed: AtomicU64,
-    overloaded: AtomicU64,
-    errors: AtomicU64,
+    pub(crate) overloaded: AtomicU64,
+    pub(crate) errors: AtomicU64,
+    pub(crate) conns: ConnCounters,
 }
 
 impl Shared {
-    fn stopping(&self) -> bool {
+    pub(crate) fn stopping(&self) -> bool {
         self.stop.load(Ordering::Acquire)
     }
 
@@ -202,7 +335,7 @@ pub struct Server;
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// starts the acceptor and worker threads over `catalog`.
+    /// starts the configured runtime and worker threads over `catalog`.
     pub fn start(
         catalog: Arc<ServeCatalog>,
         addr: impl ToSocketAddrs,
@@ -211,6 +344,14 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+
+        // Requested EventLoop degrades to Threaded off-Linux: the epoll
+        // wrapper does not exist there and the contract is identical.
+        let runtime = if cfg!(target_os = "linux") {
+            cfg.runtime
+        } else {
+            Runtime::Threaded
+        };
 
         let (tx, rx) = sync_channel::<Job>(cfg.queue_depth.max(1));
         let sig_cache = Arc::new(SigMapCache::new());
@@ -236,6 +377,7 @@ impl Server {
             completed: AtomicU64::new(0),
             overloaded: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            conns: ConnCounters::default(),
         });
 
         let worker_host = {
@@ -246,24 +388,78 @@ impl Server {
                 .spawn(move || run_workers(&shared, &rx))?
         };
 
-        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            let conns = Arc::clone(&conns);
-            std::thread::Builder::new()
-                .name("ic-serve-acceptor".into())
-                .spawn(move || run_acceptor(&shared, &listener, &conns))?
+        let threads = match runtime {
+            Runtime::Threaded => {
+                let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+                let acceptor = {
+                    let shared = Arc::clone(&shared);
+                    let conns = Arc::clone(&conns);
+                    std::thread::Builder::new()
+                        .name("ic-serve-acceptor".into())
+                        .spawn(move || run_acceptor(&shared, &listener, &conns))?
+                };
+                RuntimeThreads::Threaded {
+                    acceptor: Some(acceptor),
+                    conns,
+                }
+            }
+            Runtime::EventLoop => Self::start_event_loop(&shared, listener)?,
         };
 
         Ok(ServerHandle {
             local_addr,
             shared,
-            conns,
-            acceptor: Some(acceptor),
+            threads,
             worker_host: Some(worker_host),
             catalog_sub,
         })
     }
+
+    #[cfg(target_os = "linux")]
+    fn start_event_loop(shared: &Arc<Shared>, listener: TcpListener) -> io::Result<RuntimeThreads> {
+        use crate::conn::run_event_loop;
+        use crate::poll::{Interest, Poller, WakeFd, TOKEN_LISTENER, TOKEN_WAKE};
+        use std::os::fd::AsRawFd;
+
+        let poller = Poller::new()?;
+        let wake = Arc::new(WakeFd::new()?);
+        poller.add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+        poller.add(wake.as_raw_fd(), TOKEN_WAKE, Interest::READ)?;
+        let (ctx, crx) = std::sync::mpsc::channel::<(u64, Response)>();
+
+        let driver = {
+            let shared = Arc::clone(shared);
+            let wake = Arc::clone(&wake);
+            std::thread::Builder::new()
+                .name("ic-serve-loop".into())
+                .spawn(move || run_event_loop(&shared, poller, listener, &wake, ctx, crx))?
+        };
+        Ok(RuntimeThreads::Event {
+            driver: Some(driver),
+            wake,
+        })
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    fn start_event_loop(
+        _shared: &Arc<Shared>,
+        _listener: TcpListener,
+    ) -> io::Result<RuntimeThreads> {
+        unreachable!("EventLoop is mapped to Threaded off-Linux before dispatch")
+    }
+}
+
+/// The connection-driving threads, per runtime.
+enum RuntimeThreads {
+    Threaded {
+        acceptor: Option<JoinHandle<()>>,
+        conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    },
+    #[cfg(target_os = "linux")]
+    Event {
+        driver: Option<JoinHandle<()>>,
+        wake: Arc<crate::poll::WakeFd>,
+    },
 }
 
 /// Owns the running server: its address, its threads, and the shutdown
@@ -272,8 +468,7 @@ impl Server {
 pub struct ServerHandle {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    acceptor: Option<JoinHandle<()>>,
+    threads: RuntimeThreads,
     worker_host: Option<JoinHandle<()>>,
     /// Token of the sigcache sweep subscription on the catalog; released
     /// on shutdown so the catalog does not keep calling into a dead
@@ -313,6 +508,19 @@ impl ServerHandle {
         &self.shared.sig_cache
     }
 
+    /// Connection lifecycle counters: accepts and closes by typed reason
+    /// (peer, protocol, backpressure, drain).
+    pub fn conn_stats(&self) -> ConnStats {
+        let c = &self.shared.conns;
+        ConnStats {
+            accepted: c.accepted.load(Ordering::Relaxed),
+            closed_peer: c.closed_peer.load(Ordering::Relaxed),
+            closed_protocol: c.closed_protocol.load(Ordering::Relaxed),
+            closed_backpressure: c.closed_backpressure.load(Ordering::Relaxed),
+            closed_drained: c.closed_drained.load(Ordering::Relaxed),
+        }
+    }
+
     /// Initiates graceful shutdown and blocks until every admitted request
     /// has been answered and all threads exited.
     pub fn shutdown(mut self) {
@@ -332,33 +540,48 @@ impl ServerHandle {
     fn stop_and_join(&mut self) {
         self.shared.stop.store(true, Ordering::Release);
         self.shared.catalog.unsubscribe(self.catalog_sub);
-        // Join order is the drain order: stop admissions (acceptor, then
-        // the connection threads, which finish their in-flight request),
-        // close the queue, let the workers drain it, join them.
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
-        }
-        let conns = std::mem::take(&mut *lock_recover(&self.conns));
-        for c in conns {
-            let _ = c.join();
+        // Join order is the drain order: stop admissions (the connection
+        // runtime finishes or routes every in-flight request), close the
+        // queue, let the workers drain it, join them.
+        match &mut self.threads {
+            RuntimeThreads::Threaded { acceptor, conns } => {
+                if let Some(a) = acceptor.take() {
+                    let _ = a.join();
+                }
+                let conns = std::mem::take(&mut *lock_recover(conns));
+                for c in conns {
+                    let _ = c.join();
+                }
+            }
+            #[cfg(target_os = "linux")]
+            RuntimeThreads::Event { driver, wake } => {
+                wake.wake();
+                if let Some(d) = driver.take() {
+                    let _ = d.join();
+                }
+            }
         }
         drop(lock_recover(&self.shared.queue).take());
         if let Some(w) = self.worker_host.take() {
             let _ = w.join();
         }
     }
+
+    fn joined(&self) -> bool {
+        self.worker_host.is_none()
+    }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if self.acceptor.is_some() || self.worker_host.is_some() {
+        if !self.joined() {
             self.stop_and_join();
         }
     }
 }
 
 // ---------------------------------------------------------------------------
-// Acceptor
+// Threaded runtime: acceptor + one handler thread per connection
 
 fn run_acceptor(
     shared: &Arc<Shared>,
@@ -371,6 +594,7 @@ fn run_acceptor(
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
+                shared.conns.accepted.fetch_add(1, Ordering::Relaxed);
                 let shared = Arc::clone(shared);
                 let handle = std::thread::Builder::new()
                     .name("ic-serve-conn".into())
@@ -389,9 +613,6 @@ fn run_acceptor(
     }
 }
 
-// ---------------------------------------------------------------------------
-// Connection handling
-
 fn send(stream: &mut TcpStream, resp: &Response) -> bool {
     write_frame(stream, &resp.encode()).is_ok()
 }
@@ -407,7 +628,7 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
     let Ok(mut writer) = stream.try_clone() else {
         return;
     };
-    let mut reader = FrameReader::new(stream);
+    let mut reader = FrameReader::with_max_len(stream, shared.cfg.max_frame_len);
 
     loop {
         if shared.stopping() {
@@ -417,12 +638,24 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
             Ok(None) => continue,
             Ok(Some(p)) => p,
             Err(FrameError::Closed) | Err(FrameError::Io(_)) | Err(FrameError::Truncated) => {
+                shared.conns.closed_peer.fetch_add(1, Ordering::Relaxed);
                 return;
+            }
+            Err(FrameError::TooLarge(n)) => {
+                // The reader skips the oversized payload without buffering
+                // it, so the connection survives: typed error, keep going.
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                if !send(&mut writer, &too_large(n)) {
+                    shared.conns.closed_peer.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                continue;
             }
             Err(e) => {
                 // Framing is broken: one best-effort typed error, then
                 // close — there is no way to find the next frame boundary.
                 shared.errors.fetch_add(1, Ordering::Relaxed);
+                shared.conns.closed_protocol.fetch_add(1, Ordering::Relaxed);
                 send(
                     &mut writer,
                     &Response::Error {
@@ -435,38 +668,57 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
             }
         };
 
-        let req = match Request::decode(&payload) {
-            Ok(req) => req,
+        let resp = match Request::decode(&payload) {
             Err(err) => {
                 // The frame layer is intact, so the connection can
                 // continue; answer with a typed error, echoing the id if
                 // one was parseable.
-                let id = salvage_id(&payload);
-                let code = match err {
-                    DecodeError::Syntax(_) => ErrorCode::Malformed,
-                    DecodeError::Shape(_) => ErrorCode::BadRequest,
-                };
                 shared.errors.fetch_add(1, Ordering::Relaxed);
-                send(
-                    &mut writer,
-                    &Response::Error {
-                        id,
-                        code,
-                        message: err.to_string(),
-                    },
-                );
-                continue;
+                decode_error_response(&payload, &err)
             }
+            Ok(req) => match classify(shared, req) {
+                Action::Respond { resp, close } => {
+                    let delivered = send(&mut writer, &resp);
+                    if !delivered || close {
+                        shared.conns.closed_drained.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    continue;
+                }
+                Action::Admit {
+                    id,
+                    kind,
+                    snapshot,
+                    deadline,
+                } => admit_and_wait(shared, id, kind, snapshot, deadline),
+            },
         };
-
-        shared.requests.fetch_add(1, Ordering::Relaxed);
-        let (resp, close) = handle_request(shared, req);
-        if matches!(resp, Response::Error { .. }) {
-            shared.errors.fetch_add(1, Ordering::Relaxed);
-        }
-        if !send(&mut writer, &resp) || close {
+        if !send(&mut writer, &resp) {
+            shared.conns.closed_peer.fetch_add(1, Ordering::Relaxed);
             return;
         }
+    }
+}
+
+/// The typed response to an oversized declared frame length.
+pub(crate) fn too_large(declared: usize) -> Response {
+    Response::Error {
+        id: 0,
+        code: ErrorCode::BadFrame,
+        message: format!("declared frame length of {declared} bytes exceeds the server's cap"),
+    }
+}
+
+/// The typed response to an undecodable (but well-framed) payload.
+pub(crate) fn decode_error_response(payload: &[u8], err: &DecodeError) -> Response {
+    let code = match err {
+        DecodeError::Syntax(_) => ErrorCode::Malformed,
+        DecodeError::Shape(_) => ErrorCode::BadRequest,
+    };
+    Response::Error {
+        id: salvage_id(payload),
+        code,
+        message: err.to_string(),
     }
 }
 
@@ -479,8 +731,29 @@ fn salvage_id(payload: &[u8]) -> u64 {
         .unwrap_or(0)
 }
 
-fn handle_request(shared: &Arc<Shared>, req: Request) -> (Response, bool) {
-    match req {
+// ---------------------------------------------------------------------------
+// Request classification (shared by both runtimes)
+
+/// What a decoded request requires of the runtime.
+pub(crate) enum Action {
+    /// Answer immediately (catalog requests and validation failures);
+    /// `close` ends the connection after the response is delivered.
+    Respond { resp: Response, close: bool },
+    /// Submit to the worker queue (compare/search, names validated
+    /// against `snapshot`, deadline stamped at admission).
+    Admit {
+        id: u64,
+        kind: JobKind,
+        snapshot: Arc<Snapshot>,
+        deadline: Option<Instant>,
+    },
+}
+
+/// Decodes one request into an [`Action`], updating the request/error
+/// counters. Catalog requests are handled inline right here.
+pub(crate) fn classify(shared: &Arc<Shared>, req: Request) -> Action {
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+    let action = match req {
         Request::Load { id, name, dir } => {
             let resp = match shared
                 .catalog
@@ -500,7 +773,7 @@ fn handle_request(shared: &Arc<Shared>, req: Request) -> (Response, bool) {
                     message: e.to_string(),
                 },
             };
-            (resp, false)
+            Action::Respond { resp, close: false }
         }
         Request::List { id } => {
             let snap = shared.catalog.snapshot();
@@ -515,18 +788,24 @@ fn handle_request(shared: &Arc<Shared>, req: Request) -> (Response, bool) {
                     }
                 })
                 .collect();
-            (Response::Listing { id, instances }, false)
+            Action::Respond {
+                resp: Response::Listing { id, instances },
+                close: false,
+            }
         }
-        Request::Stats { id } => (
-            Response::Stats {
+        Request::Stats { id } => Action::Respond {
+            resp: Response::Stats {
                 id,
                 stats: collect_stats(shared),
             },
-            false,
-        ),
+            close: false,
+        },
         Request::Shutdown { id } => {
             shared.stop.store(true, Ordering::Release);
-            (Response::ShuttingDown { id }, true)
+            Action::Respond {
+                resp: Response::ShuttingDown { id },
+                close: true,
+            }
         }
         Request::Compare {
             id,
@@ -537,18 +816,23 @@ fn handle_request(shared: &Arc<Shared>, req: Request) -> (Response, bool) {
             budget_ms,
         } => {
             let snapshot = shared.catalog.snapshot();
-            for name in [&left, &right] {
-                if snapshot.get(name).is_none() {
-                    return (unknown_instance(id, name), false);
-                }
+            if let Some(name) = [&left, &right]
+                .into_iter()
+                .find(|n| snapshot.get(n).is_none())
+            {
+                return error_action(shared, unknown_instance(id, name));
             }
-            let kind = JobKind::Compare {
-                left,
-                right,
-                algo,
-                lambda,
-            };
-            (admit_job(shared, id, kind, snapshot, budget_ms), false)
+            Action::Admit {
+                id,
+                kind: JobKind::Compare {
+                    left,
+                    right,
+                    algo,
+                    lambda,
+                },
+                snapshot,
+                deadline: stamp_deadline(shared, budget_ms),
+            }
         }
         Request::Search {
             id,
@@ -559,26 +843,50 @@ fn handle_request(shared: &Arc<Shared>, req: Request) -> (Response, bool) {
         } => {
             let snapshot = shared.catalog.snapshot();
             if snapshot.get(&query).is_none() {
-                return (unknown_instance(id, &query), false);
+                return error_action(shared, unknown_instance(id, &query));
             }
             if k == 0 {
-                return (
+                return error_action(
+                    shared,
                     Response::Error {
                         id,
                         code: ErrorCode::BadRequest,
                         message: "search k must be at least 1".into(),
                     },
-                    false,
                 );
             }
-            let kind = JobKind::Search {
-                query,
-                k: k.min(usize::MAX as u64) as usize,
-                lambda,
-            };
-            (admit_job(shared, id, kind, snapshot, budget_ms), false)
+            Action::Admit {
+                id,
+                kind: JobKind::Search {
+                    query,
+                    k: k.min(usize::MAX as u64) as usize,
+                    lambda,
+                },
+                snapshot,
+                deadline: stamp_deadline(shared, budget_ms),
+            }
         }
+    };
+    if let Action::Respond {
+        resp: Response::Error { .. },
+        ..
+    } = &action
+    {
+        shared.errors.fetch_add(1, Ordering::Relaxed);
     }
+    action
+}
+
+fn error_action(shared: &Arc<Shared>, resp: Response) -> Action {
+    shared.errors.fetch_add(1, Ordering::Relaxed);
+    Action::Respond { resp, close: false }
+}
+
+fn stamp_deadline(shared: &Shared, budget_ms: Option<u64>) -> Option<Instant> {
+    budget_ms
+        .map(Duration::from_millis)
+        .or(shared.cfg.default_budget)
+        .map(|b| Instant::now() + b)
 }
 
 fn unknown_instance(id: u64, name: &str) -> Response {
@@ -610,36 +918,50 @@ fn collect_stats(shared: &Shared) -> ServerStats {
     }
 }
 
-/// Admission: stamp the deadline, try the bounded queue, wait for the
-/// worker's reply. Name validation against the admitted snapshot happened
-/// in [`handle_request`].
-fn admit_job(
+/// The typed `overloaded` rejection for a full queue.
+pub(crate) fn overloaded_response(shared: &Shared, id: u64) -> Response {
+    shared.overloaded.fetch_add(1, Ordering::Relaxed);
+    shared.errors.fetch_add(1, Ordering::Relaxed);
+    Response::Error {
+        id,
+        code: ErrorCode::Overloaded,
+        message: format!(
+            "request queue full ({} slots); retry later",
+            shared.cfg.queue_depth
+        ),
+    }
+}
+
+/// The typed rejection once the queue has closed for shutdown.
+pub(crate) fn shutting_down_response(id: u64) -> Response {
+    Response::Error {
+        id,
+        code: ErrorCode::ShuttingDown,
+        message: "server is shutting down".into(),
+    }
+}
+
+/// Threaded-runtime admission: try the bounded queue, block this
+/// connection's thread for the worker's reply.
+fn admit_and_wait(
     shared: &Arc<Shared>,
     id: u64,
     kind: JobKind,
     snapshot: Arc<Snapshot>,
-    budget_ms: Option<u64>,
+    deadline: Option<Instant>,
 ) -> Response {
-    let budget = budget_ms
-        .map(Duration::from_millis)
-        .or(shared.cfg.default_budget);
-    let deadline = budget.map(|b| Instant::now() + b);
     let (reply_tx, reply_rx) = std::sync::mpsc::channel();
     let job = Job {
         id,
         kind,
         snapshot,
         deadline,
-        reply: reply_tx,
+        reply: ReplyTo::Channel(reply_tx),
     };
 
     let sender = lock_recover(&shared.queue).clone();
     let Some(sender) = sender else {
-        return Response::Error {
-            id,
-            code: ErrorCode::ShuttingDown,
-            message: "server is shutting down".into(),
-        };
+        return shutting_down_response(id);
     };
     match sender.try_send(job) {
         Ok(()) => match reply_rx.recv() {
@@ -650,22 +972,8 @@ fn admit_job(
                 message: "worker dropped the request".into(),
             },
         },
-        Err(TrySendError::Full(_)) => {
-            shared.overloaded.fetch_add(1, Ordering::Relaxed);
-            Response::Error {
-                id,
-                code: ErrorCode::Overloaded,
-                message: format!(
-                    "request queue full ({} slots); retry later",
-                    shared.cfg.queue_depth
-                ),
-            }
-        }
-        Err(TrySendError::Disconnected(_)) => Response::Error {
-            id,
-            code: ErrorCode::ShuttingDown,
-            message: "server is shutting down".into(),
-        },
+        Err(TrySendError::Full(_)) => overloaded_response(shared, id),
+        Err(TrySendError::Disconnected(_)) => shutting_down_response(id),
     }
 }
 
@@ -710,7 +1018,7 @@ fn process_job(shared: &Shared, job: Job) {
             Some(r) if !r.is_zero() => Some(r),
             _ => {
                 shared.errors.fetch_add(1, Ordering::Relaxed);
-                let _ = job.reply.send(Response::Error {
+                job.reply.send(Response::Error {
                     id: job.id,
                     code: ErrorCode::Budget,
                     message: "deadline expired before processing began".into(),
@@ -738,7 +1046,7 @@ fn process_job(shared: &Shared, job: Job) {
     } else {
         shared.errors.fetch_add(1, Ordering::Relaxed);
     }
-    let _ = job.reply.send(resp);
+    job.reply.send(resp);
 }
 
 fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> &str {

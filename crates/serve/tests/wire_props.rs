@@ -134,6 +134,7 @@ fn gen_response(g: &mut Gen) -> Response {
                 ErrorCode::ShuttingDown,
                 ErrorCode::Load,
                 ErrorCode::Internal,
+                ErrorCode::BadFrame,
             ]),
             message: nasty_string(g),
         },

@@ -54,12 +54,19 @@ echo "    wrote target/ic-bench/obs_report.jsonl"
 
 # The serving layer: unit + e2e/error-path/wire-property tests (exact-score
 # parity with the direct Comparator, snapshot isolation under concurrent
-# loads, graceful drain, typed errors, admission control).
-echo "==> cargo test -q --offline -p ic-serve (serving layer)"
-cargo test -q --offline -p ic-serve
+# loads, graceful drain, typed errors, admission control, pipelining,
+# backpressure disconnects, and the 10k-idle-connection smoke). The full
+# suite runs under BOTH runtimes — thread-per-connection and the epoll
+# event loop — so every e2e contract is pinned on each.
+echo "==> cargo test -q --offline -p ic-serve (IC_SERVE_RUNTIME=threaded)"
+IC_SERVE_RUNTIME=threaded cargo test -q --offline -p ic-serve
+echo "==> cargo test -q --offline -p ic-serve (IC_SERVE_RUNTIME=event)"
+IC_SERVE_RUNTIME=event cargo test -q --offline -p ic-serve
 
-# The serving layer's end-to-end cost: loopback request throughput at 1 and
-# 4 concurrent client connections, recorded as a JSON artifact.
+# The serving layer's end-to-end cost: loopback request throughput at
+# 1/8/64/512 concurrent connections, sequential and pipelined (depth 8),
+# under both runtimes, recorded as a JSON artifact. Its cross-runtime
+# sanity assertion arms only when cores > 1.
 echo "==> bench_serve_throughput (serving-layer loopback req/s)"
 cargo run -q --offline --release -p ic-bench --bin bench_serve_throughput
 test -f target/ic-bench/BENCH_serve.json
