@@ -1,0 +1,158 @@
+//! Durable-catalog cold-start bench: restoring a 1000-instance lake from
+//! the `ic-store` snapshot vs re-parsing the same instances from their
+//! CSV directories.
+//!
+//! The snapshot path is what a restarted `serve --data-dir` process pays
+//! before it can answer requests; the CSV path is what the same restart
+//! would cost without durability (re-`load`ing every instance). Both
+//! cold starts are measured end to end — open, decode/parse, intern,
+//! publish — and the derived ratio is recorded as `speedup_snapshot_vs_csv`
+//! metadata in `BENCH_durability.json` alongside the harness's automatic
+//! `cores` count. Per the ROADMAP convention the ≥5× assertion only arms
+//! on a multi-core machine, where timing ratios are meaningful.
+//!
+//! Run: `cargo run -p ic-bench --release --bin bench_durability`
+
+use ic_bench::harness::{available_cores, Suite};
+use ic_datagen::{generate_lake, LakeParams};
+use ic_serve::ServeCatalog;
+use ic_store::FileStorage;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+const CLUSTERS: usize = 250;
+const VERSIONS: usize = 4; // 250 × 4 = 1000 instances
+const ROWS: usize = 16;
+const ARITY: usize = 4;
+
+/// Serializes one lake instance to `<dir>/T.csv` in the loader's format
+/// (header row, `_N:<label>` for labeled nulls).
+fn write_csv(dir: &Path, catalog: &ic_model::Catalog, inst: &ic_model::Instance) {
+    std::fs::create_dir_all(dir).expect("create csv dir");
+    let mut text = String::new();
+    let rel = catalog.schema().rel("T").expect("lake schema");
+    let attrs: Vec<&str> = catalog.schema().relation(rel).attrs().collect();
+    text.push_str(&attrs.join(","));
+    text.push('\n');
+    for (_, tuple) in inst.iter_all() {
+        let mut first = true;
+        for v in tuple.values() {
+            if !first {
+                text.push(',');
+            }
+            first = false;
+            match v {
+                ic_model::Value::Const(s) => text.push_str(catalog.interner().resolve(*s)),
+                ic_model::Value::Null(n) => {
+                    let _ = write!(text, "_N:n{}", n.0);
+                }
+            }
+        }
+        text.push('\n');
+    }
+    std::fs::write(dir.join("T.csv"), text).expect("write csv");
+}
+
+fn open_durable(schema: &ic_model::Schema, data_dir: &Path) -> ServeCatalog {
+    ServeCatalog::durable(
+        schema.clone(),
+        Box::new(FileStorage::open(data_dir).expect("open data dir")),
+    )
+    .expect("recover catalog")
+}
+
+fn main() {
+    let lake = generate_lake(&LakeParams {
+        clusters: CLUSTERS,
+        versions_per_cluster: VERSIONS,
+        rows: ROWS,
+        arity: ARITY,
+        ..LakeParams::default()
+    });
+    let schema = lake.catalog.schema().clone();
+    let names: Vec<String> = lake
+        .instances
+        .iter()
+        .map(|i| i.name().to_string())
+        .collect();
+
+    let base: PathBuf =
+        std::env::temp_dir().join(format!("ic-bench-durability-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let csv_root = base.join("csv");
+    let data_dir = base.join("data");
+    for inst in &lake.instances {
+        write_csv(&csv_root.join(inst.name()), &lake.catalog, inst);
+    }
+
+    // Populate the durable store once from the CSVs (1000 WAL-logged
+    // puts), then reopen so the WAL is compacted into one snapshot —
+    // the steady state a long-running server leaves behind.
+    {
+        let catalog = open_durable(&schema, &data_dir);
+        for name in &names {
+            catalog
+                .load_csv_dir(name, &csv_root.join(name))
+                .expect("seed durable catalog");
+        }
+    }
+    let compacted = open_durable(&schema, &data_dir);
+    let expect_instances = compacted.snapshot().len();
+    let expect_tuples: usize = compacted
+        .snapshot()
+        .iter()
+        .map(|(_, i)| i.num_tuples())
+        .sum();
+    assert_eq!(expect_instances, CLUSTERS * VERSIONS);
+    drop(compacted);
+
+    let mut suite = Suite::new("BENCH_durability").warmup(1).samples(5);
+    suite.set_meta("instances", &(CLUSTERS * VERSIONS).to_string());
+    suite.set_meta("rows", &ROWS.to_string());
+    suite.set_meta("arity", &ARITY.to_string());
+
+    suite.measure("cold_start/csv_reparse", || {
+        let catalog = ServeCatalog::new(schema.clone());
+        for name in &names {
+            catalog
+                .load_csv_dir(name, &csv_root.join(name))
+                .expect("csv reload");
+        }
+        assert_eq!(catalog.snapshot().len(), expect_instances);
+        catalog.version()
+    });
+
+    suite.measure("cold_start/snapshot", || {
+        let catalog = open_durable(&schema, &data_dir);
+        let snap = catalog.snapshot();
+        assert_eq!(snap.len(), expect_instances);
+        let tuples: usize = snap.iter().map(|(_, i)| i.num_tuples()).sum();
+        assert_eq!(tuples, expect_tuples, "snapshot restore must be lossless");
+        snap.version
+    });
+
+    let median = |records: &[ic_bench::harness::Record], id: &str| {
+        records
+            .iter()
+            .find(|r| r.id == id)
+            .unwrap_or_else(|| panic!("no record {id}"))
+            .median
+    };
+    let csv = median(suite.records(), "cold_start/csv_reparse");
+    let snap = median(suite.records(), "cold_start/snapshot");
+    let speedup = csv.as_secs_f64() / snap.as_secs_f64().max(1e-9);
+    suite.set_meta("speedup_snapshot_vs_csv", &format!("{speedup:.2}"));
+
+    let cores = available_cores();
+    if cores > 1 {
+        assert!(
+            speedup >= 5.0,
+            "snapshot cold-start must be ≥5× faster than CSV re-parse (got {speedup:.2}×)"
+        );
+    } else {
+        eprintln!("single core: recording speedup {speedup:.2}× without asserting the 5× gate");
+    }
+
+    suite.finish();
+    std::fs::remove_dir_all(&base).ok();
+}

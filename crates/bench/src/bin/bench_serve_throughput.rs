@@ -55,15 +55,15 @@ fn run_sequential(client: &mut Client, n: usize) {
     }
 }
 
-/// `n` requests with a window of up to [`DEPTH`] in flight.
+/// `n` requests with a window of up to [`DEPTH`] in flight — the window
+/// is enforced by the client's builder-configured pipeline depth, so the
+/// loop just sends then drains.
 fn run_pipelined(client: &mut Client, n: usize) {
-    let mut sent = 0usize;
     let mut received = 0usize;
+    for _ in 0..n {
+        client.send(compare_req()).expect("send");
+    }
     while received < n {
-        while sent < n && sent - received < DEPTH {
-            client.send(compare_req()).expect("send");
-            sent += 1;
-        }
         match client.recv().expect("recv") {
             Response::Compared { .. } => received += 1,
             other => panic!("unexpected response: {other:?}"),
@@ -71,14 +71,18 @@ fn run_pipelined(client: &mut Client, n: usize) {
     }
 }
 
-/// Connects `n` clients, paced to stay under the listen backlog.
+/// Connects `n` clients (depth-capped for pipelined mode), paced to stay
+/// under the listen backlog.
 fn connect_n(addr: SocketAddr, n: usize) -> Vec<Client> {
     (0..n)
         .map(|i| {
             if i % 64 == 63 {
                 std::thread::sleep(std::time::Duration::from_millis(1));
             }
-            Client::connect(addr).expect("connect")
+            Client::connect(addr)
+                .pipeline_depth(DEPTH)
+                .build()
+                .expect("connect")
         })
         .collect()
 }

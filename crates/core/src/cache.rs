@@ -26,7 +26,7 @@
 //! the caller believes is cached.
 
 use crate::comparator::Comparator;
-use crate::delta::{apply_op, Applied, Delta, DeltaError};
+use crate::delta::{apply_delta_repairing, Delta, DeltaError};
 use crate::error::Error;
 use crate::signature::InstanceSigMaps;
 use crate::similarity::Comparison;
@@ -268,46 +268,24 @@ impl<'a> CompareCache<'a> {
             .entries
             .get_mut(key)
             .ok_or_else(|| CacheError::UnknownKey(key.to_string()))?;
-        let mut inserted = Vec::new();
-        let mut failed: Option<DeltaError> = None;
         let repairs_before = entry.maps.as_ref().map_or(0, InstanceSigMaps::repair_ops);
         let instance = Arc::make_mut(&mut entry.instance);
-        for op in &delta.ops {
-            match apply_op(instance, op) {
-                Ok(Applied::Inserted { rel, id }) => {
-                    if let Some(maps) = entry.maps.as_mut() {
-                        maps.index_tuple(instance, rel, id);
-                    }
-                    inserted.push(id);
-                }
-                Ok(Applied::Deleted { rel, old }) => {
-                    if let Some(maps) = entry.maps.as_mut() {
-                        maps.unindex_tuple(rel, &old);
-                    }
-                }
-                Ok(Applied::Modified { rel, old, id }) => {
-                    if let Some(maps) = entry.maps.as_mut() {
-                        maps.unindex_tuple(rel, &old);
-                        maps.index_tuple(instance, rel, id);
-                    }
-                }
-                Err(e) => {
-                    failed = Some(e);
-                    break;
-                }
-            }
-        }
+        let result = apply_delta_repairing(instance, entry.maps.as_mut(), delta);
         let repairs_after = entry.maps.as_ref().map_or(0, InstanceSigMaps::repair_ops);
         self.stats.tuples_indexed_repair += repairs_after - repairs_before;
-        if let Some(e) = failed {
-            self.entries.remove(key);
-            self.purge_outcomes(key);
-            self.stats.invalidations += 1;
-            return Err(CacheError::Delta(e));
+        match result {
+            Err(e) => {
+                self.entries.remove(key);
+                self.purge_outcomes(key);
+                self.stats.invalidations += 1;
+                Err(CacheError::Delta(e))
+            }
+            Ok(inserted) => {
+                self.stats.deltas_applied += 1;
+                self.purge_outcomes(key);
+                Ok(inserted)
+            }
         }
-        self.stats.deltas_applied += 1;
-        self.purge_outcomes(key);
-        Ok(inserted)
     }
 
     /// The hot-path combination: apply `delta` to the cached `right`

@@ -14,6 +14,7 @@
 //! a clone, which is what [`crate::CompareCache`] effectively does by
 //! evicting the entry on failure).
 
+use crate::signature::InstanceSigMaps;
 use ic_model::{AttrId, Instance, RelId, Tuple, TupleId, Value};
 
 /// One tuple-level edit.
@@ -152,6 +153,46 @@ pub(crate) fn apply_op(instance: &mut Instance, op: &DeltaOp) -> Result<Applied,
     }
 }
 
+/// Applies `delta` to `instance` in op order, repairing `maps` (when
+/// given) after every op so the signature index stays consistent with the
+/// mutated instance — the incremental-repair core shared by
+/// [`crate::CompareCache::apply_delta`] and the serve-layer `patch` path.
+///
+/// Returns the ids assigned to inserted tuples. The first invalid op
+/// aborts with a [`DeltaError`]; every *earlier* op stays applied **and
+/// repaired**, so `maps` still indexes exactly the instance's current
+/// tuples — callers needing atomicity apply to a clone and discard it on
+/// error.
+pub fn apply_delta_repairing(
+    instance: &mut Instance,
+    mut maps: Option<&mut InstanceSigMaps>,
+    delta: &Delta,
+) -> Result<Vec<TupleId>, DeltaError> {
+    let mut inserted = Vec::new();
+    for op in &delta.ops {
+        match apply_op(instance, op)? {
+            Applied::Inserted { rel, id } => {
+                if let Some(maps) = maps.as_deref_mut() {
+                    maps.index_tuple(instance, rel, id);
+                }
+                inserted.push(id);
+            }
+            Applied::Deleted { rel, old } => {
+                if let Some(maps) = maps.as_deref_mut() {
+                    maps.unindex_tuple(rel, &old);
+                }
+            }
+            Applied::Modified { rel, old, id } => {
+                if let Some(maps) = maps.as_deref_mut() {
+                    maps.unindex_tuple(rel, &old);
+                    maps.index_tuple(instance, rel, id);
+                }
+            }
+        }
+    }
+    Ok(inserted)
+}
+
 /// An ordered sequence of tuple-level edits.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Delta {
@@ -179,13 +220,7 @@ impl Delta {
     /// assigned to inserted tuples. The first invalid op aborts; earlier
     /// ops stay applied (see the module docs).
     pub fn apply(&self, instance: &mut Instance) -> Result<Vec<TupleId>, DeltaError> {
-        let mut inserted = Vec::new();
-        for op in &self.ops {
-            if let Applied::Inserted { id, .. } = apply_op(instance, op)? {
-                inserted.push(id);
-            }
-        }
-        Ok(inserted)
+        apply_delta_repairing(instance, None, self)
     }
 }
 

@@ -59,7 +59,7 @@ pub mod universe;
 pub use cache::{CacheError, CacheStats, CompareCache};
 pub use comparator::{Comparator, ComparatorBuilder};
 pub use compat::{c_compatible, compatible_tuples, pair_compatible, CandidateIndex};
-pub use delta::{Delta, DeltaError, DeltaOp};
+pub use delta::{apply_delta_repairing, Delta, DeltaError, DeltaOp};
 pub use error::Error;
 #[allow(deprecated)]
 pub use exact::exact_match_checked;

@@ -146,7 +146,7 @@ type KeyedTuples = FxHashMap<Box<[Sym]>, Vec<TupleId>>;
 
 /// Signature map of one side of one relation: for each distinct attribute
 /// set (mask), the tuples keyed by their signature on that set.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct SigMap {
     /// `(mask, key → tuples)` sorted by decreasing mask size.
     buckets: Vec<(u128, KeyedTuples)>,
@@ -348,7 +348,7 @@ fn tuple_masks(t: &Tuple, partial: bool, max_per_tuple: usize) -> Vec<u128> {
 /// `max_signatures_per_tuple` fields of the build config; seeding a run
 /// whose config disagrees on those fields is a contract violation
 /// ([`signature_match_seeded`] panics).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct InstanceSigMaps {
     partial: bool,
     max_per_tuple: usize,

@@ -9,6 +9,7 @@
 use crate::hash::FxHashSet;
 use crate::schema::{AttrId, RelId, Schema};
 use crate::value::{Interner, NullGen, NullId, Sym, Value};
+use std::fmt;
 
 /// Identifier of a tuple within one instance.
 ///
@@ -115,6 +116,19 @@ impl Catalog {
     /// Read access to the interner.
     pub fn interner(&self) -> &Interner {
         &self.interner
+    }
+
+    /// Number of labeled nulls allocated so far (the null watermark).
+    pub fn nulls_allocated(&self) -> u32 {
+        self.nulls.allocated()
+    }
+
+    /// Advances the null watermark so at least `watermark` nulls count as
+    /// allocated (never moves backwards). Restoring a persisted catalog
+    /// must replay this so reloaded null ids stay burned and future
+    /// [`Catalog::fresh_null`] calls remain disjoint from them.
+    pub fn advance_nulls(&mut self, watermark: u32) {
+        self.nulls.advance_to(watermark);
     }
 }
 
@@ -357,6 +371,54 @@ impl Instance {
         }
     }
 
+    /// Rebuilds an instance from persisted state, preserving tuple ids,
+    /// per-relation storage order and burned (removed) ids exactly.
+    ///
+    /// `tuples` must yield each relation's tuples in storage order; ids
+    /// must be unique and `< id_bound`. Ids in `0..id_bound` that never
+    /// appear stay burned, exactly as [`Instance::remove`] leaves them, so
+    /// a restored instance is indistinguishable from the one serialized —
+    /// including every id-ordered tie-break downstream algorithms take.
+    ///
+    /// Unlike [`Instance::insert`] this validates instead of panicking:
+    /// persisted bytes are external input.
+    pub fn restore(
+        name: impl Into<String>,
+        num_relations: usize,
+        id_bound: usize,
+        tuples: impl IntoIterator<Item = (RelId, TupleId, Vec<Value>)>,
+    ) -> Result<Self, RestoreError> {
+        let mut inst = Self {
+            name: name.into(),
+            relations: vec![Vec::new(); num_relations],
+            locs: vec![None; id_bound],
+        };
+        for (rel, id, values) in tuples {
+            let Some(tuples) = inst.relations.get_mut(rel.0 as usize) else {
+                return Err(RestoreError::RelationOutOfRange { rel, num_relations });
+            };
+            if let Some(first) = tuples.first() {
+                if first.arity() != values.len() {
+                    return Err(RestoreError::ArityMismatch {
+                        rel,
+                        expected: first.arity(),
+                        found: values.len(),
+                    });
+                }
+            }
+            match inst.locs.get_mut(id.0 as usize) {
+                None => return Err(RestoreError::IdOutOfBound { id, id_bound }),
+                Some(Some(_)) => return Err(RestoreError::DuplicateId { id }),
+                Some(slot) => *slot = Some((rel, tuples.len() as u32)),
+            }
+            tuples.push(Tuple {
+                id,
+                values: values.into_boxed_slice(),
+            });
+        }
+        Ok(inst)
+    }
+
     /// Statistics summary used by the experiment tables.
     pub fn stats(&self) -> InstanceStats {
         let mut distinct: FxHashSet<Value> = FxHashSet::default();
@@ -373,6 +435,64 @@ impl Instance {
         }
     }
 }
+
+/// Why [`Instance::restore`] rejected persisted tuple data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestoreError {
+    /// A tuple referenced a relation the schema does not have.
+    RelationOutOfRange {
+        /// The offending relation id.
+        rel: RelId,
+        /// Number of relations the instance was restored for.
+        num_relations: usize,
+    },
+    /// A tuple id was at or above the declared id bound.
+    IdOutOfBound {
+        /// The offending tuple id.
+        id: TupleId,
+        /// The declared exclusive id bound.
+        id_bound: usize,
+    },
+    /// The same tuple id appeared twice.
+    DuplicateId {
+        /// The repeated tuple id.
+        id: TupleId,
+    },
+    /// A tuple's arity disagreed with its relation siblings.
+    ArityMismatch {
+        /// The relation the tuple belongs to.
+        rel: RelId,
+        /// Arity of the relation's earlier tuples.
+        expected: usize,
+        /// Arity of the offending tuple.
+        found: usize,
+    },
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::RelationOutOfRange { rel, num_relations } => {
+                write!(f, "relation {} out of range (have {num_relations})", rel.0)
+            }
+            RestoreError::IdOutOfBound { id, id_bound } => {
+                write!(f, "tuple id {} outside id bound {id_bound}", id.0)
+            }
+            RestoreError::DuplicateId { id } => write!(f, "duplicate tuple id {}", id.0),
+            RestoreError::ArityMismatch {
+                rel,
+                expected,
+                found,
+            } => write!(
+                f,
+                "arity mismatch in relation {}: expected {expected}, found {found}",
+                rel.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
 
 /// Size statistics of an instance as reported in the paper's tables
 /// (#T, #C, #V columns).
@@ -569,6 +689,81 @@ mod tests {
         let t2 = inst.insert(r, vec![n, n, n]);
         assert_ne!(t1, t2);
         assert_eq!(inst.num_tuples(), 2);
+    }
+
+    #[test]
+    fn restore_reproduces_ids_order_and_burned_slots() {
+        let (mut cat, mut inst) = setup();
+        let r = cat.schema().rel("Conference").unwrap();
+        let a = cat.konst("a");
+        let b = cat.konst("b");
+        let t0 = inst.insert(r, vec![a, a, a]);
+        let t1 = inst.insert(r, vec![b, b, b]);
+        let t2 = inst.insert(r, vec![a, b, a]);
+        inst.remove(t1); // burn an id
+
+        let triples: Vec<_> = inst
+            .iter_all()
+            .map(|(rel, t)| (rel, t.id(), t.values().to_vec()))
+            .collect();
+        let back = Instance::restore("I", inst.num_relations(), inst.id_bound(), triples).unwrap();
+
+        assert_eq!(back.id_bound(), inst.id_bound());
+        assert_eq!(back.tuple(t1), None, "burned id stays burned");
+        for id in [t0, t2] {
+            assert_eq!(back.tuple(id), inst.tuple(id));
+            assert_eq!(back.loc(id), inst.loc(id));
+        }
+        assert_eq!(
+            back.tuples(r).iter().map(Tuple::id).collect::<Vec<_>>(),
+            inst.tuples(r).iter().map(Tuple::id).collect::<Vec<_>>(),
+            "storage order preserved"
+        );
+    }
+
+    #[test]
+    fn restore_validates_instead_of_panicking() {
+        let a = Value::Const(Sym(0));
+        let t = |rel: u16, id: u32, vals: Vec<Value>| (RelId(rel), TupleId(id), vals);
+        assert_eq!(
+            Instance::restore("x", 1, 2, vec![t(3, 0, vec![a])]).unwrap_err(),
+            RestoreError::RelationOutOfRange {
+                rel: RelId(3),
+                num_relations: 1
+            }
+        );
+        assert_eq!(
+            Instance::restore("x", 1, 2, vec![t(0, 5, vec![a])]).unwrap_err(),
+            RestoreError::IdOutOfBound {
+                id: TupleId(5),
+                id_bound: 2
+            }
+        );
+        assert_eq!(
+            Instance::restore("x", 1, 2, vec![t(0, 1, vec![a]), t(0, 1, vec![a])]).unwrap_err(),
+            RestoreError::DuplicateId { id: TupleId(1) }
+        );
+        assert_eq!(
+            Instance::restore("x", 1, 2, vec![t(0, 0, vec![a]), t(0, 1, vec![a, a])]).unwrap_err(),
+            RestoreError::ArityMismatch {
+                rel: RelId(0),
+                expected: 1,
+                found: 2
+            }
+        );
+    }
+
+    #[test]
+    fn null_watermark_advances_and_never_regresses() {
+        let mut cat = Catalog::new(Schema::single("R", &["A"]));
+        cat.fresh_null();
+        cat.fresh_null();
+        assert_eq!(cat.nulls_allocated(), 2);
+        cat.advance_nulls(5);
+        assert_eq!(cat.nulls_allocated(), 5);
+        cat.advance_nulls(3); // never backwards
+        assert_eq!(cat.nulls_allocated(), 5);
+        assert_eq!(cat.fresh_null_id(), NullId(5));
     }
 
     #[test]

@@ -33,6 +33,6 @@ pub mod value;
 
 pub use align::{align_instances, union_schema, Aligned};
 pub use hash::{FxHashMap, FxHashSet};
-pub use instance::{Catalog, Instance, InstanceStats, Tuple, TupleId};
+pub use instance::{Catalog, Instance, InstanceStats, RestoreError, Tuple, TupleId};
 pub use schema::{AttrId, RelId, RelationSchema, Schema};
 pub use value::{Interner, NullGen, NullId, Sym, Value};

@@ -158,6 +158,14 @@ impl NullGen {
     pub fn allocated(&self) -> u32 {
         self.next
     }
+
+    /// Advances the generator so that at least `watermark` nulls count as
+    /// allocated. Never moves backwards; used to restore a generator from a
+    /// persisted watermark so reloaded nulls stay burned and future
+    /// [`NullGen::fresh`] calls remain disjoint from them.
+    pub fn advance_to(&mut self, watermark: u32) {
+        self.next = self.next.max(watermark);
+    }
 }
 
 impl fmt::Display for NullId {

@@ -12,9 +12,14 @@
 //! `--relation` may repeat (multi-relation schemas); each `--load NAME=DIR`
 //! expects one `<relation>.csv` per schema relation inside `DIR`. Requests
 //! can load further instances at runtime via the `load` request kind.
+//!
+//! With `--data-dir DIR` the catalog is durable: every mutation is
+//! write-ahead logged under `DIR`, and a restart recovers the catalog
+//! (snapshot + WAL replay) before serving — see `DESIGN.md` §11.
 
 use ic_model::{RelationSchema, Schema};
 use ic_serve::{Runtime, ServeCatalog, Server, ServerConfig};
+use ic_store::FileStorage;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -24,9 +29,12 @@ usage: serve [options]
   --addr HOST:PORT       bind address (default 127.0.0.1:7878; port 0 = ephemeral)
   --relation NAME:A,B,…  add a relation to the schema (repeatable, required)
   --load NAME=DIR        preload instance NAME from CSV directory DIR (repeatable)
+  --data-dir DIR         durable catalog: recover from DIR at startup, then
+                         write-ahead log every mutation there (default: in-memory)
   --workers N            worker loops (default 2)
   --queue N              bounded request-queue depth (default 64)
   --budget-ms N          default per-request deadline in ms (default: none)
+  --idle-ms N            close connections idle for N ms (default: never)
   --runtime MODE         connection runtime: event | threaded
                          (default: IC_SERVE_RUNTIME env, else event on Linux)
   --help                 print this help";
@@ -35,6 +43,7 @@ struct Args {
     addr: String,
     relations: Vec<(String, Vec<String>)>,
     loads: Vec<(String, String)>,
+    data_dir: Option<String>,
     cfg: ServerConfig,
 }
 
@@ -43,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
         addr: "127.0.0.1:7878".to_string(),
         relations: Vec::new(),
         loads: Vec::new(),
+        data_dir: None,
         cfg: ServerConfig::default(),
     };
     let mut it = std::env::args().skip(1);
@@ -79,11 +89,18 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--queue expects a positive integer".to_string())?;
             }
+            "--data-dir" => args.data_dir = Some(value("--data-dir")?),
             "--budget-ms" => {
                 let ms: u64 = value("--budget-ms")?
                     .parse()
                     .map_err(|_| "--budget-ms expects an integer".to_string())?;
                 args.cfg.default_budget = Some(Duration::from_millis(ms));
+            }
+            "--idle-ms" => {
+                let ms: u64 = value("--idle-ms")?
+                    .parse()
+                    .map_err(|_| "--idle-ms expects an integer".to_string())?;
+                args.cfg.idle_timeout = Some(Duration::from_millis(ms));
             }
             "--runtime" => {
                 args.cfg.runtime = match value("--runtime")?.as_str() {
@@ -121,7 +138,39 @@ fn main() -> ExitCode {
         let attrs: Vec<&str> = attrs.iter().map(String::as_str).collect();
         schema.add_relation(RelationSchema::new(name.clone(), &attrs));
     }
-    let catalog = Arc::new(ServeCatalog::new(schema));
+    let catalog = match &args.data_dir {
+        None => ServeCatalog::new(schema),
+        Some(dir) => {
+            let storage = match FileStorage::open(dir) {
+                Ok(s) => Box::new(s),
+                Err(e) => {
+                    eprintln!("serve: opening data dir {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match ServeCatalog::durable(schema, storage) {
+                Ok(catalog) => {
+                    let snap = catalog.snapshot();
+                    let names: Vec<&str> = snap.names().collect();
+                    eprintln!(
+                        "serve: recovered {} instance(s) from {dir}{}",
+                        names.len(),
+                        if names.is_empty() {
+                            String::new()
+                        } else {
+                            format!(" ({})", names.join(", "))
+                        }
+                    );
+                    catalog
+                }
+                Err(e) => {
+                    eprintln!("serve: recovering catalog from {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    let catalog = Arc::new(catalog);
 
     for (name, dir) in &args.loads {
         match catalog.load_csv_dir(name, std::path::Path::new(dir)) {

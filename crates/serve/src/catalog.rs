@@ -10,13 +10,27 @@
 //! interner, the schema, or an instance out from under it ("old snapshot
 //! answered, new snapshot used afterward").
 //!
+//! Every mutation is one [`CatalogOp`] — `Put`, `Patch` or `Remove` —
+//! funnelled through [`ServeCatalog::apply`]. The op vocabulary is shared
+//! with the WAL in `ic-store`, so a catalog opened with
+//! [`durable`](ServeCatalog::durable) logs exactly the op it applies:
+//! the record is appended (write-ahead) inside the mutation's critical
+//! section, before the snapshot swap, and replayed verbatim at the next
+//! open. The legacy mutators (`register`, `register_with`,
+//! `load_csv_dir`, `remove`) are thin wrappers that build the op.
+//!
 //! Cloning the value catalog on every write is deliberate: loads are rare
 //! and bounded by CSV parsing anyway, while reads are the hot path and
 //! stay lock-free after the one `Mutex`-guarded `Arc` clone.
 
 use crate::lockutil::lock_recover;
+use ic_core::{apply_delta_repairing, Delta, DeltaError};
 use ic_model::csv::{read_csv_into, CsvError, CsvOptions};
-use ic_model::{Catalog, Instance, Schema};
+use ic_model::{Catalog, Instance, Schema, TupleId, Value};
+use ic_store::{
+    decode_snapshot, encode_record, encode_snapshot, read_records, CatalogOp, DomainDelta, Storage,
+    StoreError,
+};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -99,6 +113,32 @@ pub enum CatalogError {
         /// The directory that was scanned.
         dir: PathBuf,
     },
+    /// A `Patch` or replay targeted an instance the catalog does not hold.
+    UnknownInstance {
+        /// The missing entry name.
+        name: String,
+    },
+    /// A `Patch` delta did not apply cleanly to the target instance.
+    Delta {
+        /// The patched entry name.
+        name: String,
+        /// The first op that failed (earlier ops were rolled back with
+        /// the whole mutation).
+        error: DeltaError,
+    },
+    /// A `Put` instance referenced constants or nulls outside this
+    /// catalog's value domains — it was built against a different
+    /// `Catalog`. Build through [`ServeCatalog::apply_with`] (or
+    /// `register_with`) so the domains travel with the op.
+    ForeignValue {
+        /// The offending entry name.
+        name: String,
+    },
+    /// The durability backend failed: an I/O error on append/install, or
+    /// persisted bytes that no longer decode.
+    Store(StoreError),
+    /// A durable open found a snapshot written for a different schema.
+    StoredSchemaMismatch,
 }
 
 impl fmt::Display for CatalogError {
@@ -120,6 +160,21 @@ impl fmt::Display for CatalogError {
                 "no <relation>.csv file found in {} for any schema relation",
                 dir.display()
             ),
+            CatalogError::UnknownInstance { name } => {
+                write!(f, "no instance named {name:?} in the catalog")
+            }
+            CatalogError::Delta { name, error } => {
+                write!(f, "patching {name:?}: {error}")
+            }
+            CatalogError::ForeignValue { name } => write!(
+                f,
+                "instance {name:?} references values outside the catalog's domains \
+                 (built against a different Catalog?)"
+            ),
+            CatalogError::Store(error) => write!(f, "durable store: {error}"),
+            CatalogError::StoredSchemaMismatch => {
+                write!(f, "stored snapshot was written for a different schema")
+            }
         }
     }
 }
@@ -129,9 +184,33 @@ impl std::error::Error for CatalogError {
         match self {
             CatalogError::Io { error, .. } => Some(error),
             CatalogError::Csv { error, .. } => Some(error),
+            CatalogError::Delta { error, .. } => Some(error),
+            CatalogError::Store(error) => Some(error),
             _ => None,
         }
     }
+}
+
+impl From<StoreError> for CatalogError {
+    fn from(e: StoreError) -> Self {
+        CatalogError::Store(e)
+    }
+}
+
+/// What [`ServeCatalog::apply`] did, for callers that report back over
+/// the wire.
+#[derive(Debug)]
+pub struct ApplyOutcome {
+    /// The snapshot version the op produced.
+    pub version: u64,
+    /// The instance now registered under the op's name (`None` for
+    /// `Remove`). This is the same `Arc` pin the new snapshot holds.
+    pub instance: Option<Arc<Instance>>,
+    /// Tuple ids assigned to `Patch` inserts, in op order.
+    pub inserted: Vec<TupleId>,
+    /// Whether the name existed before the op (`Put` replaced, `Remove`
+    /// removed something).
+    pub existed: bool,
 }
 
 /// A concurrent registry of named, schema-aligned instances with
@@ -141,6 +220,9 @@ pub struct ServeCatalog {
     csv: CsvOptions,
     subscribers: Mutex<Vec<(u64, SnapshotObserver)>>,
     next_subscriber: AtomicU64,
+    /// WAL backend when opened with [`durable`](Self::durable); locked
+    /// only inside a mutation's critical section (after `current`).
+    store: Mutex<Option<Box<dyn Storage>>>,
 }
 
 impl fmt::Debug for ServeCatalog {
@@ -149,6 +231,7 @@ impl fmt::Debug for ServeCatalog {
             .field("version", &self.version())
             .field("instances", &self.snapshot().len())
             .field("subscribers", &lock_recover(&self.subscribers).len())
+            .field("durable", &lock_recover(&self.store).is_some())
             .finish_non_exhaustive()
     }
 }
@@ -172,7 +255,86 @@ impl ServeCatalog {
             csv: CsvOptions::default(),
             subscribers: Mutex::new(Vec::new()),
             next_subscriber: AtomicU64::new(1),
+            store: Mutex::new(None),
         }
+    }
+
+    /// Opens a durable catalog over `schema`: recovers the stored state
+    /// (snapshot plus WAL replay — a torn final record is dropped, and
+    /// records the snapshot already folded in are skipped), compacts the
+    /// recovered state into a fresh snapshot, and logs every subsequent
+    /// [`apply`](Self::apply) to the WAL before publishing it.
+    pub fn durable(schema: Schema, mut storage: Box<dyn Storage>) -> Result<Self, CatalogError> {
+        // Recover: snapshot first, then replay whatever the WAL adds.
+        let (mut catalog, stored, mut version) =
+            match storage.read_snapshot().map_err(StoreError::Io)? {
+                Some(bytes) => {
+                    let state = decode_snapshot(&bytes)?;
+                    if !state.catalog.schema().compatible_with(&schema) {
+                        return Err(CatalogError::StoredSchemaMismatch);
+                    }
+                    (state.catalog, state.instances, state.version)
+                }
+                None => (Catalog::new(schema), Vec::new(), 0),
+            };
+        let mut instances: BTreeMap<String, Arc<Instance>> = stored
+            .into_iter()
+            .map(|(name, inst)| (name, Arc::new(inst)))
+            .collect();
+
+        let wal = storage.read_wal().map_err(StoreError::Io)?;
+        let (records, _valid) = read_records(&wal, &mut catalog, version)?;
+        for record in records {
+            version = record.seq;
+            match record.op {
+                CatalogOp::Put { name, mut instance } => {
+                    instance.set_name(&name);
+                    instances.insert(name, Arc::new(instance));
+                }
+                CatalogOp::Patch { name, delta } => {
+                    let pin = instances.get(&name).ok_or_else(|| {
+                        StoreError::Corrupt(format!("WAL patches unknown instance {name:?}"))
+                    })?;
+                    let mut inst = Instance::clone(pin);
+                    apply_delta_repairing(&mut inst, None, &delta).map_err(|error| {
+                        CatalogError::Delta {
+                            name: name.clone(),
+                            error,
+                        }
+                    })?;
+                    instances.insert(name, Arc::new(inst));
+                }
+                CatalogOp::Remove { name } => {
+                    instances.remove(&name);
+                }
+            }
+        }
+
+        // Compact: fold the replayed records into a fresh snapshot (this
+        // also truncates the WAL, dropping any torn tail).
+        let bytes = encode_snapshot(
+            version,
+            &catalog,
+            instances.iter().map(|(n, i)| (n.as_str(), &**i)),
+        );
+        storage.install_snapshot(&bytes).map_err(StoreError::Io)?;
+
+        Ok(Self {
+            current: Mutex::new(Arc::new(Snapshot {
+                version,
+                catalog,
+                instances,
+            })),
+            csv: CsvOptions::default(),
+            subscribers: Mutex::new(Vec::new()),
+            next_subscriber: AtomicU64::new(1),
+            store: Mutex::new(Some(storage)),
+        })
+    }
+
+    /// Whether mutations are being logged to a durability backend.
+    pub fn is_durable(&self) -> bool {
+        lock_recover(&self.store).is_some()
     }
 
     /// Overrides the CSV parsing options used by
@@ -217,46 +379,163 @@ impl ServeCatalog {
         subs.len() != before
     }
 
+    /// Applies one [`CatalogOp`] — the single mutation entry point. The
+    /// op is validated against a clone of the current snapshot, logged to
+    /// the WAL when the catalog is durable (write-ahead: an op that fails
+    /// to log is not published), and atomically swapped in.
+    pub fn apply(&self, op: CatalogOp) -> Result<ApplyOutcome, CatalogError> {
+        self.apply_with(|_| Ok(op))
+    }
+
+    /// Like [`apply`](Self::apply), but `build` constructs the op against
+    /// a copy of the current value domains — it may intern constants and
+    /// draw fresh nulls, and the grown domains are installed (and logged)
+    /// together with the op. This is how wire-driven loads and patches
+    /// bring new values into the catalog.
+    pub fn apply_with(
+        &self,
+        build: impl FnOnce(&mut Catalog) -> Result<CatalogOp, CatalogError>,
+    ) -> Result<ApplyOutcome, CatalogError> {
+        let (published, outcome) = {
+            let mut slot = lock_recover(&self.current);
+            let mut next = Snapshot::clone(&slot);
+            next.version += 1;
+            let base_syms = next.catalog.interner().len();
+            let op = build(&mut next.catalog)?;
+            let outcome = Self::apply_op(&mut next, &op)?;
+            // Write-ahead: the record hits the WAL before the swap, so a
+            // logged op is always the next thing replay sees. An append
+            // failure aborts the mutation (no swap); the partial record it
+            // may have left behind is a torn tail recovery drops.
+            if let Some(store) = lock_recover(&self.store).as_mut() {
+                let domain = DomainDelta::capture(base_syms, &next.catalog);
+                let record = encode_record(next.version, &domain, &op);
+                store.append_wal(&record).map_err(StoreError::Io)?;
+            }
+            let next = Arc::new(next);
+            *slot = Arc::clone(&next);
+            (next, outcome)
+        };
+        // Hold the subscriber lock only to walk the list; observers that
+        // mutate the catalog re-enter `current`, never `subscribers`.
+        for (_, observer) in lock_recover(&self.subscribers).iter() {
+            observer(&published);
+        }
+        Ok(outcome)
+    }
+
+    /// Validates `op` against `next` and mutates its instance map.
+    fn apply_op(next: &mut Snapshot, op: &CatalogOp) -> Result<ApplyOutcome, CatalogError> {
+        let mut outcome = ApplyOutcome {
+            version: next.version,
+            instance: None,
+            inserted: Vec::new(),
+            existed: false,
+        };
+        match op {
+            CatalogOp::Put { name, instance } => {
+                let expected = next.catalog.schema().len();
+                if instance.num_relations() != expected {
+                    return Err(CatalogError::SchemaMismatch {
+                        expected,
+                        found: instance.num_relations(),
+                    });
+                }
+                // Every value must already mean something in this
+                // catalog's domains, or the instance cannot be resolved —
+                // or logged faithfully.
+                let syms = next.catalog.interner().len() as u32;
+                let nulls = next.catalog.nulls_allocated();
+                let foreign = instance.iter_all().any(|(_, t)| {
+                    t.values().iter().any(|v| match v {
+                        Value::Const(s) => s.0 >= syms,
+                        Value::Null(n) => n.0 >= nulls,
+                    })
+                });
+                if foreign {
+                    return Err(CatalogError::ForeignValue { name: name.clone() });
+                }
+                let mut inst = instance.clone();
+                inst.set_name(name);
+                let pin = Arc::new(inst);
+                outcome.instance = Some(Arc::clone(&pin));
+                outcome.existed = next.instances.insert(name.clone(), pin).is_some();
+            }
+            CatalogOp::Patch { name, delta } => {
+                let pin = next
+                    .instances
+                    .get(name)
+                    .ok_or_else(|| CatalogError::UnknownInstance { name: name.clone() })?;
+                let mut inst = Instance::clone(pin);
+                outcome.inserted =
+                    apply_delta_repairing(&mut inst, None, delta).map_err(|error| {
+                        CatalogError::Delta {
+                            name: name.clone(),
+                            error,
+                        }
+                    })?;
+                let pin = Arc::new(inst);
+                outcome.instance = Some(Arc::clone(&pin));
+                outcome.existed = true;
+                next.instances.insert(name.clone(), pin);
+            }
+            CatalogOp::Remove { name } => {
+                outcome.existed = next.instances.remove(name).is_some();
+            }
+        }
+        Ok(outcome)
+    }
+
     /// Registers (or replaces) an instance that was built against this
     /// catalog's value domains — either the `Catalog` passed to
     /// [`from_catalog`](Self::from_catalog) or one obtained from a
-    /// previous snapshot. The instance is renamed to `name`.
+    /// previous snapshot. The instance is renamed to `name`. Thin wrapper
+    /// over [`apply`](Self::apply) with [`CatalogOp::Put`].
     pub fn register(&self, name: &str, mut instance: Instance) -> Result<(), CatalogError> {
         instance.set_name(name);
-        self.mutate(|snap| {
-            let expected = snap.catalog.schema().len();
-            if instance.num_relations() != expected {
-                return Err(CatalogError::SchemaMismatch {
-                    expected,
-                    found: instance.num_relations(),
-                });
-            }
-            snap.instances.insert(name.to_string(), Arc::new(instance));
-            Ok(())
+        self.apply(CatalogOp::Put {
+            name: name.to_string(),
+            instance,
         })
+        .map(drop)
     }
 
     /// Builds and registers an instance in one step: `build` runs against a
     /// copy of the current value domains (it may intern constants and draw
     /// fresh nulls), and the mutated domains are installed together with
-    /// the instance — the copy-on-write path for wire-driven loads.
+    /// the instance — the copy-on-write path for wire-driven loads. Thin
+    /// wrapper over [`apply_with`](Self::apply_with).
     pub fn register_with(
         &self,
         name: &str,
         build: impl FnOnce(&mut Catalog) -> Result<Instance, CatalogError>,
     ) -> Result<(), CatalogError> {
-        self.mutate(|snap| {
-            let mut instance = build(&mut snap.catalog)?;
-            let expected = snap.catalog.schema().len();
-            if instance.num_relations() != expected {
-                return Err(CatalogError::SchemaMismatch {
-                    expected,
-                    found: instance.num_relations(),
-                });
-            }
+        self.apply_with(|catalog| {
+            let mut instance = build(catalog)?;
             instance.set_name(name);
-            snap.instances.insert(name.to_string(), Arc::new(instance));
-            Ok(())
+            Ok(CatalogOp::Put {
+                name: name.to_string(),
+                instance,
+            })
+        })
+        .map(drop)
+    }
+
+    /// Applies a tuple-level delta to the named instance, publishing (and
+    /// logging) the patched copy. `build` runs against a copy of the value
+    /// domains so patch values may intern new constants or draw fresh
+    /// nulls. Returns the outcome carrying the new pin and assigned
+    /// tuple ids.
+    pub fn patch(
+        &self,
+        name: &str,
+        build: impl FnOnce(&mut Catalog) -> Result<Delta, CatalogError>,
+    ) -> Result<ApplyOutcome, CatalogError> {
+        self.apply_with(|catalog| {
+            Ok(CatalogOp::Patch {
+                name: name.to_string(),
+                delta: build(catalog)?,
+            })
         })
     }
 
@@ -293,39 +572,15 @@ impl ServeCatalog {
         Ok(loaded)
     }
 
-    /// Removes an instance; returns whether it existed.
+    /// Removes an instance; returns whether it existed. Thin wrapper over
+    /// [`apply`](Self::apply) with [`CatalogOp::Remove`] (a durable
+    /// append failure reads as "did not exist").
     pub fn remove(&self, name: &str) -> bool {
-        let mut removed = false;
-        let _ = self.mutate(|snap| {
-            removed = snap.instances.remove(name).is_some();
-            Ok(())
-        });
-        removed
-    }
-
-    /// Clones the current snapshot's contents, applies `f`, and swaps the
-    /// result in (version bumped) — unless `f` fails, in which case the
-    /// current snapshot stays untouched. Subscribers observe the new
-    /// snapshot after the swap, with the lock released.
-    fn mutate(
-        &self,
-        f: impl FnOnce(&mut Snapshot) -> Result<(), CatalogError>,
-    ) -> Result<(), CatalogError> {
-        let published = {
-            let mut slot = lock_recover(&self.current);
-            let mut next = Snapshot::clone(&slot);
-            next.version += 1;
-            f(&mut next)?;
-            let next = Arc::new(next);
-            *slot = Arc::clone(&next);
-            next
-        };
-        // Hold the subscriber lock only to walk the list; observers that
-        // mutate the catalog re-enter `current`, never `subscribers`.
-        for (_, observer) in lock_recover(&self.subscribers).iter() {
-            observer(&published);
-        }
-        Ok(())
+        self.apply(CatalogOp::Remove {
+            name: name.to_string(),
+        })
+        .map(|outcome| outcome.existed)
+        .unwrap_or(false)
     }
 }
 
@@ -471,6 +726,139 @@ mod tests {
         assert!(!sc.unsubscribe(token));
         sc.remove("n");
         assert_eq!(seen.load(Ordering::SeqCst), before, "unsubscribed");
+    }
+
+    #[test]
+    fn apply_reports_outcomes() {
+        use ic_model::AttrId;
+
+        let sc = catalog_with(&["a"]);
+        // Put over an existing name reports existed = true.
+        let out = sc
+            .apply_with(|cat| {
+                Ok(CatalogOp::Put {
+                    name: "a".into(),
+                    instance: two_tuple_instance(cat, "a", "p", "q"),
+                })
+            })
+            .unwrap();
+        assert!(out.existed);
+        let pin = out.instance.expect("put returns the new pin");
+        assert!(Arc::ptr_eq(&pin, sc.snapshot().get("a").unwrap()));
+
+        // Patch returns assigned tuple ids and the patched pin.
+        let out = sc
+            .patch("a", |cat| {
+                let v = cat.konst("patched");
+                Ok(Delta::new(vec![
+                    ic_core::DeltaOp::Insert {
+                        rel: RelId(0),
+                        values: vec![v, v],
+                    },
+                    ic_core::DeltaOp::Modify {
+                        id: TupleId(0),
+                        attr: AttrId(0),
+                        value: v,
+                    },
+                ]))
+            })
+            .unwrap();
+        assert_eq!(out.inserted.len(), 1);
+        let patched = out.instance.unwrap();
+        assert_eq!(patched.num_tuples(), 3);
+        assert!(Arc::ptr_eq(&patched, sc.snapshot().get("a").unwrap()));
+
+        // Patch of a missing name fails without a version bump.
+        let v = sc.version();
+        assert!(matches!(
+            sc.patch("ghost", |_| Ok(Delta::new(vec![]))),
+            Err(CatalogError::UnknownInstance { .. })
+        ));
+        assert_eq!(sc.version(), v);
+
+        // Remove reports existence.
+        assert!(
+            sc.apply(CatalogOp::Remove { name: "a".into() })
+                .unwrap()
+                .existed
+        );
+        assert!(
+            !sc.apply(CatalogOp::Remove { name: "a".into() })
+                .unwrap()
+                .existed
+        );
+    }
+
+    #[test]
+    fn put_rejects_foreign_values() {
+        let sc = catalog_with(&[]);
+        // Built against a *different* catalog over the same schema: its
+        // syms mean nothing here.
+        let mut other = Catalog::new(Schema::single("R", &["A", "B"]));
+        let foreign = two_tuple_instance(&mut other, "f", "a", "b");
+        assert!(matches!(
+            sc.register("f", foreign),
+            Err(CatalogError::ForeignValue { .. })
+        ));
+    }
+
+    #[test]
+    fn durable_catalog_recovers_wal_ops_across_reopen() {
+        use ic_store::MemStorage;
+
+        let schema = || Schema::single("R", &["A", "B"]);
+        let store = Arc::new(Mutex::new(MemStorage::new()));
+
+        let sc = ServeCatalog::durable(schema(), Box::new(Arc::clone(&store))).unwrap();
+        assert!(sc.is_durable());
+        sc.register_with("keep", |cat| Ok(two_tuple_instance(cat, "keep", "a", "b")))
+            .unwrap();
+        sc.register_with("gone", |cat| Ok(two_tuple_instance(cat, "gone", "c", "d")))
+            .unwrap();
+        sc.patch("keep", |cat| {
+            let v = cat.konst("patched");
+            Ok(Delta::new(vec![ic_core::DeltaOp::Insert {
+                rel: RelId(0),
+                values: vec![v, v],
+            }]))
+        })
+        .unwrap();
+        assert!(sc.remove("gone"));
+        let before = sc.snapshot();
+        drop(sc);
+
+        // Reopen from the same buffers: same names, same bytes, and the
+        // WAL has been compacted into the snapshot.
+        let sc2 = ServeCatalog::durable(schema(), Box::new(Arc::clone(&store))).unwrap();
+        let after = sc2.snapshot();
+        assert_eq!(after.version, before.version);
+        assert_eq!(
+            after.names().collect::<Vec<_>>(),
+            before.names().collect::<Vec<_>>()
+        );
+        let (b, a) = (before.get("keep").unwrap(), after.get("keep").unwrap());
+        assert_eq!(a.num_tuples(), b.num_tuples());
+        assert_eq!(a.num_tuples(), 3);
+        for ((rb, tb), (ra, ta)) in b.iter_all().zip(a.iter_all()) {
+            assert_eq!(rb, ra);
+            assert_eq!(tb.id(), ta.id());
+            assert_eq!(tb.values(), ta.values());
+        }
+        assert_eq!(
+            after.catalog.interner().len(),
+            before.catalog.interner().len()
+        );
+        assert!(store.lock().unwrap().wal_bytes().is_empty(), "compacted");
+
+        // A mismatched schema is rejected at open.
+        drop(sc2);
+        assert!(matches!(
+            ServeCatalog::durable(
+                Schema::single("Other", &["X"]),
+                Box::new(Arc::clone(&store))
+            ),
+            Err(CatalogError::StoredSchemaMismatch)
+        ));
     }
 
     #[test]

@@ -2,6 +2,20 @@
 //! `serve_demo` example, and the throughput bench; also the reference for
 //! writing clients in other languages.
 //!
+//! Construction goes through the builder: [`Client::connect`] names the
+//! server, options chain, [`ClientBuilder::build`] dials. [`Client::new`]
+//! is the no-options shorthand.
+//!
+//! ```no_run
+//! # use ic_serve::Client;
+//! # use std::time::Duration;
+//! let mut client = Client::connect("127.0.0.1:7878")
+//!     .deadline(Duration::from_millis(250))
+//!     .pipeline_depth(32)
+//!     .build()?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+//!
 //! Two usage modes:
 //!
 //! * **Sequential** — [`Client::call`] and the typed wrappers send one
@@ -12,18 +26,23 @@
 //!   runtime responses complete out of order, so callers match responses
 //!   to ids themselves (every [`Response`] echoes one). Keeping several
 //!   requests in flight on one connection hides round-trip and queueing
-//!   latency.
+//!   latency. A [`pipeline_depth`](ClientBuilder::pipeline_depth) bounds
+//!   how many: at the cap, `send` first takes one response off the wire
+//!   (parked for the next `recv`), so a loop that only sends cannot
+//!   overrun the server's per-connection write buffer.
 //!
 //! Server-side typed error payloads become [`ClientError::Server`], so
 //! callers can match on the [`ErrorCode`].
 
 use crate::frame::{write_frame, FrameError, FrameReader};
 use crate::proto::{
-    Algo, CompareScores, DecodeError, ErrorCode, InstanceInfo, Request, Response, SearchResults,
-    ServerStats,
+    Algo, CompareScores, DecodeError, ErrorCode, InstanceInfo, PatchOp, Request, Response,
+    SearchResults, ServerStats,
 };
+use std::collections::VecDeque;
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -101,25 +120,95 @@ pub struct CompareOptions {
     pub budget_ms: Option<u64>,
 }
 
+/// Configures and dials a [`Client`] connection.
+///
+/// Made by [`Client::connect`]; the address is resolved up front, option
+/// setters chain, and [`build`](Self::build) performs the actual dial.
+#[derive(Debug)]
+pub struct ClientBuilder {
+    addrs: io::Result<Vec<SocketAddr>>,
+    deadline: Option<Duration>,
+    pipeline_depth: Option<usize>,
+}
+
+impl ClientBuilder {
+    /// Default per-request deadline, applied as `budget_ms` to
+    /// [`compare`](Client::compare) / [`search`](Client::search) calls
+    /// whose [`CompareOptions::budget_ms`] is `None`. Sub-millisecond
+    /// deadlines round up to 1ms (a 0 budget would mean "server
+    /// default" on the wire).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Caps how many pipelined requests may be in flight at once. When
+    /// [`send`](Client::send) is called at the cap it first reads one
+    /// response off the wire and parks it for the next
+    /// [`recv`](Client::recv). Depth 0 is treated as 1.
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = Some(depth.max(1));
+        self
+    }
+
+    /// Dials the server and returns the connected client.
+    pub fn build(self) -> io::Result<Client> {
+        let addrs = self.addrs?;
+        let stream = TcpStream::connect(&addrs[..])?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: FrameReader::new(stream),
+            next_id: 1,
+            deadline: self.deadline,
+            pipeline_depth: self.pipeline_depth,
+            inflight: 0,
+            parked: VecDeque::new(),
+        })
+    }
+}
+
 /// A blocking connection to an `ic-serve` server.
 #[derive(Debug)]
 pub struct Client {
     writer: TcpStream,
     reader: FrameReader<TcpStream>,
     next_id: u64,
+    deadline: Option<Duration>,
+    pipeline_depth: Option<usize>,
+    inflight: usize,
+    parked: VecDeque<Response>,
 }
 
 impl Client {
-    /// Connects to a running server.
-    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let writer = stream.try_clone()?;
-        Ok(Self {
-            writer,
-            reader: FrameReader::new(stream),
-            next_id: 1,
-        })
+    /// Starts building a connection to `addr`; chain options and call
+    /// [`ClientBuilder::build`] to dial. Address resolution happens here,
+    /// but any resolution error is only surfaced by `build`.
+    pub fn connect(addr: impl ToSocketAddrs) -> ClientBuilder {
+        ClientBuilder {
+            addrs: addr
+                .to_socket_addrs()
+                .map(|it| it.collect::<Vec<_>>())
+                .and_then(|v| {
+                    if v.is_empty() {
+                        Err(io::Error::new(
+                            io::ErrorKind::InvalidInput,
+                            "address resolved to no socket addresses",
+                        ))
+                    } else {
+                        Ok(v)
+                    }
+                }),
+            deadline: None,
+            pipeline_depth: None,
+        }
+    }
+
+    /// Connects with default options — shorthand for
+    /// `Client::connect(addr).build()`.
+    pub fn new(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Self::connect(addr).build()
     }
 
     /// Sends `req` (overriding its id with a fresh one) and blocks for the
@@ -142,21 +231,45 @@ impl Client {
     /// Pipelined mode: writes `req` (overriding its id with a fresh one)
     /// and returns that id immediately, without waiting for the response.
     /// Pair with [`recv`](Self::recv) and match ids yourself; any number
-    /// of requests may be in flight on one connection.
+    /// of requests may be in flight on one connection — up to the
+    /// [`pipeline_depth`](ClientBuilder::pipeline_depth), if one was set,
+    /// beyond which this call first drains one response into the parked
+    /// queue.
     pub fn send(&mut self, mut req: Request) -> Result<u64, ClientError> {
+        if let Some(depth) = self.pipeline_depth {
+            while self.inflight >= depth {
+                let resp = self.recv_wire()?;
+                self.parked.push_back(resp);
+            }
+        }
         let id = self.next_id;
         self.next_id += 1;
         set_id(&mut req, id);
         write_frame(&mut self.writer, &req.encode())?;
+        self.inflight += 1;
         Ok(id)
     }
 
     /// Pipelined mode: blocks for the next response on the wire — for
     /// *any* in-flight id. Under the event-loop server runtime, responses
-    /// arrive in completion order, not send order.
+    /// arrive in completion order, not send order. Responses parked by a
+    /// depth-capped [`send`](Self::send) are returned first.
     pub fn recv(&mut self) -> Result<Response, ClientError> {
+        if let Some(resp) = self.parked.pop_front() {
+            return Ok(resp);
+        }
+        self.recv_wire()
+    }
+
+    fn recv_wire(&mut self) -> Result<Response, ClientError> {
         let payload = self.reader.next_frame()?;
+        self.inflight = self.inflight.saturating_sub(1);
         Ok(Response::decode(&payload)?)
+    }
+
+    fn budget(&self, opts: &CompareOptions) -> Option<u64> {
+        opts.budget_ms
+            .or_else(|| self.deadline.map(|d| (d.as_millis() as u64).max(1)))
     }
 
     /// Loads a CSV directory into the server catalog under `name`;
@@ -188,13 +301,14 @@ impl Client {
         algo: Algo,
         opts: CompareOptions,
     ) -> Result<CompareScores, ClientError> {
+        let budget_ms = self.budget(&opts);
         match self.call(Request::Compare {
             id: 0,
             left: left.into(),
             right: right.into(),
             algo,
             lambda: opts.lambda,
-            budget_ms: opts.budget_ms,
+            budget_ms,
         })? {
             Response::Compared { scores, .. } => Ok(scores),
             other => Err(unexpected(other)),
@@ -211,14 +325,31 @@ impl Client {
         k: u64,
         opts: CompareOptions,
     ) -> Result<SearchResults, ClientError> {
+        let budget_ms = self.budget(&opts);
         match self.call(Request::Search {
             id: 0,
             query: query.into(),
             k,
             lambda: opts.lambda,
-            budget_ms: opts.budget_ms,
+            budget_ms,
         })? {
             Response::Searched { results, .. } => Ok(results),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Applies a delta to the catalog instance `name` and returns
+    /// `(tuples_after, inserted_tuple_ids)`. The patch is atomic: either
+    /// every op applies (publishing a new catalog version) or none do.
+    pub fn patch(&mut self, name: &str, ops: Vec<PatchOp>) -> Result<(u64, Vec<u64>), ClientError> {
+        match self.call(Request::Patch {
+            id: 0,
+            name: name.into(),
+            ops,
+        })? {
+            Response::Patched {
+                tuples, inserted, ..
+            } => Ok((tuples, inserted)),
             other => Err(unexpected(other)),
         }
     }
@@ -247,6 +378,7 @@ fn set_id(req: &mut Request, new_id: u64) {
         | Request::List { id }
         | Request::Compare { id, .. }
         | Request::Search { id, .. }
+        | Request::Patch { id, .. }
         | Request::Stats { id }
         | Request::Shutdown { id } => *id = new_id,
     }

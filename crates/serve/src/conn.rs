@@ -70,6 +70,7 @@ enum Close {
     Protocol,
     Backpressure,
     Drained,
+    Idle,
 }
 
 /// One connection's state: the framing reader (which owns the socket),
@@ -86,6 +87,10 @@ struct Conn {
     draining: bool,
     /// Interest currently registered with the poller (dedupes `epoll_ctl`).
     interest: Interest,
+    /// When this connection last showed frame activity (readable bytes or
+    /// a routed completion); the idle sweep closes quiet connections past
+    /// [`ServerConfig::idle_timeout`](crate::server::ServerConfig).
+    last_activity: Instant,
 }
 
 impl Conn {
@@ -194,6 +199,9 @@ impl Driver<'_> {
                 self.dispatch(*ev);
             }
             self.route_completions();
+            if !self.draining {
+                self.sweep_idle();
+            }
 
             if self.shared.stopping() && !self.draining {
                 self.begin_drain();
@@ -288,6 +296,7 @@ impl Driver<'_> {
             inflight: 0,
             draining: false,
             interest: Interest::READ,
+            last_activity: Instant::now(),
         };
         let fd = conn.reader.get_ref().as_raw_fd();
         if self
@@ -316,6 +325,7 @@ impl Driver<'_> {
             ..
         } = self;
         let conn = slots[idx].as_mut()?;
+        conn.last_activity = Instant::now();
 
         loop {
             if conn.draining {
@@ -434,6 +444,7 @@ impl Driver<'_> {
                 continue;
             };
             conn.inflight -= 1;
+            conn.last_activity = Instant::now();
             if !conn.queue_response(&resp) {
                 self.close(idx, Close::Protocol);
                 continue;
@@ -507,6 +518,7 @@ impl Driver<'_> {
             Close::Protocol => counters.closed_protocol.fetch_add(1, Ordering::Relaxed),
             Close::Backpressure => counters.closed_backpressure.fetch_add(1, Ordering::Relaxed),
             Close::Drained => counters.closed_drained.fetch_add(1, Ordering::Relaxed),
+            Close::Idle => counters.closed_idle.fetch_add(1, Ordering::Relaxed),
         };
         // Dropping the conn closes the socket. Any in-flight jobs it still
         // has will complete, fail the generation check, and be discarded —
@@ -524,6 +536,29 @@ impl Driver<'_> {
                 conn.draining = true;
             }
             self.sync_interest(idx);
+        }
+    }
+
+    /// Sheds connections silent past [`idle_timeout`] — never one with
+    /// requests in flight or undelivered output, and never during drain
+    /// (drain has its own grace window).
+    ///
+    /// [`idle_timeout`]: crate::server::ServerConfig::idle_timeout
+    fn sweep_idle(&mut self) {
+        let Some(timeout) = self.shared.cfg.idle_timeout else {
+            return;
+        };
+        for idx in 0..self.slots.len() {
+            let idle = matches!(
+                self.slots[idx].as_ref(),
+                Some(c) if !c.draining
+                    && c.inflight == 0
+                    && c.pending() == 0
+                    && c.last_activity.elapsed() >= timeout
+            );
+            if idle {
+                self.close(idx, Close::Idle);
+            }
         }
     }
 

@@ -10,11 +10,14 @@
 //! * [`catalog`] — a registry of named, schema-aligned instances loaded
 //!   from CSV directories or registered programmatically, with
 //!   copy-on-write snapshot replacement: in-flight requests never observe
-//!   a torn update.
+//!   a torn update. Every mutation is one [`ic_store::CatalogOp`] applied
+//!   through [`ServeCatalog::apply`]; opened with a [`ic_store::Storage`]
+//!   backend the catalog is durable — ops are write-ahead logged and
+//!   recovered (snapshot + WAL replay) on reopen.
 //! * [`proto`] + [`frame`] + [`json`] — a length-prefixed JSON-lines wire
 //!   format (hand-rolled encoder/decoder, no serde) with request kinds
-//!   `load`, `list`, `compare`, `search`, `stats`, `shutdown`, request ids
-//!   echoed in responses, and typed error payloads mapped from
+//!   `load`, `list`, `compare`, `search`, `patch`, `stats`, `shutdown`,
+//!   request ids echoed in responses, and typed error payloads mapped from
 //!   [`ic_core::Error`].
 //! * [`server`] — the serving runtime: a bounded request queue feeding
 //!   [`ic_pool`] workers, admission control (queue-full returns
@@ -65,7 +68,7 @@
 //! }
 //!
 //! let server = Server::start(catalog, "127.0.0.1:0", ServerConfig::default()).unwrap();
-//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let mut client = Client::new(server.local_addr()).unwrap();
 //! let scores = client
 //!     .compare("v1", "v2", Algo::Signature, CompareOptions::default())
 //!     .unwrap();
@@ -92,13 +95,13 @@ pub mod proto;
 pub mod server;
 pub mod sigcache;
 
-pub use catalog::{CatalogError, ServeCatalog, Snapshot};
-pub use client::{Client, ClientError, CompareOptions};
+pub use catalog::{ApplyOutcome, CatalogError, ServeCatalog, Snapshot};
+pub use client::{Client, ClientBuilder, ClientError, CompareOptions};
 pub use frame::{FrameError, FrameReader, MAX_FRAME_LEN};
 pub use json::Json;
 pub use proto::{
-    Algo, CompareScores, ErrorCode, InstanceInfo, Request, Response, SearchResult, SearchResults,
-    ServerStats, SpanStat,
+    Algo, AttrRef, CompareScores, ErrorCode, InstanceInfo, PatchOp, PatchValue, Request, Response,
+    SearchResult, SearchResults, ServerStats, SpanStat,
 };
 pub use server::{
     ConnStats, Runtime, Server, ServerConfig, ServerHandle, COMPARE_LABEL, SEARCH_LABEL,

@@ -44,6 +44,156 @@ impl Algo {
     }
 }
 
+/// A value carried by a patch op, resolved against the catalog's value
+/// domains server-side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatchValue {
+    /// A constant, interned on arrival (`"x"` on the wire).
+    Const(String),
+    /// A fresh labeled null, drawn server-side (`null` on the wire).
+    FreshNull,
+    /// An existing labeled null by id (`{"null": n}` on the wire) — for
+    /// edits that must co-reference a null already in the instance.
+    Null(u32),
+}
+
+impl PatchValue {
+    fn to_json(&self) -> Json {
+        match self {
+            PatchValue::Const(s) => Json::Str(s.clone()),
+            PatchValue::FreshNull => Json::Null,
+            PatchValue::Null(n) => Json::obj(vec![("null", Json::Num(*n as f64))]),
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        match v {
+            Json::Str(s) => Ok(PatchValue::Const(s.clone())),
+            Json::Null => Ok(PatchValue::FreshNull),
+            obj @ Json::Obj(_) => Ok(PatchValue::Null(
+                obj.get("null")
+                    .and_then(Json::as_u64)
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or(DecodeError::Shape("null reference not a u32"))?,
+            )),
+            _ => Err(DecodeError::Shape(
+                "patch value must be string, null, or {\"null\":n}",
+            )),
+        }
+    }
+}
+
+/// How a patch `modify` names the attribute: by position or by the
+/// schema's attribute name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrRef {
+    /// Zero-based attribute position.
+    Index(u16),
+    /// Attribute name, resolved against the tuple's relation schema.
+    Name(String),
+}
+
+impl AttrRef {
+    fn to_json(&self) -> Json {
+        match self {
+            AttrRef::Index(i) => Json::Num(*i as f64),
+            AttrRef::Name(n) => Json::Str(n.clone()),
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        match v {
+            Json::Str(s) => Ok(AttrRef::Name(s.clone())),
+            n @ Json::Num(_) => Ok(AttrRef::Index(
+                n.as_u64()
+                    .and_then(|i| u16::try_from(i).ok())
+                    .ok_or(DecodeError::Shape("attr index not a u16"))?,
+            )),
+            _ => Err(DecodeError::Shape("attr must be a name or an index")),
+        }
+    }
+}
+
+/// One edit in a `patch` request, in instance-delta vocabulary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatchOp {
+    /// Insert a tuple into the named relation.
+    Insert {
+        /// Relation name (schema-resolved server-side).
+        rel: String,
+        /// One value per attribute.
+        values: Vec<PatchValue>,
+    },
+    /// Delete a tuple by id.
+    Delete {
+        /// The tuple id.
+        tuple: u32,
+    },
+    /// Overwrite one attribute of a tuple.
+    Modify {
+        /// The tuple id.
+        tuple: u32,
+        /// Which attribute.
+        attr: AttrRef,
+        /// The new value.
+        value: PatchValue,
+    },
+}
+
+impl PatchOp {
+    fn to_json(&self) -> Json {
+        match self {
+            PatchOp::Insert { rel, values } => Json::obj(vec![
+                ("op", Json::Str("insert".into())),
+                ("rel", Json::Str(rel.clone())),
+                (
+                    "values",
+                    Json::Arr(values.iter().map(PatchValue::to_json).collect()),
+                ),
+            ]),
+            PatchOp::Delete { tuple } => Json::obj(vec![
+                ("op", Json::Str("delete".into())),
+                ("tuple", Json::Num(*tuple as f64)),
+            ]),
+            PatchOp::Modify { tuple, attr, value } => Json::obj(vec![
+                ("op", Json::Str("modify".into())),
+                ("tuple", Json::Num(*tuple as f64)),
+                ("attr", attr.to_json()),
+                ("value", value.to_json()),
+            ]),
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        match req_str(v, "op")? {
+            "insert" => {
+                let items = v
+                    .get("values")
+                    .and_then(Json::as_arr)
+                    .ok_or(DecodeError::Shape("missing values array"))?;
+                Ok(PatchOp::Insert {
+                    rel: req_str(v, "rel")?.to_string(),
+                    values: items
+                        .iter()
+                        .map(PatchValue::from_json)
+                        .collect::<Result<_, _>>()?,
+                })
+            }
+            "delete" => Ok(PatchOp::Delete {
+                tuple: req_u32(v, "tuple")?,
+            }),
+            "modify" => Ok(PatchOp::Modify {
+                tuple: req_u32(v, "tuple")?,
+                attr: AttrRef::from_json(v.get("attr").ok_or(DecodeError::Shape("missing attr"))?)?,
+                value: PatchValue::from_json(
+                    v.get("value").ok_or(DecodeError::Shape("missing value"))?,
+                )?,
+            }),
+            _ => Err(DecodeError::Shape("unknown patch op")),
+        }
+    }
+}
+
 /// A client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -97,6 +247,19 @@ pub enum Request {
         /// truncated result. `None` falls back to the server default.
         budget_ms: Option<u64>,
     },
+    /// Edit an instance in place: apply tuple-level ops to the named
+    /// catalog entry, publishing (and, on a durable server, logging) the
+    /// patched copy-on-write snapshot. In-flight comparisons finish on
+    /// the pre-patch pin.
+    Patch {
+        /// Request id, echoed in the response.
+        id: u64,
+        /// Catalog name of the instance to edit.
+        name: String,
+        /// The edits, applied in order (the first failing op aborts the
+        /// whole patch).
+        ops: Vec<PatchOp>,
+    },
     /// Server statistics: request counters and per-label observation spans.
     Stats {
         /// Request id, echoed in the response.
@@ -117,6 +280,7 @@ impl Request {
             | Request::List { id }
             | Request::Compare { id, .. }
             | Request::Search { id, .. }
+            | Request::Patch { id, .. }
             | Request::Stats { id }
             | Request::Shutdown { id } => *id,
         }
@@ -188,6 +352,12 @@ impl Request {
                 }
                 Json::obj(members)
             }
+            Request::Patch { id, name, ops } => Json::obj(vec![
+                ("id", Json::Num(*id as f64)),
+                ("kind", Json::Str("patch".into())),
+                ("name", Json::Str(name.clone())),
+                ("ops", Json::Arr(ops.iter().map(PatchOp::to_json).collect())),
+            ]),
             Request::Stats { id } => Json::obj(vec![
                 ("id", Json::Num(*id as f64)),
                 ("kind", Json::Str("stats".into())),
@@ -263,6 +433,20 @@ impl Request {
                     budget_ms,
                 })
             }
+            "patch" => {
+                let items = v
+                    .get("ops")
+                    .and_then(Json::as_arr)
+                    .ok_or(DecodeError::Shape("missing ops array"))?;
+                Ok(Request::Patch {
+                    id,
+                    name: req_str(v, "name")?.to_string(),
+                    ops: items
+                        .iter()
+                        .map(PatchOp::from_json)
+                        .collect::<Result<_, _>>()?,
+                })
+            }
             "stats" => Ok(Request::Stats { id }),
             "shutdown" => Ok(Request::Shutdown { id }),
             _ => Err(DecodeError::Shape("unknown request kind")),
@@ -300,6 +484,9 @@ pub enum ErrorCode {
     ShuttingDown,
     /// Loading from disk failed (missing directory, CSV syntax, …).
     Load,
+    /// A `patch` op did not apply: unknown tuple or relation, arity
+    /// mismatch, or attribute out of range. The instance is unchanged.
+    Delta,
     /// Unexpected server-side failure.
     Internal,
 }
@@ -318,6 +505,7 @@ impl ErrorCode {
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::Load => "load",
+            ErrorCode::Delta => "delta",
             ErrorCode::Internal => "internal",
         }
     }
@@ -334,6 +522,7 @@ impl ErrorCode {
             "overloaded" => ErrorCode::Overloaded,
             "shutting_down" => ErrorCode::ShuttingDown,
             "load" => ErrorCode::Load,
+            "delta" => ErrorCode::Delta,
             "internal" => ErrorCode::Internal,
             _ => return None,
         })
@@ -473,6 +662,17 @@ pub enum Response {
         /// Ranked hits and prefilter accounting.
         results: SearchResults,
     },
+    /// A `patch` succeeded.
+    Patched {
+        /// Echoed request id.
+        id: u64,
+        /// Catalog name of the patched instance.
+        name: String,
+        /// Total tuples after the patch.
+        tuples: u64,
+        /// Tuple ids assigned to the patch's inserts, in op order.
+        inserted: Vec<u64>,
+    },
     /// A `stats` result.
     Stats {
         /// Echoed request id.
@@ -505,6 +705,7 @@ impl Response {
             | Response::Listing { id, .. }
             | Response::Compared { id, .. }
             | Response::Searched { id, .. }
+            | Response::Patched { id, .. }
             | Response::Stats { id, .. }
             | Response::ShuttingDown { id }
             | Response::Error { id, .. } => *id,
@@ -590,6 +791,21 @@ impl Response {
                 ("compared", Json::Num(results.compared as f64)),
                 ("total", Json::Num(results.total as f64)),
                 ("elapsed_us", Json::Num(results.elapsed_us as f64)),
+            ]),
+            Response::Patched {
+                id,
+                name,
+                tuples,
+                inserted,
+            } => Json::obj(vec![
+                ("id", Json::Num(*id as f64)),
+                ("kind", Json::Str("patched".into())),
+                ("name", Json::Str(name.clone())),
+                ("tuples", Json::Num(*tuples as f64)),
+                (
+                    "inserted",
+                    Json::Arr(inserted.iter().map(|t| Json::Num(*t as f64)).collect()),
+                ),
             ]),
             Response::Stats { id, stats } => Json::obj(vec![
                 ("id", Json::Num(*id as f64)),
@@ -701,6 +917,24 @@ impl Response {
                     },
                 })
             }
+            "patched" => {
+                let items = v
+                    .get("inserted")
+                    .and_then(Json::as_arr)
+                    .ok_or(DecodeError::Shape("missing inserted array"))?;
+                Ok(Response::Patched {
+                    id,
+                    name: req_str(v, "name")?.to_string(),
+                    tuples: req_u64(v, "tuples")?,
+                    inserted: items
+                        .iter()
+                        .map(|t| {
+                            t.as_u64()
+                                .ok_or(DecodeError::Shape("inserted id not an integer"))
+                        })
+                        .collect::<Result<_, _>>()?,
+                })
+            }
             "stats" => {
                 let items = v
                     .get("spans")
@@ -776,6 +1010,12 @@ fn req_u64(v: &Json, key: &'static str) -> Result<u64, DecodeError> {
         .ok_or(DecodeError::Shape("missing or non-integer field"))
 }
 
+fn req_u32(v: &Json, key: &'static str) -> Result<u32, DecodeError> {
+    req_u64(v, key)?
+        .try_into()
+        .map_err(|_| DecodeError::Shape("field out of u32 range"))
+}
+
 fn opt_f64(v: &Json, key: &'static str) -> Result<Option<f64>, DecodeError> {
     match v.get(key) {
         None | Some(Json::Null) => Ok(None),
@@ -827,6 +1067,36 @@ mod tests {
                 k: 0,
                 lambda: None,
                 budget_ms: None,
+            },
+            Request::Patch {
+                id: 11,
+                name: "νictim".into(),
+                ops: vec![
+                    PatchOp::Insert {
+                        rel: "R".into(),
+                        values: vec![
+                            PatchValue::Const("x\"y\"".into()),
+                            PatchValue::FreshNull,
+                            PatchValue::Null(7),
+                        ],
+                    },
+                    PatchOp::Delete { tuple: 3 },
+                    PatchOp::Modify {
+                        tuple: 5,
+                        attr: AttrRef::Name("B".into()),
+                        value: PatchValue::Const("z".into()),
+                    },
+                    PatchOp::Modify {
+                        tuple: 6,
+                        attr: AttrRef::Index(0),
+                        value: PatchValue::FreshNull,
+                    },
+                ],
+            },
+            Request::Patch {
+                id: 12,
+                name: "empty".into(),
+                ops: vec![],
             },
             Request::Stats { id: 7 },
             Request::Shutdown { id: u64::MAX >> 12 },
@@ -905,6 +1175,18 @@ mod tests {
                         wall_us: 5000,
                     }],
                 },
+            },
+            Response::Patched {
+                id: 11,
+                name: "νictim".into(),
+                tuples: 9,
+                inserted: vec![4, 7],
+            },
+            Response::Patched {
+                id: 12,
+                name: "e".into(),
+                tuples: 0,
+                inserted: vec![],
             },
             Response::ShuttingDown { id: 5 },
             Response::Error {

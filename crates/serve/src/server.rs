@@ -49,12 +49,13 @@ use crate::frame::{write_frame, FrameError, FrameReader, MAX_FRAME_LEN};
 use crate::json::Json;
 use crate::lockutil::lock_recover;
 use crate::proto::{
-    Algo, CompareScores, DecodeError, ErrorCode, InstanceInfo, Request, Response, SearchResult,
-    SearchResults, ServerStats, SpanStat,
+    Algo, AttrRef, CompareScores, DecodeError, ErrorCode, InstanceInfo, PatchOp, PatchValue,
+    Request, Response, SearchResult, SearchResults, ServerStats, SpanStat,
 };
 use crate::sigcache::SigMapCache;
-use ic_core::{Comparator, SignatureConfig};
+use ic_core::{apply_delta_repairing, Comparator, Delta, DeltaOp, SignatureConfig};
 use ic_index::{CatalogIndex, SearchOptions};
+use ic_model::{AttrId, Instance, NullId, RelId, TupleId, Value};
 use ic_obs::StatsSink;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -134,6 +135,11 @@ pub struct ServerConfig {
     /// delivery of already-computed responses once all in-flight work has
     /// drained. A stalled peer cannot hold shutdown hostage beyond this.
     pub drain_grace: Duration,
+    /// Close connections with no frame activity for this long (`None` =
+    /// never). A connection with requests still in flight is never shed.
+    /// Both runtimes enforce it at `poll_interval` granularity; idle
+    /// closes are counted in [`ConnStats::closed_idle`].
+    pub idle_timeout: Option<Duration>,
     /// Artificial per-job delay in the workers, applied before the
     /// deadline check. A test/bench hook: it makes queue occupancy (and
     /// thus admission-control behavior) deterministic. `None` in
@@ -157,6 +163,7 @@ impl std::fmt::Debug for ServerConfig {
             .field("max_frame_len", &self.max_frame_len)
             .field("max_write_buffer", &self.max_write_buffer)
             .field("drain_grace", &self.drain_grace)
+            .field("idle_timeout", &self.idle_timeout)
             .field("worker_delay", &self.worker_delay)
             .field("extra_sink", &self.extra_sink.is_some())
             .finish()
@@ -174,6 +181,7 @@ impl Default for ServerConfig {
             max_frame_len: MAX_FRAME_LEN,
             max_write_buffer: 1 << 20,
             drain_grace: Duration::from_millis(250),
+            idle_timeout: None,
             worker_delay: None,
             extra_sink: None,
         }
@@ -247,6 +255,7 @@ pub(crate) struct ConnCounters {
     pub(crate) closed_protocol: AtomicU64,
     pub(crate) closed_backpressure: AtomicU64,
     pub(crate) closed_drained: AtomicU64,
+    pub(crate) closed_idle: AtomicU64,
 }
 
 /// A point-in-time snapshot of connection lifecycle counters — how many
@@ -266,6 +275,9 @@ pub struct ConnStats {
     /// Closed by graceful drain (shutdown, or a `shutdown`-acknowledging
     /// connection that flushed its final response).
     pub closed_drained: u64,
+    /// Shed for exceeding [`ServerConfig::idle_timeout`] with no frame
+    /// activity and nothing in flight.
+    pub closed_idle: u64,
 }
 
 /// State shared by every server thread.
@@ -518,6 +530,7 @@ impl ServerHandle {
             closed_protocol: c.closed_protocol.load(Ordering::Relaxed),
             closed_backpressure: c.closed_backpressure.load(Ordering::Relaxed),
             closed_drained: c.closed_drained.load(Ordering::Relaxed),
+            closed_idle: c.closed_idle.load(Ordering::Relaxed),
         }
     }
 
@@ -629,14 +642,28 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
         return;
     };
     let mut reader = FrameReader::with_max_len(stream, shared.cfg.max_frame_len);
+    let mut last_activity = Instant::now();
 
     loop {
         if shared.stopping() {
             return;
         }
         let payload = match reader.poll_frame() {
-            Ok(None) => continue,
-            Ok(Some(p)) => p,
+            Ok(None) => {
+                // No complete frame this poll interval; shed the socket if
+                // it has been silent past the configured idle timeout.
+                if let Some(timeout) = shared.cfg.idle_timeout {
+                    if last_activity.elapsed() >= timeout {
+                        shared.conns.closed_idle.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+                continue;
+            }
+            Ok(Some(p)) => {
+                last_activity = Instant::now();
+                p
+            }
             Err(FrameError::Closed) | Err(FrameError::Io(_)) | Err(FrameError::Truncated) => {
                 shared.conns.closed_peer.fetch_add(1, Ordering::Relaxed);
                 return;
@@ -793,6 +820,10 @@ pub(crate) fn classify(shared: &Arc<Shared>, req: Request) -> Action {
                 close: false,
             }
         }
+        Request::Patch { id, name, ops } => Action::Respond {
+            resp: run_patch(shared, id, name, ops),
+            close: false,
+        },
         Request::Stats { id } => Action::Respond {
             resp: Response::Stats {
                 id,
@@ -880,6 +911,191 @@ pub(crate) fn classify(shared: &Arc<Shared>, req: Request) -> Action {
 fn error_action(shared: &Arc<Shared>, resp: Response) -> Action {
     shared.errors.fetch_add(1, Ordering::Relaxed);
     Action::Respond { resp, close: false }
+}
+
+/// A wire patch op with schema references resolved but values still
+/// symbolic — interning happens inside the catalog mutation so the new
+/// constants and nulls are captured (and WAL-logged) with the op.
+enum ResolvedPatchOp {
+    Insert {
+        rel: RelId,
+        values: Vec<PatchValue>,
+    },
+    Delete {
+        id: TupleId,
+    },
+    Modify {
+        id: TupleId,
+        attr: AttrId,
+        value: PatchValue,
+    },
+}
+
+/// Handles a `patch` request inline (it is a catalog mutation, like
+/// `load`): resolves the wire ops against the schema, applies them through
+/// [`ServeCatalog::patch`] — one copy-on-write publish, WAL-logged when
+/// durable — and migrates any cached signature maps to the new pin by
+/// incremental repair instead of letting the next compare rebuild them.
+fn run_patch(shared: &Shared, id: u64, name: String, ops: Vec<PatchOp>) -> Response {
+    let bad_request = |message: String| Response::Error {
+        id,
+        code: ErrorCode::BadRequest,
+        message,
+    };
+
+    // Resolve schema references against the current snapshot. The schema
+    // never changes after construction, so these resolutions cannot be
+    // invalidated by a concurrent mutation; tuple-level races (a tuple
+    // deleted between here and the apply) surface as `delta` errors from
+    // the atomic application below.
+    let pre = shared.catalog.snapshot();
+    let Some(old_pin) = pre.get(&name).cloned() else {
+        return unknown_instance(id, &name);
+    };
+    let schema = pre.catalog.schema();
+    let nulls_bound = pre.catalog.nulls_allocated();
+    let mut resolved = Vec::with_capacity(ops.len());
+    for op in ops {
+        let check_value = |v: &PatchValue| match v {
+            PatchValue::Null(n) if *n >= nulls_bound => Some(bad_request(format!(
+                "null reference {n} is outside the catalog's allocated nulls ({nulls_bound})"
+            ))),
+            _ => None,
+        };
+        match op {
+            PatchOp::Insert { rel, values } => {
+                let Some(rid) = schema.rel(&rel) else {
+                    return bad_request(format!("unknown relation {rel:?}"));
+                };
+                let arity = schema.relation(rid).arity();
+                if values.len() != arity {
+                    return bad_request(format!(
+                        "relation {rel:?} has arity {arity}, insert carries {} values",
+                        values.len()
+                    ));
+                }
+                if let Some(resp) = values.iter().find_map(check_value) {
+                    return resp;
+                }
+                resolved.push(ResolvedPatchOp::Insert { rel: rid, values });
+            }
+            PatchOp::Delete { tuple } => {
+                resolved.push(ResolvedPatchOp::Delete { id: TupleId(tuple) });
+            }
+            PatchOp::Modify { tuple, attr, value } => {
+                let attr = match attr {
+                    AttrRef::Index(i) => AttrId(i),
+                    AttrRef::Name(n) => {
+                        // Name resolution needs the tuple's relation; an
+                        // unknown tuple becomes a `delta` error either way.
+                        let Some(rid) = old_pin.rel_of(TupleId(tuple)) else {
+                            return Response::Error {
+                                id,
+                                code: ErrorCode::Delta,
+                                message: format!("no tuple with id {tuple} in {name:?}"),
+                            };
+                        };
+                        match schema.relation(rid).attr(&n) {
+                            Some(a) => a,
+                            None => {
+                                return bad_request(format!(
+                                    "relation {:?} has no attribute {n:?}",
+                                    schema.relation(rid).name()
+                                ))
+                            }
+                        }
+                    }
+                };
+                if let Some(resp) = check_value(&value) {
+                    return resp;
+                }
+                resolved.push(ResolvedPatchOp::Modify {
+                    id: TupleId(tuple),
+                    attr,
+                    value,
+                });
+            }
+        }
+    }
+
+    // Pin the old signature maps *before* the mutation publishes: the
+    // catalog-subscription sweep evicts the old entry the instant the
+    // patched pin replaces it.
+    let old_maps = shared.sig_cache.lookup(&name, &old_pin);
+
+    let mut applied_delta = None;
+    let outcome = shared.catalog.patch(&name, |catalog| {
+        let delta = Delta::new(
+            resolved
+                .into_iter()
+                .map(|op| match op {
+                    ResolvedPatchOp::Insert { rel, values } => DeltaOp::Insert {
+                        rel,
+                        values: values.iter().map(|v| wire_value(catalog, v)).collect(),
+                    },
+                    ResolvedPatchOp::Delete { id } => DeltaOp::Delete { id },
+                    ResolvedPatchOp::Modify { id, attr, value } => DeltaOp::Modify {
+                        id,
+                        attr,
+                        value: wire_value(catalog, &value),
+                    },
+                })
+                .collect(),
+        );
+        applied_delta = Some(delta.clone());
+        Ok(delta)
+    });
+    let outcome = match outcome {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            let code = match &e {
+                CatalogError::UnknownInstance { .. } => ErrorCode::UnknownInstance,
+                CatalogError::Delta { .. } => ErrorCode::Delta,
+                _ => ErrorCode::Internal,
+            };
+            return Response::Error {
+                id,
+                code,
+                message: e.to_string(),
+            };
+        }
+    };
+
+    let new_pin = outcome
+        .instance
+        .expect("a successful patch always returns the new pin");
+    // Migrate cached signature maps to the new pin by replaying the delta
+    // with incremental repair — bit-identical to a rebuild, at O(|delta|)
+    // instead of O(instance). Only when no other mutation slipped in
+    // between our snapshot and the patch (version advanced by exactly
+    // one): otherwise `old_pin` may not be the instance the patch applied
+    // to, and repaired maps would silently describe the wrong tuples.
+    let no_race = outcome.version == pre.version + 1;
+    if let (true, Some(old_maps), Some(delta)) = (no_race, old_maps, &applied_delta) {
+        let mut inst = Instance::clone(&old_pin);
+        let mut maps = ic_core::InstanceSigMaps::clone(&old_maps);
+        if apply_delta_repairing(&mut inst, Some(&mut maps), delta).is_ok() {
+            shared
+                .sig_cache
+                .store(&name, Arc::clone(&new_pin), Arc::new(maps));
+        }
+    }
+
+    Response::Patched {
+        id,
+        name,
+        tuples: new_pin.num_tuples() as u64,
+        inserted: outcome.inserted.iter().map(|t| t.0 as u64).collect(),
+    }
+}
+
+/// Interns one wire patch value into the mutation's catalog copy.
+fn wire_value(catalog: &mut ic_model::Catalog, v: &PatchValue) -> Value {
+    match v {
+        PatchValue::Const(s) => catalog.konst(s),
+        PatchValue::FreshNull => catalog.fresh_null(),
+        PatchValue::Null(n) => Value::Null(NullId(*n)),
+    }
 }
 
 fn stamp_deadline(shared: &Shared, budget_ms: Option<u64>) -> Option<Instant> {

@@ -31,7 +31,7 @@ fn served_scores_are_bit_identical_to_direct_comparator() {
     catalog.register("source", sc.source).unwrap();
     catalog.register("target", sc.target).unwrap();
     let server = start(catalog, ServerConfig::default());
-    let mut client = Client::connect(server.local_addr()).unwrap();
+    let mut client = Client::new(server.local_addr()).unwrap();
 
     let sig = client
         .compare(
@@ -102,7 +102,7 @@ fn concurrent_replacement_preserves_inflight_snapshot() {
     let addr = server.local_addr();
 
     let inflight = std::thread::spawn(move || {
-        let mut client = Client::connect(addr).unwrap();
+        let mut client = Client::new(addr).unwrap();
         client.compare("base", "probe", Algo::Signature, CompareOptions::default())
     });
 
@@ -118,7 +118,7 @@ fn concurrent_replacement_preserves_inflight_snapshot() {
         "in-flight request must answer from the snapshot admitted with it"
     );
 
-    let mut client = Client::connect(addr).unwrap();
+    let mut client = Client::new(addr).unwrap();
     let new = client
         .compare("base", "probe", Algo::Signature, CompareOptions::default())
         .unwrap();
@@ -152,14 +152,14 @@ fn shutdown_drains_admitted_requests() {
     let clients: Vec<_> = (0..4)
         .map(|_| {
             std::thread::spawn(move || {
-                let mut client = Client::connect(addr).unwrap();
+                let mut client = Client::new(addr).unwrap();
                 client.compare("base", "probe", Algo::Signature, CompareOptions::default())
             })
         })
         .collect();
     std::thread::sleep(Duration::from_millis(50));
 
-    let mut shutter = Client::connect(addr).unwrap();
+    let mut shutter = Client::new(addr).unwrap();
     shutter.shutdown().unwrap();
     server.wait();
 
@@ -191,7 +191,7 @@ fn sigmap_cache_reuses_and_invalidates_on_replacement() {
     catalog.register("source", sc.source).unwrap();
     catalog.register("target", sc.target).unwrap();
     let server = start(Arc::clone(&catalog), ServerConfig::default());
-    let mut client = Client::connect(server.local_addr()).unwrap();
+    let mut client = Client::new(server.local_addr()).unwrap();
 
     // First compare: two cache misses, maps built and stored.
     let first = client
@@ -265,7 +265,7 @@ fn sigmap_cache_reuses_and_invalidates_on_replacement() {
 fn stats_report_per_request_spans() {
     let catalog = flip_catalog();
     let server = start(Arc::clone(&catalog), ServerConfig::default());
-    let mut client = Client::connect(server.local_addr()).unwrap();
+    let mut client = Client::new(server.local_addr()).unwrap();
 
     let n = 5;
     for _ in 0..n {
@@ -318,7 +318,7 @@ fn served_search_is_bit_identical_to_client_side_compare_loop() {
         catalog.register(&name, inst).unwrap();
     }
     let server = start(Arc::clone(&catalog), ServerConfig::default());
-    let mut client = Client::connect(server.local_addr()).unwrap();
+    let mut client = Client::new(server.local_addr()).unwrap();
 
     let (query, k) = ("c1v0", 5);
     let mut brute: Vec<(String, f64, u64)> = names
@@ -378,7 +378,7 @@ fn served_search_is_bit_identical_to_client_side_compare_loop() {
 fn remove_then_reload_evicts_sigcache_entries() {
     let catalog = flip_catalog(); // "base" and "probe"
     let server = start(Arc::clone(&catalog), ServerConfig::default());
-    let mut client = Client::connect(server.local_addr()).unwrap();
+    let mut client = Client::new(server.local_addr()).unwrap();
     let pre_load = server.sig_cache().len();
     assert_eq!(pre_load, 0);
 
@@ -437,7 +437,7 @@ fn panicking_observer_sink_does_not_wedge_subsequent_requests() {
         ..ServerConfig::default()
     };
     let server = start(Arc::clone(&catalog), cfg);
-    let mut client = Client::connect(server.local_addr()).unwrap();
+    let mut client = Client::new(server.local_addr()).unwrap();
 
     let err = client
         .compare("base", "probe", Algo::Signature, CompareOptions::default())
@@ -451,7 +451,7 @@ fn panicking_observer_sink_does_not_wedge_subsequent_requests() {
     assert_eq!(scores.signature, Some(1.0));
 
     // Fresh connection too, and search exercises the index path.
-    let mut other = Client::connect(server.local_addr()).unwrap();
+    let mut other = Client::new(server.local_addr()).unwrap();
     let results = other.search("base", 2, CompareOptions::default()).unwrap();
     assert_eq!(results.hits[0].score, 1.0);
 

@@ -94,7 +94,7 @@ fn undecodable_payload_keeps_connection_alive() {
 #[test]
 fn unknown_instance_is_a_typed_error() {
     let server = server_with(ServerConfig::default());
-    let mut client = Client::connect(server.local_addr()).unwrap();
+    let mut client = Client::new(server.local_addr()).unwrap();
     let err = client
         .compare(
             "a",
@@ -110,7 +110,7 @@ fn unknown_instance_is_a_typed_error() {
 #[test]
 fn zero_budget_is_a_fast_typed_error_not_a_hang() {
     let server = server_with(ServerConfig::default());
-    let mut client = Client::connect(server.local_addr()).unwrap();
+    let mut client = Client::new(server.local_addr()).unwrap();
     let start = Instant::now();
     let err = client
         .compare(
@@ -134,7 +134,7 @@ fn zero_budget_is_a_fast_typed_error_not_a_hang() {
 #[test]
 fn invalid_lambda_maps_to_config_error() {
     let server = server_with(ServerConfig::default());
-    let mut client = Client::connect(server.local_addr()).unwrap();
+    let mut client = Client::new(server.local_addr()).unwrap();
     let err = client
         .compare(
             "a",
@@ -168,7 +168,7 @@ fn full_queue_rejects_with_overloaded() {
                 // Stagger so the first compare is in the worker and the
                 // second is parked in the queue slot.
                 std::thread::sleep(Duration::from_millis(60 * i));
-                let mut client = Client::connect(addr).unwrap();
+                let mut client = Client::new(addr).unwrap();
                 client.compare("a", "b", Algo::Signature, CompareOptions::default())
             })
         })
@@ -177,7 +177,7 @@ fn full_queue_rejects_with_overloaded() {
 
     // Worker busy + queue slot taken: admission control must answer
     // immediately instead of blocking.
-    let mut client = Client::connect(addr).unwrap();
+    let mut client = Client::new(addr).unwrap();
     let start = Instant::now();
     let err = client
         .compare("a", "b", Algo::Signature, CompareOptions::default())

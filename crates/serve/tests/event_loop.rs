@@ -64,7 +64,7 @@ fn pipelined_requests_complete_id_matched_and_order_insensitive() {
     });
 
     // The reference score, via an ordinary sequential client.
-    let mut seq = Client::connect(server.local_addr()).unwrap();
+    let mut seq = Client::new(server.local_addr()).unwrap();
     let reference = seq
         .compare("a", "b", Algo::Signature, CompareOptions::default())
         .unwrap()
@@ -130,7 +130,7 @@ fn pipelined_requests_complete_id_matched_and_order_insensitive() {
 #[test]
 fn pipelined_client_matches_sequential_scores() {
     let server = server_with(ServerConfig::default());
-    let mut client = Client::connect(server.local_addr()).unwrap();
+    let mut client = Client::new(server.local_addr()).unwrap();
     let reference = client
         .compare("a", "b", Algo::Signature, CompareOptions::default())
         .unwrap()
@@ -201,7 +201,7 @@ fn slow_reader_trips_backpressure_and_is_disconnected() {
     });
 
     // Meanwhile a healthy connection keeps getting real answers.
-    let mut healthy = Client::connect(addr).unwrap();
+    let mut healthy = Client::new(addr).unwrap();
     let deadline = Instant::now() + Duration::from_secs(10);
     loop {
         let scores = healthy
@@ -256,7 +256,7 @@ fn drain_shutdown_joins_cleanly_with_a_stalled_connection_present() {
 
     // A healthy request still completes, then shutdown must not hang on
     // the stalled peer.
-    let mut healthy = Client::connect(addr).unwrap();
+    let mut healthy = Client::new(addr).unwrap();
     healthy
         .compare("a", "b", Algo::Signature, CompareOptions::default())
         .unwrap();
@@ -385,7 +385,7 @@ fn ten_thousand_idle_connections_smoke() {
 
     // Clean wire shutdown with 10k connections still open; the child must
     // drain and exit on its own.
-    let mut client = Client::connect(addr.as_str()).unwrap();
+    let mut client = Client::new(addr.as_str()).unwrap();
     client.shutdown().unwrap();
     let deadline = Instant::now() + Duration::from_secs(15);
     loop {

@@ -1,0 +1,215 @@
+//! Byte-level encoding primitives shared by the snapshot and WAL formats:
+//! little-endian integer/string codecs, a bounds-checked reader, and the
+//! CRC-32 (IEEE) checksum both formats use to detect torn or corrupted
+//! bytes.
+//!
+//! Everything here decodes *external input* (bytes read back from disk),
+//! so every read path returns [`StoreError::Corrupt`] instead of
+//! panicking — a half-written file must surface as an error the caller
+//! can classify, never as an index-out-of-bounds.
+
+use std::fmt;
+
+/// Why a storage operation failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying I/O error from the storage backend.
+    Io(std::io::Error),
+    /// Persisted bytes did not decode: truncated payload, bad magic,
+    /// checksum mismatch past the torn-tail tolerance, or an internal
+    /// inconsistency (e.g. a dictionary that re-interns to different
+    /// symbols).
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "storage i/o: {e}"),
+            StoreError::Corrupt(what) => write!(f, "corrupt store data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Shorthand for a [`StoreError::Corrupt`] with a static description.
+pub(crate) fn corrupt(what: impl Into<String>) -> StoreError {
+    StoreError::Corrupt(what.into())
+}
+
+// --- writing -------------------------------------------------------------
+
+pub(crate) fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A string as `len: u32` + UTF-8 bytes.
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+// --- reading -------------------------------------------------------------
+
+/// A bounds-checked cursor over persisted bytes. Every accessor fails with
+/// [`StoreError::Corrupt`] on truncation.
+pub(crate) struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(corrupt(format!(
+                "truncated: wanted {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        self.take(n)
+    }
+
+    pub fn str(&mut self) -> Result<&'a str, StoreError> {
+        let len = self.u32()? as usize;
+        std::str::from_utf8(self.take(len)?).map_err(|_| corrupt("non-UTF-8 string"))
+    }
+}
+
+// --- checksum ------------------------------------------------------------
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) lookup table,
+/// generated at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes` — the checksum both the snapshot header and
+/// every WAL record carry.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn reader_roundtrips_and_rejects_truncation() {
+        let mut out = Vec::new();
+        put_u8(&mut out, 7);
+        put_u32(&mut out, 0xDEAD_BEEF);
+        put_u64(&mut out, u64::MAX - 1);
+        put_str(&mut out, "héllo");
+
+        let mut r = Reader::new(&out);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert!(r.is_empty());
+
+        // Every strict prefix fails with Corrupt somewhere, never panics.
+        for cut in 0..out.len() {
+            let mut r = Reader::new(&out[..cut]);
+            let result = (|| -> Result<(), StoreError> {
+                r.u8()?;
+                r.u32()?;
+                r.u64()?;
+                r.str()?;
+                Ok(())
+            })();
+            assert!(matches!(result, Err(StoreError::Corrupt(_))));
+        }
+    }
+
+    #[test]
+    fn reader_rejects_bad_utf8() {
+        let mut out = Vec::new();
+        put_u32(&mut out, 2);
+        out.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(matches!(
+            Reader::new(&out).str(),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+}

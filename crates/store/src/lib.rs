@@ -1,0 +1,36 @@
+//! Durable catalog storage for interned instances.
+//!
+//! `ic-store` owns the on-disk format and recovery rules behind a served
+//! catalog: a compact, checksummed, columnar **snapshot** of every
+//! registered instance ([`encode_snapshot`] / [`decode_snapshot`]), an
+//! append-only **WAL** of catalog operations ([`encode_record`] /
+//! [`read_records`]), and the [`Storage`] trait that says where those
+//! bytes live ([`MemStorage`] for tests, [`FileStorage`] for a data
+//! directory on disk).
+//!
+//! The crate also owns [`CatalogOp`] — the single op vocabulary
+//! (`Put`/`Patch`/`Remove`) spoken by the wire protocol, the WAL, and the
+//! in-memory snapshot swap in `ic-serve`. Logging an op means capturing
+//! its [`DomainDelta`] (the constants interned and nulls drawn while
+//! building it) so replay reproduces a **bit-identical** catalog: every
+//! `Sym` and `NullId` means the same thing after recovery, which is what
+//! keeps comparison scores stable across a restart.
+//!
+//! Recovery is torn-tail tolerant: a truncated or checksum-failing final
+//! WAL record — the signature of a crash mid-append — is dropped, never a
+//! panic. Anything else that fails to decode is genuine corruption and
+//! surfaces as [`StoreError::Corrupt`].
+
+#![warn(missing_docs)]
+
+mod format;
+mod snapshot;
+mod storage;
+mod wal;
+
+pub use format::{crc32, StoreError};
+pub use snapshot::{
+    decode_snapshot, encode_snapshot, CatalogState, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
+pub use storage::{FileStorage, MemStorage, Storage};
+pub use wal::{encode_record, read_records, CatalogOp, DomainDelta, WalRecord};

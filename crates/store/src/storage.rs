@@ -1,0 +1,274 @@
+//! The [`Storage`] trait — where snapshot and WAL bytes live — with an
+//! in-memory backend for tests and a file backend for production.
+//!
+//! The trait deliberately traffics in opaque byte buffers: encoding and
+//! recovery rules live in [`crate::snapshot`] and [`crate::wal`], so a
+//! backend only has to answer four questions — read the snapshot, read
+//! the WAL, append one framed record durably, and atomically install a
+//! new snapshot (which truncates the WAL, i.e. compaction).
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// A durability backend for the catalog: one snapshot blob plus an
+/// append-only WAL byte stream.
+///
+/// Contract: `append_wal` must be durable (flushed) when it returns;
+/// `install_snapshot` must atomically replace the snapshot **and**
+/// truncate the WAL — a crash between the two must never leave a new
+/// snapshot paired with the old WAL, or replay would double-apply ops.
+pub trait Storage: Send {
+    /// Reads the current snapshot bytes, or `None` if none was installed.
+    fn read_snapshot(&mut self) -> io::Result<Option<Vec<u8>>>;
+
+    /// Atomically installs `bytes` as the new snapshot and truncates the
+    /// WAL (compaction).
+    fn install_snapshot(&mut self, bytes: &[u8]) -> io::Result<()>;
+
+    /// Reads the whole WAL byte stream (empty if nothing was appended).
+    fn read_wal(&mut self) -> io::Result<Vec<u8>>;
+
+    /// Durably appends one framed record to the WAL.
+    fn append_wal(&mut self, record: &[u8]) -> io::Result<()>;
+}
+
+/// Volatile in-memory storage for tests: byte-for-byte the same contract
+/// as [`FileStorage`], plus accessors for crash simulation (snapshot the
+/// buffers, truncate the WAL mid-record, reopen from the copies).
+#[derive(Debug, Default, Clone)]
+pub struct MemStorage {
+    snapshot: Option<Vec<u8>>,
+    wal: Vec<u8>,
+}
+
+impl MemStorage {
+    /// Creates empty storage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates storage from captured buffers — the crash-simulation
+    /// entry point: pair a copied snapshot with a truncated WAL and
+    /// reopen.
+    pub fn from_parts(snapshot: Option<Vec<u8>>, wal: Vec<u8>) -> Self {
+        Self { snapshot, wal }
+    }
+
+    /// The current snapshot bytes, if any.
+    pub fn snapshot_bytes(&self) -> Option<&[u8]> {
+        self.snapshot.as_deref()
+    }
+
+    /// The current WAL bytes.
+    pub fn wal_bytes(&self) -> &[u8] {
+        &self.wal
+    }
+}
+
+impl Storage for MemStorage {
+    fn read_snapshot(&mut self) -> io::Result<Option<Vec<u8>>> {
+        Ok(self.snapshot.clone())
+    }
+
+    fn install_snapshot(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.snapshot = Some(bytes.to_vec());
+        self.wal.clear();
+        Ok(())
+    }
+
+    fn read_wal(&mut self) -> io::Result<Vec<u8>> {
+        Ok(self.wal.clone())
+    }
+
+    fn append_wal(&mut self, record: &[u8]) -> io::Result<()> {
+        self.wal.extend_from_slice(record);
+        Ok(())
+    }
+}
+
+/// A shared handle to in-memory storage: lets a test hand ownership of
+/// the backend to a catalog while keeping a handle to inspect (or
+/// crash-copy) the buffers afterwards.
+impl Storage for std::sync::Arc<std::sync::Mutex<MemStorage>> {
+    fn read_snapshot(&mut self) -> io::Result<Option<Vec<u8>>> {
+        self.lock().unwrap().read_snapshot()
+    }
+
+    fn install_snapshot(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.lock().unwrap().install_snapshot(bytes)
+    }
+
+    fn read_wal(&mut self) -> io::Result<Vec<u8>> {
+        self.lock().unwrap().read_wal()
+    }
+
+    fn append_wal(&mut self, record: &[u8]) -> io::Result<()> {
+        self.lock().unwrap().append_wal(record)
+    }
+}
+
+/// File-backed storage: `catalog.snap` + `catalog.wal` inside one data
+/// directory.
+///
+/// Snapshot installs write to a temp file, fsync, and rename over the old
+/// snapshot (the commit point), then truncate the WAL. The catalog only
+/// compacts at open time, before any appends, so a crash between rename
+/// and truncate leaves a new snapshot next to a WAL of already-folded
+/// records — the next open replays them onto the snapshot they came
+/// from, which re-produces the same state (ops are deterministic and the
+/// domain-delta base checks make an out-of-order replay fail loudly
+/// rather than corrupt silently).
+#[derive(Debug)]
+pub struct FileStorage {
+    dir: PathBuf,
+    wal: Option<File>,
+}
+
+const SNAP_FILE: &str = "catalog.snap";
+const WAL_FILE: &str = "catalog.wal";
+
+impl FileStorage {
+    /// Opens (creating if needed) the data directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir, wal: None })
+    }
+
+    /// The data directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn wal_handle(&mut self) -> io::Result<&mut File> {
+        if self.wal.is_none() {
+            self.wal = Some(
+                OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(self.dir.join(WAL_FILE))?,
+            );
+        }
+        Ok(self.wal.as_mut().expect("just opened"))
+    }
+
+    /// Best-effort directory fsync so renames survive power loss (no-op
+    /// where directories cannot be opened for sync).
+    fn sync_dir(&self) {
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+    }
+}
+
+impl Storage for FileStorage {
+    fn read_snapshot(&mut self) -> io::Result<Option<Vec<u8>>> {
+        match std::fs::read(self.dir.join(SNAP_FILE)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn install_snapshot(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let tmp = self.dir.join(format!("{SNAP_FILE}.tmp"));
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, self.dir.join(SNAP_FILE))?;
+        self.sync_dir();
+        // Truncate the WAL now that its records are folded in; the handle
+        // is reopened lazily in append mode on the next append.
+        let wal = File::create(self.dir.join(WAL_FILE))?;
+        wal.sync_all()?;
+        self.wal = None;
+        Ok(())
+    }
+
+    fn read_wal(&mut self) -> io::Result<Vec<u8>> {
+        match File::open(self.dir.join(WAL_FILE)) {
+            Ok(mut f) => {
+                let mut bytes = Vec::new();
+                f.read_to_end(&mut bytes)?;
+                Ok(bytes)
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn append_wal(&mut self, record: &[u8]) -> io::Result<()> {
+        let f = self.wal_handle()?;
+        f.write_all(record)?;
+        f.sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ic-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn exercise(storage: &mut dyn Storage) {
+        assert_eq!(storage.read_snapshot().unwrap(), None);
+        assert!(storage.read_wal().unwrap().is_empty());
+
+        storage.append_wal(b"rec1").unwrap();
+        storage.append_wal(b"rec2").unwrap();
+        assert_eq!(storage.read_wal().unwrap(), b"rec1rec2");
+
+        storage.install_snapshot(b"snapA").unwrap();
+        assert_eq!(
+            storage.read_snapshot().unwrap().as_deref(),
+            Some(&b"snapA"[..])
+        );
+        assert!(
+            storage.read_wal().unwrap().is_empty(),
+            "install truncates WAL"
+        );
+
+        storage.append_wal(b"rec3").unwrap();
+        assert_eq!(storage.read_wal().unwrap(), b"rec3");
+        storage.install_snapshot(b"snapB").unwrap();
+        assert_eq!(
+            storage.read_snapshot().unwrap().as_deref(),
+            Some(&b"snapB"[..])
+        );
+        assert!(storage.read_wal().unwrap().is_empty());
+    }
+
+    #[test]
+    fn mem_storage_contract() {
+        exercise(&mut MemStorage::new());
+    }
+
+    #[test]
+    fn file_storage_contract_and_reopen() {
+        let dir = temp_dir("contract");
+        exercise(&mut FileStorage::open(&dir).unwrap());
+
+        // A fresh handle over the same directory sees the state.
+        let mut reopened = FileStorage::open(&dir).unwrap();
+        assert_eq!(
+            reopened.read_snapshot().unwrap().as_deref(),
+            Some(&b"snapB"[..])
+        );
+        assert!(reopened.read_wal().unwrap().is_empty());
+        reopened.append_wal(b"later").unwrap();
+        assert_eq!(reopened.read_wal().unwrap(), b"later");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

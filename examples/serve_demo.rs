@@ -26,7 +26,10 @@ fn main() {
         .expect("bind an ephemeral loopback port");
     println!("serving on {}", server.local_addr());
 
-    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let mut client = Client::connect(server.local_addr())
+        .deadline(std::time::Duration::from_secs(2))
+        .build()
+        .expect("connect");
 
     println!("\ncatalog:");
     for info in client.list().expect("list") {

@@ -63,6 +63,27 @@ IC_SERVE_RUNTIME=threaded cargo test -q --offline -p ic-serve
 echo "==> cargo test -q --offline -p ic-serve (IC_SERVE_RUNTIME=event)"
 IC_SERVE_RUNTIME=event cargo test -q --offline -p ic-serve
 
+# Catalog durability (DESIGN.md §11): the ic-store format/WAL unit tests,
+# then the recovery property suite — a WAL truncated at every byte
+# boundary of its final record must recover the pre-crash catalog minus at
+# most the torn op, with bit-identical compare scores — at 1 and 4
+# comparator threads. The durability e2e in the same file also runs the
+# serve binary twice over one --data-dir (load + wire patch + restart +
+# bit-identical re-compare).
+echo "==> cargo test -q --offline -p ic-store"
+cargo test -q --offline -p ic-store
+echo "==> durability property + restart e2e suite (IC_POOL_THREADS=1)"
+IC_POOL_THREADS=1 cargo test -q --offline -p ic-serve --test durability
+echo "==> durability property + restart e2e suite (IC_POOL_THREADS=4)"
+IC_POOL_THREADS=4 cargo test -q --offline -p ic-serve --test durability
+
+# Cold-start cost of durability: restoring the 1000-instance lake from the
+# snapshot vs re-parsing its CSVs; the >=5x assertion arms when cores > 1.
+echo "==> bench_durability (snapshot vs CSV cold-start)"
+cargo run -q --offline --release -p ic-bench --bin bench_durability
+test -f target/ic-bench/BENCH_durability.json
+echo "    wrote target/ic-bench/BENCH_durability.json"
+
 # The serving layer's end-to-end cost: loopback request throughput at
 # 1/8/64/512 concurrent connections, sequential and pipelined (depth 8),
 # under both runtimes, recorded as a JSON artifact. Its cross-runtime
