@@ -95,8 +95,10 @@ pub fn bus_cleaning_dataset(rows: usize, seed: u64) -> (Catalog, Instance, Vec<F
     }
 
     let fds = vec![
-        Fd::new(&catalog, "Bus", &["route"], "operator"),
-        Fd::new(&catalog, "Bus", &["route"], "region"),
+        Fd::try_new(&catalog, "Bus", &["route"], "operator")
+            .expect("Bus schema defines route/operator"),
+        Fd::try_new(&catalog, "Bus", &["route"], "region")
+            .expect("Bus schema defines route/region"),
     ];
     (catalog, instance, fds)
 }

@@ -20,32 +20,43 @@ pub struct Fd {
 }
 
 impl Fd {
-    /// Builds an FD by attribute names.
-    ///
-    /// # Panics
-    /// Panics if the relation or an attribute does not exist.
-    pub fn new(catalog: &Catalog, rel: &str, lhs: &[&str], rhs: &str) -> Self {
+    /// Builds an FD by attribute names, reporting unresolvable names as
+    /// [`ic_core::Error::UnknownName`] — the constructor for callers whose
+    /// FD specs come from the outside (config files, wire requests).
+    pub fn try_new(
+        catalog: &Catalog,
+        rel: &str,
+        lhs: &[&str],
+        rhs: &str,
+    ) -> Result<Self, ic_core::Error> {
+        let unknown = |kind: &'static str, name: &str| ic_core::Error::UnknownName {
+            kind,
+            name: name.to_owned(),
+        };
         let rel_id = catalog
             .schema()
             .rel(rel)
-            .unwrap_or_else(|| panic!("unknown relation {rel:?}"));
+            .ok_or_else(|| unknown("relation", rel))?;
         let schema = catalog.schema().relation(rel_id);
         let lhs_ids = lhs
             .iter()
-            .map(|a| {
-                schema
-                    .attr(a)
-                    .unwrap_or_else(|| panic!("unknown attribute {a:?}"))
-            })
-            .collect();
-        let rhs_id = schema
-            .attr(rhs)
-            .unwrap_or_else(|| panic!("unknown attribute {rhs:?}"));
-        Self {
+            .map(|a| schema.attr(a).ok_or_else(|| unknown("attribute", a)))
+            .collect::<Result<Vec<AttrId>, _>>()?;
+        let rhs_id = schema.attr(rhs).ok_or_else(|| unknown("attribute", rhs))?;
+        Ok(Self {
             rel: rel_id,
             lhs: lhs_ids,
             rhs: rhs_id,
-        }
+        })
+    }
+
+    /// Builds an FD by attribute names.
+    ///
+    /// # Panics
+    /// Panics if the relation or an attribute does not exist; use
+    /// [`Fd::try_new`] to handle unresolved names as a typed error.
+    pub fn new(catalog: &Catalog, rel: &str, lhs: &[&str], rhs: &str) -> Self {
+        Self::try_new(catalog, rel, lhs, rhs).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -218,5 +229,29 @@ mod tests {
         assert_eq!(fd.lhs, vec![AttrId(0)]);
         assert_eq!(fd.rhs, AttrId(1));
         let _ = cat;
+    }
+
+    #[test]
+    fn try_new_reports_unknown_names() {
+        let (cat, _inst, _fd) = setup();
+        assert_eq!(
+            Fd::try_new(&cat, "Conf", &["Name"], "Org").unwrap(),
+            Fd::new(&cat, "Conf", &["Name"], "Org")
+        );
+        let rel_err = Fd::try_new(&cat, "Nope", &["Name"], "Org").unwrap_err();
+        assert!(matches!(
+            &rel_err,
+            ic_core::Error::UnknownName { kind: "relation", name } if name == "Nope"
+        ));
+        assert_eq!(rel_err.code(), "unknown_name");
+        let attr_err = Fd::try_new(&cat, "Conf", &["Name", "Bogus"], "Org").unwrap_err();
+        assert!(matches!(
+            attr_err,
+            ic_core::Error::UnknownName {
+                kind: "attribute",
+                ..
+            }
+        ));
+        assert!(Fd::try_new(&cat, "Conf", &["Name"], "Bogus").is_err());
     }
 }

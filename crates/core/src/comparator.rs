@@ -35,11 +35,13 @@ use crate::delta::Delta;
 use crate::error::Error;
 use crate::exact::{exact_match, ExactConfig, ExactOutcome};
 use crate::mapping::MatchMode;
+use crate::priors::MatchPriors;
 use crate::score::ScoreConfig;
 use crate::signature::{
-    signature_match, signature_match_seeded, InstanceSigMaps, SignatureConfig, SignatureOutcome,
+    signature_match, signature_match_prioritized, InstanceSigMaps, SignatureConfig,
+    SignatureOutcome,
 };
-use crate::similarity::{compare, compare_many, compare_seeded, Comparison};
+use crate::similarity::{compare_many_prioritized, compare_prioritized, Comparison};
 use ic_model::{Catalog, Instance};
 use std::time::Duration;
 
@@ -62,6 +64,7 @@ pub struct ComparatorBuilder<'c> {
     max_nodes: Option<u64>,
     no_warm_start: bool,
     threads: Option<usize>,
+    priors: Option<MatchPriors>,
     #[cfg(feature = "obs")]
     observer: Option<(String, Arc<dyn ic_obs::Sink>)>,
 }
@@ -92,6 +95,7 @@ impl<'c> ComparatorBuilder<'c> {
             max_nodes: None,
             no_warm_start: false,
             threads: None,
+            priors: None,
             #[cfg(feature = "obs")]
             observer: None,
         }
@@ -165,6 +169,24 @@ impl<'c> ComparatorBuilder<'c> {
         self
     }
 
+    /// Installs discovered approximate keys as match priors: the signature
+    /// algorithm's greedy completion prefers candidates that agree with the
+    /// probe tuple on a discovered key (see [`MatchPriors`]). Priors only
+    /// reorder candidates; the similarity **score is guaranteed
+    /// bit-identical** to a prior-free run (enforced by a baseline guard in
+    /// [`signature_match_prioritized`]). Only the signature-based methods
+    /// ([`compare`](Comparator::compare), [`signature`](Comparator::signature),
+    /// their seeded, strict and batch variants) consult priors; the exact
+    /// search, [`both`](Comparator::both) and the delta/cache path ignore
+    /// them.
+    ///
+    /// An empty prior set is inert — the code path is byte-identical to not
+    /// calling this at all.
+    pub fn match_priors(mut self, priors: MatchPriors) -> Self {
+        self.priors = Some(priors);
+        self
+    }
+
     /// Installs an observer: every comparison method runs inside an
     /// `ic-obs` observation labeled `label`, and the finished report (span
     /// tree + metrics) is emitted to `sink`.
@@ -199,6 +221,7 @@ impl<'c> ComparatorBuilder<'c> {
                 no_warm_start: self.no_warm_start,
             },
             threads: self.threads,
+            priors: self.priors.filter(|p| !p.is_empty()),
             #[cfg(feature = "obs")]
             observer: self.observer,
         })
@@ -213,6 +236,7 @@ pub struct Comparator<'c> {
     sig_cfg: SignatureConfig,
     exact_cfg: ExactConfig,
     threads: Option<usize>,
+    priors: Option<MatchPriors>,
     #[cfg(feature = "obs")]
     observer: Option<(String, Arc<dyn ic_obs::Sink>)>,
 }
@@ -251,6 +275,12 @@ impl<'c> Comparator<'c> {
         self.catalog
     }
 
+    /// The match priors installed at build time, if any (empty prior sets
+    /// are dropped by [`ComparatorBuilder::build`]).
+    pub fn match_priors(&self) -> Option<&MatchPriors> {
+        self.priors.as_ref()
+    }
+
     /// Rejects instances that were not built for this comparator's catalog
     /// (their relation ids would be interpreted against the wrong schema).
     pub(crate) fn check_instance(&self, inst: &Instance) -> Result<(), Error> {
@@ -284,7 +314,17 @@ impl<'c> Comparator<'c> {
     pub fn compare(&self, left: &Instance, right: &Instance) -> Result<Comparison, Error> {
         self.check_instance(left)?;
         self.check_instance(right)?;
-        Ok(self.run(|| compare(left, right, self.catalog, &self.sig_cfg)))
+        Ok(self.run(|| {
+            compare_prioritized(
+                left,
+                right,
+                self.catalog,
+                &self.sig_cfg,
+                None,
+                None,
+                self.priors.as_ref(),
+            )
+        }))
     }
 
     /// Batch variant of [`compare`](Self::compare): scores many pairs
@@ -295,7 +335,9 @@ impl<'c> Comparator<'c> {
             self.check_instance(l)?;
             self.check_instance(r)?;
         }
-        Ok(self.run(|| compare_many(pairs, self.catalog, &self.sig_cfg)))
+        Ok(self.run(|| {
+            compare_many_prioritized(pairs, self.catalog, &self.sig_cfg, self.priors.as_ref())
+        }))
     }
 
     /// Runs the PTIME signature algorithm, returning the full outcome
@@ -303,7 +345,17 @@ impl<'c> Comparator<'c> {
     pub fn signature(&self, left: &Instance, right: &Instance) -> Result<SignatureOutcome, Error> {
         self.check_instance(left)?;
         self.check_instance(right)?;
-        Ok(self.run(|| signature_match(left, right, self.catalog, &self.sig_cfg)))
+        Ok(self.run(|| {
+            signature_match_prioritized(
+                left,
+                right,
+                self.catalog,
+                &self.sig_cfg,
+                None,
+                None,
+                self.priors.as_ref(),
+            )
+        }))
     }
 
     /// Builds the reusable per-relation signature maps of `inst` under this
@@ -317,7 +369,8 @@ impl<'c> Comparator<'c> {
 
     /// [`signature`](Self::signature) seeded with prebuilt maps for either
     /// side — byte-identical under the contract of
-    /// [`signature_match_seeded`], skipping the seeded sides' map builds.
+    /// [`crate::signature_match_seeded`], skipping the seeded sides' map
+    /// builds.
     pub fn signature_with_maps(
         &self,
         left: &Instance,
@@ -328,20 +381,21 @@ impl<'c> Comparator<'c> {
         self.check_instance(left)?;
         self.check_instance(right)?;
         Ok(self.run(|| {
-            signature_match_seeded(
+            signature_match_prioritized(
                 left,
                 right,
                 self.catalog,
                 &self.sig_cfg,
                 left_maps,
                 right_maps,
+                self.priors.as_ref(),
             )
         }))
     }
 
     /// [`compare`](Self::compare) seeded with prebuilt maps for either
     /// side — byte-identical under the contract of
-    /// [`signature_match_seeded`].
+    /// [`crate::signature_match_seeded`].
     pub fn compare_with_maps(
         &self,
         left: &Instance,
@@ -352,13 +406,14 @@ impl<'c> Comparator<'c> {
         self.check_instance(left)?;
         self.check_instance(right)?;
         Ok(self.run(|| {
-            compare_seeded(
+            compare_prioritized(
                 left,
                 right,
                 self.catalog,
                 &self.sig_cfg,
                 left_maps,
                 right_maps,
+                self.priors.as_ref(),
             )
         }))
     }
@@ -445,7 +500,8 @@ impl<'c> Comparator<'c> {
 mod tests {
     use super::*;
     use crate::score::ConfigError;
-    use ic_model::{RelId, Schema};
+    use crate::similarity::compare;
+    use ic_model::{AttrId, RelId, Schema};
 
     fn small_pair(cat: &mut Catalog) -> (Instance, Instance) {
         let rel = RelId(0);
@@ -551,6 +607,42 @@ mod tests {
         let b = par.compare(&l, &r).unwrap();
         assert_eq!(a.score().to_bits(), b.score().to_bits());
         assert_eq!(a.outcome.best.pairs, b.outcome.best.pairs);
+    }
+
+    #[test]
+    fn match_priors_leave_scores_bit_identical() {
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let rel = RelId(0);
+        let mut l = Instance::new("I", &cat);
+        let mut r = Instance::new("J", &cat);
+        for i in 0..12 {
+            let k = cat.konst(&format!("k{i}"));
+            let v = cat.konst(&format!("v{}", i % 3));
+            l.insert(rel, vec![k, v]);
+            let v2 = if i % 4 == 0 { cat.fresh_null() } else { v };
+            r.insert(rel, vec![k, v2]);
+        }
+        let plain = Comparator::new(&cat).build().unwrap();
+        let mut priors = MatchPriors::new();
+        priors.add_key(rel, &[AttrId(0)]);
+        let hinted = Comparator::new(&cat).match_priors(priors).build().unwrap();
+        assert!(hinted.match_priors().is_some());
+        let a = plain.compare(&l, &r).unwrap();
+        let b = hinted.compare(&l, &r).unwrap();
+        assert_eq!(
+            a.score().to_bits(),
+            b.score().to_bits(),
+            "priors must never change the similarity score"
+        );
+        let sa = plain.signature(&l, &r).unwrap();
+        let sb = hinted.signature(&l, &r).unwrap();
+        assert_eq!(sa.best.score().to_bits(), sb.best.score().to_bits());
+        // Empty prior sets are dropped at build.
+        let inert = Comparator::new(&cat)
+            .match_priors(MatchPriors::new())
+            .build()
+            .unwrap();
+        assert!(inert.match_priors().is_none());
     }
 
     #[cfg(feature = "obs")]

@@ -12,7 +12,7 @@ use std::fmt;
 use std::time::Duration;
 
 /// Any error an `ic-core` entry point can return.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Error {
     /// The scoring configuration is unusable (NaN/out-of-range λ, …).
     Config(ConfigError),
@@ -34,6 +34,16 @@ pub enum Error {
         /// Relations the offending instance was created with.
         found: usize,
     },
+    /// A name lookup against the catalog schema failed: the caller named a
+    /// relation or attribute the schema does not define (e.g.
+    /// `ic-cleaning`'s fallible FD constructor).
+    UnknownName {
+        /// What kind of name failed to resolve: `"relation"` or
+        /// `"attribute"`.
+        kind: &'static str,
+        /// The name that did not resolve.
+        name: String,
+    },
 }
 
 impl Error {
@@ -45,6 +55,7 @@ impl Error {
             Self::Config(_) => "config",
             Self::Budget { .. } => "budget",
             Self::SchemaMismatch { .. } => "schema_mismatch",
+            Self::UnknownName { .. } => "unknown_name",
         }
     }
 }
@@ -68,6 +79,9 @@ impl fmt::Display for Error {
                 "instance does not match the catalog schema: expected {expected} relations, \
                  instance was built for {found}"
             ),
+            Self::UnknownName { kind, name } => {
+                write!(f, "unknown {kind} {name:?} (not in the catalog schema)")
+            }
         }
     }
 }
@@ -109,5 +123,12 @@ mod tests {
             found: 3,
         };
         assert!(s.to_string().contains("2 relations"));
+
+        let u = Error::UnknownName {
+            kind: "relation",
+            name: "Nope".into(),
+        };
+        assert!(u.to_string().contains("unknown relation \"Nope\""));
+        assert_eq!(u.code(), "unknown_name");
     }
 }

@@ -1,0 +1,160 @@
+//! Match priors: approximate-key agreement as a candidate-ordering hint.
+//!
+//! Constraint discovery (the `ic-discovery` crate) finds *approximate keys*
+//! — attribute sets that nearly uniquely identify tuples. Two tuples that
+//! agree on such a key are high-confidence match candidates: under the
+//! paper's semantics a correct instance match almost always pairs them.
+//! [`MatchPriors`] carries those keys back into the signature algorithm,
+//! where they refine the greedy completion's candidate ordering.
+//!
+//! ## The score contract
+//!
+//! Priors **reorder** candidates — they never add or drop any, and they
+//! must never change the similarity score. The ordering hook is a
+//! tie-break *below* the optimistic pair score in the completion ranking,
+//! so a prior can only promote a candidate over another candidate of equal
+//! optimistic score. Because equal optimistic scores do not guarantee
+//! equal downstream totals under greedy consumption, the entry point
+//! ([`crate::signature_match_prioritized`]) additionally *guards* the
+//! contract: it computes both the baseline and the prioritized match and
+//! returns the prioritized result only when its final score is
+//! bit-identical to the baseline, falling back to the baseline otherwise.
+//! With priors disabled the code path is byte-identical to
+//! [`crate::signature_match`].
+
+use ic_model::{AttrId, RelId, Tuple, Value};
+
+/// A set of discovered approximate keys, indexed by relation, used as a
+/// candidate-ordering hint by the signature algorithm's greedy completion.
+///
+/// Build one from `ic-discovery`'s `discover_keys` output (see its
+/// `priors_from_keys` helper) or assemble it by hand with
+/// [`MatchPriors::add_key`]. An empty prior set is inert: every consumer
+/// treats it exactly like "no priors".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MatchPriors {
+    /// `keys[rel]` holds one attribute bitmask per approximate key of that
+    /// relation (bit `i` set ⇔ `AttrId(i)` belongs to the key).
+    keys: Vec<Vec<u128>>,
+}
+
+impl MatchPriors {
+    /// An empty prior set (equivalent to no priors).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `attrs` as an approximate key of `rel`. Attributes beyond
+    /// bit 127 are not representable and are rejected, mirroring the
+    /// signature algorithm's own 128-attribute mask limit.
+    ///
+    /// # Panics
+    /// Panics if any attribute id is ≥ 128.
+    pub fn add_key(&mut self, rel: RelId, attrs: &[AttrId]) {
+        let mut mask = 0u128;
+        for a in attrs {
+            assert!(a.0 < 128, "MatchPriors supports attribute ids < 128");
+            mask |= 1u128 << a.0;
+        }
+        if mask == 0 {
+            return; // an empty key says nothing
+        }
+        let idx = rel.0 as usize;
+        if self.keys.len() <= idx {
+            self.keys.resize_with(idx + 1, Vec::new);
+        }
+        if !self.keys[idx].contains(&mask) {
+            self.keys[idx].push(mask);
+        }
+    }
+
+    /// Whether no key is registered for any relation.
+    pub fn is_empty(&self) -> bool {
+        self.keys.iter().all(Vec::is_empty)
+    }
+
+    /// The key masks registered for `rel` (empty when none).
+    pub(crate) fn rel_masks(&self, rel: RelId) -> &[u128] {
+        self.keys.get(rel.0 as usize).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether `left` and `right` agree on at least one registered key of
+    /// `rel`: on every key attribute both tuples hold the *same constant*.
+    /// Labeled nulls never agree — a null carries no key identity.
+    pub fn agrees(&self, rel: RelId, left: &Tuple, right: &Tuple) -> bool {
+        'keys: for &mask in self.rel_masks(rel) {
+            let arity = left.arity().min(right.arity());
+            let mut bits = mask;
+            while bits != 0 {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if i >= arity {
+                    continue 'keys;
+                }
+                let a = AttrId(i as u16);
+                match (left.value(a), right.value(a)) {
+                    (Value::Const(l), Value::Const(r)) if l == r => {}
+                    _ => continue 'keys,
+                }
+            }
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_model::{Catalog, Instance, Schema};
+
+    #[test]
+    fn agreement_requires_equal_constants_on_a_full_key() {
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B", "C"]));
+        let rel = RelId(0);
+        let (a, b, c, d) = (
+            cat.konst("a"),
+            cat.konst("b"),
+            cat.konst("c"),
+            cat.konst("d"),
+        );
+        let n = cat.fresh_null();
+        let mut inst = Instance::new("I", &cat);
+        let t0 = inst.insert(rel, vec![a, b, c]);
+        let t1 = inst.insert(rel, vec![a, b, d]);
+        let t2 = inst.insert(rel, vec![a, d, c]);
+        let t3 = inst.insert(rel, vec![n, b, c]);
+
+        let mut p = MatchPriors::new();
+        p.add_key(rel, &[AttrId(0), AttrId(1)]);
+        assert!(!p.is_empty());
+
+        let t = |id| inst.tuple(id).unwrap();
+        assert!(p.agrees(rel, t(t0), t(t1))); // equal on A,B
+        assert!(!p.agrees(rel, t(t0), t(t2))); // differ on B
+        assert!(!p.agrees(rel, t(t0), t(t3))); // null on A never agrees
+    }
+
+    #[test]
+    fn empty_and_out_of_range_relations_are_inert() {
+        let mut cat = Catalog::new(Schema::single("R", &["A"]));
+        let rel = RelId(0);
+        let a = cat.konst("a");
+        let mut inst = Instance::new("I", &cat);
+        let t0 = inst.insert(rel, vec![a]);
+
+        let p = MatchPriors::new();
+        assert!(p.is_empty());
+        let t = inst.tuple(t0).unwrap();
+        assert!(!p.agrees(rel, t, t));
+        assert!(!p.agrees(RelId(7), t, t));
+
+        let mut q = MatchPriors::new();
+        q.add_key(rel, &[]); // empty keys are dropped
+        assert!(q.is_empty());
+        q.add_key(rel, &[AttrId(0)]);
+        q.add_key(rel, &[AttrId(0)]); // deduplicated
+        assert_eq!(q.rel_masks(rel).len(), 1);
+        assert!(q.agrees(rel, t, t));
+    }
+}

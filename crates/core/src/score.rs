@@ -87,6 +87,12 @@ pub enum ConfigError {
     LambdaOutOfRange(f64),
     /// `string_sim_weight` is NaN, infinite, or negative.
     InvalidStringSimWeight(f64),
+    /// A constraint-discovery `epsilon` is NaN, infinite, or outside
+    /// `[0, 1)` (used by `ic-discovery`'s configuration validation).
+    EpsilonOutOfRange(f64),
+    /// A constraint-discovery LHS size limit of zero would make the search
+    /// space empty (used by `ic-discovery`'s configuration validation).
+    ZeroMaxLhs,
 }
 
 impl fmt::Display for ConfigError {
@@ -97,6 +103,8 @@ impl fmt::Display for ConfigError {
             Self::InvalidStringSimWeight(w) => {
                 write!(f, "string_sim_weight must be finite and ≥ 0, got {w}")
             }
+            Self::EpsilonOutOfRange(e) => write!(f, "epsilon must be in [0, 1), got {e}"),
+            Self::ZeroMaxLhs => write!(f, "max_lhs must be ≥ 1"),
         }
     }
 }

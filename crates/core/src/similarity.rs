@@ -6,8 +6,10 @@
 
 use crate::exact::{exact_match, ExactConfig, ExactOutcome};
 use crate::explain::{explain, InstanceDiff};
+use crate::priors::MatchPriors;
 use crate::signature::{
-    signature_match, signature_match_seeded, InstanceSigMaps, SignatureConfig, SignatureOutcome,
+    signature_match, signature_match_prioritized, signature_match_seeded, InstanceSigMaps,
+    SignatureConfig, SignatureOutcome,
 };
 use ic_model::{Catalog, Instance, Value};
 
@@ -65,6 +67,31 @@ pub fn compare_seeded(
     Comparison { outcome, diff }
 }
 
+/// [`compare_seeded`] with an optional [`MatchPriors`] hint: discovered
+/// approximate keys refine the signature completion's candidate ordering
+/// via [`signature_match_prioritized`]. The score contract holds — the
+/// returned score is bit-identical to [`compare`] — and with `None` or
+/// empty priors the call is byte-identical (single run) to
+/// [`compare_seeded`].
+pub fn compare_prioritized(
+    left: &Instance,
+    right: &Instance,
+    catalog: &Catalog,
+    cfg: &SignatureConfig,
+    left_maps: Option<&InstanceSigMaps>,
+    right_maps: Option<&InstanceSigMaps>,
+    priors: Option<&MatchPriors>,
+) -> Comparison {
+    let _span = crate::obs::span("compare");
+    let outcome =
+        signature_match_prioritized(left, right, catalog, cfg, left_maps, right_maps, priors);
+    let diff = {
+        let _span = crate::obs::span("compare.explain");
+        explain(&outcome.best, left, right)
+    };
+    Comparison { outcome, diff }
+}
+
 /// Batch variant of [`compare`]: scores many instance pairs concurrently on
 /// the [`ic_pool`] workers, one comparison per pair, preserving input order.
 ///
@@ -87,6 +114,27 @@ pub fn compare_many(
     ic_pool::par_map(pairs, |&(left, right)| {
         let _span = crate::obs::span("compare.pair");
         compare(left, right, catalog, cfg)
+    })
+}
+
+/// [`compare_many`] with an optional [`MatchPriors`] hint applied to every
+/// pair (see [`compare_prioritized`]). With `None` or empty priors this is
+/// byte-identical to [`compare_many`]; scores are always bit-identical to
+/// it either way.
+pub fn compare_many_prioritized(
+    pairs: &[(&Instance, &Instance)],
+    catalog: &Catalog,
+    cfg: &SignatureConfig,
+    priors: Option<&MatchPriors>,
+) -> Vec<Comparison> {
+    let Some(priors) = priors.filter(|p| !p.is_empty()) else {
+        return compare_many(pairs, catalog, cfg);
+    };
+    let _span = crate::obs::span("compare_many");
+    crate::obs::counter("compare_many.pairs", pairs.len() as u64);
+    ic_pool::par_map(pairs, |&(left, right)| {
+        let _span = crate::obs::span("compare.pair");
+        compare_prioritized(left, right, catalog, cfg, None, None, Some(priors))
     })
 }
 

@@ -1,0 +1,280 @@
+//! Near-constraint planting: instances where an approximate composite key
+//! and approximate FDs hold *by construction* with a controlled violation
+//! rate — the ground truth behind `ic-discovery`'s precision/recall
+//! benchmarks.
+//!
+//! The generated relation `NC(k0, k1, f0, c0, f1, f2)` plants exactly
+//! three constraints:
+//!
+//! * the composite key `[k0, k1]` — `(k0, k1) = (i / B, i % B)` with
+//!   `B = ⌈√rows⌉`, unique per row, while neither column alone is close
+//!   to a key;
+//! * the unit FD `f0 → f1` — `f1` is a (non-injective) function of `f0`;
+//! * the composite FD `[f0, c0] → f2` — `f2` depends on both, so neither
+//!   determinant alone suffices.
+//!
+//! Each constraint gets its own **disjoint** set of
+//! `⌊rows · violation_rate⌋` violating rows: key violations copy another
+//! row's key pair, FD violations overwrite the dependent cell with a fresh
+//! constant. On null-free output every planted constraint's exact `g3`
+//! equals `violations / rows` (one removal per violating row); labeled
+//! nulls sprinkled at `null_rate` can only *lower* the best-world measure
+//! `g3_min`, so discovery under the possible-world gate at
+//! `ε ≥ violations / rows` must recall all three (the invariant
+//! `bench_discovery` asserts).
+//!
+//! For the default sizes no *other* attribute pair can be a key (every
+//! other pair's value-combination count is below `rows` — pigeonhole), so
+//! key ground truth is exact, not just "contains".
+
+use ic_model::{AttrId, Catalog, Instance, RelId, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters of [`inject_near_constraints`].
+#[derive(Debug, Clone, Copy)]
+pub struct NearConstraintParams {
+    /// Rows generated. Keep it above `13 · 7 = 91` so the composite-FD
+    /// determinant `(f0, c0)` cannot accidentally be a key, and at a
+    /// perfect square if you want the key domain used exactly.
+    pub rows: usize,
+    /// Fraction of rows violating each planted constraint (each constraint
+    /// draws its own disjoint violating rows). Must satisfy
+    /// `3 · violation_rate ≤ 0.5` so violators stay a clear minority.
+    pub violation_rate: f64,
+    /// Per-cell probability of replacing the value with a fresh labeled
+    /// null, applied after violation planting.
+    pub null_rate: f64,
+    /// Master seed; output is deterministic in it.
+    pub seed: u64,
+}
+
+impl Default for NearConstraintParams {
+    fn default() -> Self {
+        Self {
+            rows: 256,
+            violation_rate: 0.03,
+            null_rate: 0.05,
+            seed: 11,
+        }
+    }
+}
+
+/// A generated near-constraint scenario: the instance plus the planted
+/// ground truth.
+#[derive(Debug)]
+pub struct NearConstraints {
+    /// The catalog of the single `NC` relation.
+    pub catalog: Catalog,
+    /// The `NC` relation.
+    pub rel: RelId,
+    /// The generated instance (named `"near"`).
+    pub instance: Instance,
+    /// The planted approximate key: `[k0, k1]`.
+    pub key: Vec<AttrId>,
+    /// The planted approximate FDs: `f0 → f1` and `[f0, c0] → f2`.
+    pub fds: Vec<(Vec<AttrId>, AttrId)>,
+    /// Violating rows planted **per constraint**.
+    pub violations: usize,
+    /// `violations / rows` — the exact null-free `g3` of each planted
+    /// constraint, and an upper bound on its `g3_min` once nulls land.
+    pub epsilon: f64,
+}
+
+/// Generates a [`NearConstraints`] scenario. See the module docs for the
+/// construction; deterministic in `params.seed`.
+///
+/// # Panics
+/// Panics if `rows == 0`, if `violation_rate`/`null_rate` leave `[0, 1]`,
+/// or if the three disjoint violation sets would cover half the instance.
+pub fn inject_near_constraints(params: &NearConstraintParams) -> NearConstraints {
+    assert!(params.rows > 0, "need at least one row");
+    assert!(
+        (0.0..=1.0).contains(&params.violation_rate) && (0.0..=1.0).contains(&params.null_rate),
+        "rates must be in [0, 1]"
+    );
+    let rows = params.rows;
+    let v = (rows as f64 * params.violation_rate).floor() as usize;
+    assert!(
+        3 * v <= rows / 2,
+        "violators must stay a minority (3·{v} > {rows}/2)"
+    );
+    let b = (rows as f64).sqrt().ceil() as usize;
+
+    let mut catalog = Catalog::new(Schema::single("NC", &["k0", "k1", "f0", "c0", "f1", "f2"]));
+    let rel = catalog.schema().rel("NC").expect("just created");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut instance = Instance::new("near", &catalog);
+
+    // Disjoint violation targets at the tail; key violators copy the key
+    // of a clean early row.
+    let fd2_start = rows - 3 * v;
+    let fd1_start = rows - 2 * v;
+    let key_start = rows - v;
+
+    for i in 0..rows {
+        let (mut k0, mut k1) = (i / b, i % b);
+        if i >= key_start {
+            let src = i - 3 * v; // a clean row: its key now appears twice
+            (k0, k1) = (src / b, src % b);
+        }
+        let f0 = i % 13;
+        let c0 = i % 7;
+        let f1 = if (fd1_start..key_start).contains(&i) {
+            catalog.konst(&format!("viol_f1_{i}"))
+        } else {
+            catalog.konst(&format!("f1_{}", (f0 * 3) % 5))
+        };
+        let f2 = if (fd2_start..fd1_start).contains(&i) {
+            catalog.konst(&format!("viol_f2_{i}"))
+        } else {
+            catalog.konst(&format!("f2_{}", (f0 + 2 * c0) % 9))
+        };
+        let values: Vec<Value> = vec![
+            catalog.konst(&format!("k0_{k0}")),
+            catalog.konst(&format!("k1_{k1}")),
+            catalog.konst(&format!("f0_{f0}")),
+            catalog.konst(&format!("c0_{c0}")),
+            f1,
+            f2,
+        ];
+        instance.insert(rel, values);
+    }
+
+    // Null sprinkling last, so a null can land on a violated cell (which
+    // only widens the [g3_min, g3_max] interval downward).
+    if params.null_rate > 0.0 {
+        let ids: Vec<_> = instance.tuples(rel).iter().map(|t| t.id()).collect();
+        for id in ids {
+            for a in 0..6u16 {
+                if rng.random::<f64>() < params.null_rate {
+                    let null = catalog.fresh_null();
+                    instance.set_value(id, AttrId(a), null);
+                }
+            }
+        }
+    }
+
+    NearConstraints {
+        catalog,
+        rel,
+        instance,
+        key: vec![AttrId(0), AttrId(1)],
+        fds: vec![
+            (vec![AttrId(2)], AttrId(4)),
+            (vec![AttrId(2), AttrId(3)], AttrId(5)),
+        ],
+        violations: v,
+        epsilon: v as f64 / rows as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_model::FxHashMap;
+
+    fn null_free() -> NearConstraints {
+        inject_near_constraints(&NearConstraintParams {
+            null_rate: 0.0,
+            ..NearConstraintParams::default()
+        })
+    }
+
+    /// Exact per-class removal count of `lhs → rhs` on ground data — the
+    /// classic g3 numerator, computed independently of ic-discovery.
+    fn removals(nc: &NearConstraints, lhs: &[AttrId], rhs: AttrId) -> usize {
+        let mut groups: FxHashMap<Vec<Value>, FxHashMap<Value, usize>> = FxHashMap::default();
+        for t in nc.instance.tuples(nc.rel) {
+            let key: Vec<Value> = lhs.iter().map(|&a| t.value(a)).collect();
+            *groups
+                .entry(key)
+                .or_default()
+                .entry(t.value(rhs))
+                .or_insert(0) += 1;
+        }
+        groups
+            .values()
+            .map(|counts| {
+                let total: usize = counts.values().sum();
+                total - counts.values().max().copied().unwrap_or(0)
+            })
+            .sum()
+    }
+
+    #[test]
+    fn planted_violation_counts_are_exact_on_null_free_data() {
+        let nc = null_free();
+        let rows = nc.instance.num_tuples();
+        assert_eq!(rows, 256);
+        assert_eq!(nc.violations, 7); // floor(256 · 0.03)
+        assert!((nc.epsilon - 7.0 / 256.0).abs() < 1e-12);
+
+        // Key: distinct (k0, k1) pairs fall short of rows by exactly v.
+        let mut pairs = std::collections::HashSet::new();
+        for t in nc.instance.tuples(nc.rel) {
+            pairs.insert((t.value(AttrId(0)), t.value(AttrId(1))));
+        }
+        assert_eq!(pairs.len(), rows - nc.violations);
+
+        // FDs: exactly v removals each; the constraints are genuinely
+        // approximate, not exact and not badly broken.
+        for (lhs, rhs) in &nc.fds {
+            assert_eq!(removals(&nc, lhs, *rhs), nc.violations);
+        }
+        // Neither planted-FD determinant works alone/for the other
+        // dependent: the composite FD is genuinely composite.
+        assert!(removals(&nc, &[AttrId(2)], AttrId(5)) > 3 * nc.violations);
+        assert!(removals(&nc, &[AttrId(3)], AttrId(5)) > 3 * nc.violations);
+    }
+
+    #[test]
+    fn no_other_attribute_pair_can_be_a_key() {
+        let nc = null_free();
+        let rows = nc.instance.num_tuples();
+        // Pigeonhole: for every pair except (k0, k1), the number of
+        // distinct value combinations is below the row count.
+        for a in 0..6u16 {
+            for b in (a + 1)..6u16 {
+                if (a, b) == (0, 1) {
+                    continue;
+                }
+                let mut combos = std::collections::HashSet::new();
+                for t in nc.instance.tuples(nc.rel) {
+                    combos.insert((t.value(AttrId(a)), t.value(AttrId(b))));
+                }
+                assert!(
+                    combos.len() < rows,
+                    "pair ({a},{b}) has {} combos — could be a key",
+                    combos.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nulls_land_at_roughly_the_requested_rate_and_output_is_deterministic() {
+        let params = NearConstraintParams::default();
+        let nc = inject_near_constraints(&params);
+        let total_cells = nc.instance.num_tuples() * 6;
+        let nulls: usize = nc
+            .instance
+            .tuples(nc.rel)
+            .iter()
+            .flat_map(|t| t.values())
+            .filter(|v| v.is_null())
+            .count();
+        let rate = nulls as f64 / total_cells as f64;
+        assert!((0.02..=0.10).contains(&rate), "null rate {rate} off target");
+
+        let again = inject_near_constraints(&params);
+        for (a, b) in nc
+            .instance
+            .tuples(nc.rel)
+            .iter()
+            .zip(again.instance.tuples(again.rel))
+        {
+            assert_eq!(a.values(), b.values());
+        }
+    }
+}

@@ -8,12 +8,14 @@
 
 #![warn(missing_docs)]
 
+pub mod constraints;
 pub mod datasets;
 pub mod evolve;
 pub mod lake;
 pub mod multirel;
 pub mod scenario;
 
+pub use constraints::{inject_near_constraints, NearConstraintParams, NearConstraints};
 pub use datasets::{generate_table, Card, ColumnGen, ColumnSpec, Dataset, TableSpec};
 pub use evolve::{evolve_chain, evolve_chain_from_spec, Chain, EvolveParams};
 pub use lake::{generate_lake, Lake, LakeParams};

@@ -1,0 +1,150 @@
+//! # ic-discovery — approximate constraint discovery over incomplete instances
+//!
+//! Discovers *approximate keys* and *approximate functional dependencies*
+//! on instances with labeled nulls, generalizing `ic-cleaning`'s naive
+//! unit-FD utilities along two axes:
+//!
+//! 1. **Possible-world semantics.** A labeled null stands for every
+//!    constant, so constraint satisfaction is world-dependent. Each
+//!    candidate gets a `g3` violation *interval* —
+//!    [`G3::g3_min`] (best case: some world nearly satisfies it) and
+//!    [`G3::g3_max`] (worst case: every world does) — computed exactly per
+//!    the semantics documented in [`measure`].
+//! 2. **Composite determinants.** A TANE-style levelwise lattice search
+//!    ([`discover_fds`] / [`discover_keys`]) over attribute sets up to
+//!    [`DiscoveryConfig::max_lhs`], with stripped-partition refinement so
+//!    composite candidates reuse the single-attribute partitions, minimal
+//!    results only, parallel per candidate on [`ic_pool`], and
+//!    bit-identical output at any thread count.
+//!
+//! Discovered keys feed back into the similarity pipeline as
+//! [`MatchPriors`] (see [`priors_from_keys`]): tuples agreeing on an
+//! approximate key are preferred candidates in the signature algorithm's
+//! greedy completion, never changing the score (the prior contract is
+//! enforced in `ic-core`).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ic_model::{AttrId, Catalog, Instance, RelId, Schema};
+//! use ic_discovery::{discover_keys, DiscoveryConfig};
+//!
+//! let mut cat = Catalog::new(Schema::single("R", &["id", "grp"]));
+//! let rel = RelId(0);
+//! let mut inst = Instance::new("I", &cat);
+//! for i in 0..10 {
+//!     let id = cat.konst(&format!("id{i}"));
+//!     let grp = cat.konst(&format!("g{}", i % 2));
+//!     inst.insert(rel, vec![id, grp]);
+//! }
+//! let keys = discover_keys(&inst, &cat, &DiscoveryConfig::default()).unwrap();
+//! assert_eq!(keys.len(), 1);
+//! assert_eq!(keys[0].attrs, vec![AttrId(0)]); // id is the only key
+//! assert_eq!(keys[0].g3.g3_max, 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod lattice;
+pub mod measure;
+mod partition;
+
+pub use lattice::{
+    discover_fds, discover_keys, DiscoveredFd, DiscoveredKey, DiscoveryConfig, WorldGate,
+};
+pub use measure::{fd_g3, key_g3, G3};
+
+use ic_core::MatchPriors;
+use ic_model::{Catalog, Instance};
+
+/// Both discovery passes bundled — what the serve layer's `discover`
+/// request returns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Discovery {
+    /// Minimal approximate FDs, in `(rel, |lhs|, lhs, rhs)` order.
+    pub fds: Vec<DiscoveredFd>,
+    /// Minimal approximate keys, in `(rel, |attrs|, attrs)` order.
+    pub keys: Vec<DiscoveredKey>,
+}
+
+/// Runs [`discover_fds`] and [`discover_keys`] under one configuration
+/// (and one shared budget: the key pass gets what the FD pass left over).
+pub fn discover(
+    instance: &Instance,
+    catalog: &Catalog,
+    cfg: &DiscoveryConfig,
+) -> Result<Discovery, ic_core::Error> {
+    let started = std::time::Instant::now();
+    let fds = discover_fds(instance, catalog, cfg)?;
+    let key_cfg = DiscoveryConfig {
+        budget: cfg.budget.map(|b| b.saturating_sub(started.elapsed())),
+        ..cfg.clone()
+    };
+    let keys = discover_keys(instance, catalog, &key_cfg)?;
+    Ok(Discovery { fds, keys })
+}
+
+/// Converts discovered approximate keys into [`MatchPriors`] for the
+/// signature algorithm. Keys with an attribute id ≥ 128 are skipped (the
+/// prior mask is 128 bits wide, like the signature algorithm's own masks).
+pub fn priors_from_keys(keys: &[DiscoveredKey]) -> MatchPriors {
+    let mut priors = MatchPriors::new();
+    for key in keys {
+        if key.attrs.iter().all(|a| a.0 < 128) {
+            priors.add_key(key.rel, &key.attrs);
+        }
+    }
+    priors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_model::{AttrId, RelId, Schema};
+
+    #[test]
+    fn priors_from_keys_collects_per_relation_masks() {
+        let keys = vec![
+            DiscoveredKey {
+                rel: RelId(0),
+                attrs: vec![AttrId(0), AttrId(2)],
+                g3: G3 {
+                    g3_min: 0.0,
+                    g3_max: 0.1,
+                },
+                covered: 10,
+            },
+            DiscoveredKey {
+                rel: RelId(1),
+                attrs: vec![AttrId(1)],
+                g3: G3 {
+                    g3_min: 0.0,
+                    g3_max: 0.0,
+                },
+                covered: 5,
+            },
+        ];
+        let priors = priors_from_keys(&keys);
+        assert!(!priors.is_empty());
+        assert_eq!(priors_from_keys(&[]), MatchPriors::new());
+    }
+
+    #[test]
+    fn discover_bundles_both_passes() {
+        let mut cat = Catalog::new(Schema::single("R", &["id", "grp", "tag"]));
+        let rel = RelId(0);
+        let mut inst = Instance::new("I", &cat);
+        for i in 0..12 {
+            let id = cat.konst(&format!("id{i}"));
+            let grp = cat.konst(&format!("g{}", i % 3));
+            let tag = cat.konst(&format!("t{}", i % 3));
+            inst.insert(rel, vec![id, grp, tag]);
+        }
+        let d = discover(&inst, &cat, &DiscoveryConfig::default()).unwrap();
+        assert!(d.keys.iter().any(|k| k.attrs == vec![AttrId(0)]));
+        assert!(d
+            .fds
+            .iter()
+            .any(|fd| fd.lhs == vec![AttrId(1)] && fd.rhs == AttrId(2)));
+    }
+}

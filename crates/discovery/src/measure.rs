@@ -1,0 +1,326 @@
+//! Possible-world `g3` approximation measures for FDs and keys over
+//! incomplete instances.
+//!
+//! The classic `g3` measure (Kivinen & Mannila) of an FD `X → B` is the
+//! minimum fraction of tuples whose removal makes the FD hold. Under
+//! labeled nulls a single instance stands for a *set* of possible worlds —
+//! one per valuation of the nulls — and `g3` becomes an interval:
+//!
+//! - [`G3::g3_min`] — the best case: the removal fraction in the world the
+//!   valuation chooses most favourably (nulls resolve to whatever repairs
+//!   the constraint). A constraint with `g3_min ≤ ε` *possibly* holds
+//!   approximately.
+//! - [`G3::g3_max`] — the worst case: nulls resolve adversarially. A
+//!   constraint with `g3_max ≤ ε` *certainly* holds approximately, in
+//!   every world.
+//!
+//! ## Exact semantics computed
+//!
+//! Group the relation's rows by their (all-constant) `X`-values; rows with
+//! a null in `X` are set aside. Within a group of `size` rows, with `best`
+//! = the largest count of one constant `B`-value and `m` = the rows whose
+//! `B` is null:
+//!
+//! - best case keeps the `best` rows plus all `m` nulls (each null resolves
+//!   to the majority constant): `size − best − m` removals;
+//! - worst case keeps only the `best` rows (each null resolves to a fresh
+//!   mismatching constant), or a single row when every `B` is null:
+//!   `size − max(best, 1)` removals.
+//!
+//! Rows with a null in `X` cost nothing in the best case — resolving each
+//! to a globally fresh combination isolates it in its own group, which is
+//! always optimal. In the worst case each such row is counted as removed
+//! (it collides with some kept group); this is an *upper bound* — exact
+//! when each null occurs once (independent valuations), which is how
+//! `fresh_null` is typically used — and the total is clamped at `n − 1`
+//! removals since keeping one row always satisfies any FD or key.
+//!
+//! For a key on `X` the same template applies with every row its own
+//! `B`-value: best case removes `size − 1` per group and nothing for
+//! `X`-null rows (fresh values never collide); worst case adds every
+//! `X`-null row.
+//!
+//! On null-free data both bounds coincide with the classic `g3`.
+
+use crate::partition::{ColumnCodes, StrippedPartition};
+use ic_model::{AttrId, Catalog, FxHashMap, Instance, RelId};
+
+/// The `[g3_min, g3_max]` interval of one constraint on one instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct G3 {
+    /// Best-case (possible-world minimum) violation ratio in `[0, 1)`.
+    pub g3_min: f64,
+    /// Worst-case (possible-world maximum) violation ratio in `[0, 1)`.
+    pub g3_max: f64,
+}
+
+/// Raw removal counts, turned into a [`G3`] by dividing by the row count.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Removals {
+    pub(crate) min: u64,
+    pub(crate) max: u64,
+}
+
+impl Removals {
+    pub(crate) fn to_g3(self, n: u32) -> G3 {
+        if n == 0 {
+            return G3 {
+                g3_min: 0.0,
+                g3_max: 0.0,
+            };
+        }
+        let clamp = (n as u64).saturating_sub(1);
+        G3 {
+            g3_min: self.min.min(clamp) as f64 / n as f64,
+            g3_max: self.max.min(clamp) as f64 / n as f64,
+        }
+    }
+}
+
+/// Removal counts for the FD `X → rhs` given the stripped partition by `X`.
+pub(crate) fn fd_removals(
+    partition: &StrippedPartition,
+    cols: &ColumnCodes,
+    rhs: usize,
+) -> Removals {
+    let mut min = 0u64;
+    let mut max = 0u64;
+    let mut counts: FxHashMap<u32, u32> = FxHashMap::default();
+    for class in &partition.classes {
+        counts.clear();
+        let mut nulls = 0u32;
+        for &row in class {
+            if cols.is_null(rhs, row) {
+                nulls += 1;
+            } else {
+                *counts.entry(cols.code(rhs, row)).or_insert(0) += 1;
+            }
+        }
+        let best = counts.values().copied().max().unwrap_or(0);
+        let size = class.len() as u32;
+        min += u64::from(size - best - nulls);
+        max += u64::from(size - best.max(1));
+    }
+    // Stripped singletons contribute 0 to both worlds; X-null rows cost
+    // nothing in the best case and are each counted in the worst case
+    // (when the relation has a second row to collide with).
+    if partition.n >= 2 {
+        max += u64::from(partition.null_rows.len());
+    }
+    Removals { min, max }
+}
+
+/// Removal counts for a key on `X` given the stripped partition by `X`.
+pub(crate) fn key_removals(partition: &StrippedPartition) -> Removals {
+    let dupes: u64 = partition.classes.iter().map(|c| c.len() as u64 - 1).sum();
+    let mut max = dupes;
+    if partition.n >= 2 {
+        max += u64::from(partition.null_rows.len());
+    }
+    Removals { min: dupes, max }
+}
+
+fn build_partition(cols: &ColumnCodes, attrs: &[AttrId]) -> StrippedPartition {
+    let mut p = StrippedPartition::single(cols, attrs[0].0 as usize);
+    for a in &attrs[1..] {
+        p = p.refine(cols, a.0 as usize);
+    }
+    p
+}
+
+fn check_attrs(catalog: &Catalog, rel: RelId, attrs: &[AttrId]) -> usize {
+    let arity = catalog.schema().relation(rel).arity();
+    for a in attrs {
+        assert!(
+            (a.0 as usize) < arity,
+            "attribute {a:?} out of range for a relation of arity {arity}"
+        );
+    }
+    arity
+}
+
+/// The [`G3`] interval of the FD `lhs → rhs` on `instance`'s relation
+/// `rel`.
+///
+/// # Panics
+/// Panics if `lhs` is empty, `rhs ∈ lhs`, or any attribute is outside the
+/// relation's arity. Use [`crate::discover_fds`] for validated bulk
+/// discovery.
+pub fn fd_g3(
+    instance: &Instance,
+    catalog: &Catalog,
+    rel: RelId,
+    lhs: &[AttrId],
+    rhs: AttrId,
+) -> G3 {
+    assert!(!lhs.is_empty(), "an FD needs at least one LHS attribute");
+    assert!(!lhs.contains(&rhs), "trivial FD: rhs appears in lhs");
+    let arity = check_attrs(catalog, rel, lhs);
+    check_attrs(catalog, rel, &[rhs]);
+    let cols = ColumnCodes::build(instance, rel, arity);
+    let p = build_partition(&cols, lhs);
+    fd_removals(&p, &cols, rhs.0 as usize).to_g3(cols.n())
+}
+
+/// The [`G3`] interval of a key on `attrs` for `instance`'s relation
+/// `rel`.
+///
+/// # Panics
+/// Panics if `attrs` is empty or any attribute is outside the relation's
+/// arity. Use [`crate::discover_keys`] for validated bulk discovery.
+pub fn key_g3(instance: &Instance, catalog: &Catalog, rel: RelId, attrs: &[AttrId]) -> G3 {
+    assert!(!attrs.is_empty(), "a key needs at least one attribute");
+    let arity = check_attrs(catalog, rel, attrs);
+    let cols = ColumnCodes::build(instance, rel, arity);
+    let p = build_partition(&cols, attrs);
+    key_removals(&p).to_g3(cols.n())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_model::{Catalog, Instance, Schema};
+
+    const EPS: f64 = 1e-12;
+
+    fn a(i: u16) -> AttrId {
+        AttrId(i)
+    }
+
+    #[test]
+    fn null_free_data_collapses_the_interval_to_classic_g3() {
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let rel = RelId(0);
+        let (x, p, q) = (cat.konst("x"), cat.konst("p"), cat.konst("q"));
+        let mut inst = Instance::new("I", &cat);
+        inst.insert(rel, vec![x, p]);
+        inst.insert(rel, vec![x, p]);
+        inst.insert(rel, vec![x, q]); // one violator of A → B
+        let g = fd_g3(&inst, &cat, rel, &[a(0)], a(1));
+        assert!((g.g3_min - 1.0 / 3.0).abs() < EPS);
+        assert_eq!(g.g3_min, g.g3_max);
+
+        let k = key_g3(&inst, &cat, rel, &[a(0)]);
+        // Key on A: keep 1 of 3 equal rows → 2 removals.
+        assert!((k.g3_min - 2.0 / 3.0).abs() < EPS);
+        assert_eq!(k.g3_min, k.g3_max);
+        // (A, B) nearly a key: the duplicate (x, p) pair costs 1.
+        let k2 = key_g3(&inst, &cat, rel, &[a(0), a(1)]);
+        assert!((k2.g3_min - 1.0 / 3.0).abs() < EPS);
+    }
+
+    #[test]
+    fn exactly_holding_fd_has_zero_g3() {
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let rel = RelId(0);
+        let (x, y, p, q) = (
+            cat.konst("x"),
+            cat.konst("y"),
+            cat.konst("p"),
+            cat.konst("q"),
+        );
+        let mut inst = Instance::new("I", &cat);
+        inst.insert(rel, vec![x, p]);
+        inst.insert(rel, vec![x, p]);
+        inst.insert(rel, vec![y, q]);
+        let g = fd_g3(&inst, &cat, rel, &[a(0)], a(1));
+        assert_eq!(g.g3_min, 0.0);
+        assert_eq!(g.g3_max, 0.0);
+    }
+
+    #[test]
+    fn rhs_nulls_split_the_worlds() {
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let rel = RelId(0);
+        let (x, p) = (cat.konst("x"), cat.konst("p"));
+        let n = cat.fresh_null();
+        let mut inst = Instance::new("I", &cat);
+        inst.insert(rel, vec![x, p]);
+        inst.insert(rel, vec![x, p]);
+        inst.insert(rel, vec![x, n]);
+        // Best world: the null resolves to p → FD holds. Worst world: the
+        // null resolves elsewhere → 1 removal.
+        let g = fd_g3(&inst, &cat, rel, &[a(0)], a(1));
+        assert_eq!(g.g3_min, 0.0);
+        assert!((g.g3_max - 1.0 / 3.0).abs() < EPS);
+    }
+
+    #[test]
+    fn lhs_nulls_are_free_in_the_best_world_only() {
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let rel = RelId(0);
+        let (x, p, q) = (cat.konst("x"), cat.konst("p"), cat.konst("q"));
+        let n = cat.fresh_null();
+        let mut inst = Instance::new("I", &cat);
+        inst.insert(rel, vec![x, p]);
+        inst.insert(rel, vec![n, q]);
+        // Best world: the null isolates (fresh value) → FD holds. Worst
+        // world: it resolves to x and clashes with p.
+        let g = fd_g3(&inst, &cat, rel, &[a(0)], a(1));
+        assert_eq!(g.g3_min, 0.0);
+        assert!((g.g3_max - 0.5).abs() < EPS);
+        // Same shape for keys: a null key cell may or may not collide.
+        let k = key_g3(&inst, &cat, rel, &[a(0)]);
+        assert_eq!(k.g3_min, 0.0);
+        assert!((k.g3_max - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn all_null_relation_clamps_at_n_minus_one() {
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let rel = RelId(0);
+        let mut inst = Instance::new("I", &cat);
+        for _ in 0..3 {
+            let n1 = cat.fresh_null();
+            let n2 = cat.fresh_null();
+            inst.insert(rel, vec![n1, n2]);
+        }
+        let k = key_g3(&inst, &cat, rel, &[a(0)]);
+        assert_eq!(k.g3_min, 0.0);
+        // Worst case cannot exceed (n−1)/n: one row always survives.
+        assert!((k.g3_max - 2.0 / 3.0).abs() < EPS);
+    }
+
+    #[test]
+    fn empty_and_singleton_relations_are_trivially_clean() {
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let rel = RelId(0);
+        let inst = Instance::new("I", &cat);
+        let g = fd_g3(&inst, &cat, rel, &[a(0)], a(1));
+        assert_eq!((g.g3_min, g.g3_max), (0.0, 0.0));
+
+        let n1 = cat.fresh_null();
+        let n2 = cat.fresh_null();
+        let mut one = Instance::new("J", &cat);
+        one.insert(rel, vec![n1, n2]);
+        let k = key_g3(&one, &cat, rel, &[a(0)]);
+        assert_eq!((k.g3_min, k.g3_max), (0.0, 0.0));
+    }
+
+    #[test]
+    fn interval_ordering_holds_on_a_mixed_example() {
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let rel = RelId(0);
+        let (x, y, p, q) = (
+            cat.konst("x"),
+            cat.konst("y"),
+            cat.konst("p"),
+            cat.konst("q"),
+        );
+        let mut inst = Instance::new("I", &cat);
+        let rows = [(x, p), (x, q), (x, p), (y, q)];
+        for (l, r) in rows {
+            inst.insert(rel, vec![l, r]);
+        }
+        let nl = cat.fresh_null();
+        let nr = cat.fresh_null();
+        inst.insert(rel, vec![nl, p]);
+        inst.insert(rel, vec![x, nr]);
+        let g = fd_g3(&inst, &cat, rel, &[a(0)], a(1));
+        assert!(g.g3_min <= g.g3_max);
+        // x-group: {p, p, q, null} → best 2, m 1: min 1, max 2; y-group
+        // singleton: 0; LHS-null row: +1 max only.
+        assert!((g.g3_min - 1.0 / 6.0).abs() < EPS);
+        assert!((g.g3_max - 3.0 / 6.0).abs() < EPS);
+    }
+}

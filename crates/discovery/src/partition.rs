@@ -1,0 +1,288 @@
+//! Stripped partitions over one relation's tuples — the workhorse of the
+//! levelwise search.
+//!
+//! A *partition* of a relation by an attribute set `X` groups tuples that
+//! agree on every attribute of `X`. Following TANE, partitions are stored
+//! *stripped*: singleton classes are dropped, because a tuple alone in its
+//! class can never participate in an FD/key violation (and refinement only
+//! ever splits classes, so a dropped singleton stays a singleton at every
+//! superset of `X`). Tuples with a labeled null in some attribute of `X`
+//! are excluded from the classes entirely and tracked in a separate bitset
+//! — the possible-world measures treat them specially (see
+//! [`crate::measure`]).
+//!
+//! Composite partitions are *refined* from smaller ones
+//! ([`StrippedPartition::refine`]) instead of recomputed, so the level-ℓ
+//! lattice pass reuses the level-(ℓ−1) partitions it already paid for.
+
+use ic_model::{AttrId, FxHashMap, Instance, RelId, Value};
+
+/// A fixed-size bitset over a relation's dense row indices.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct RowSet {
+    words: Vec<u64>,
+    ones: u32,
+}
+
+impl RowSet {
+    pub(crate) fn new(n: usize) -> Self {
+        Self {
+            words: vec![0; n.div_ceil(64)],
+            ones: 0,
+        }
+    }
+
+    pub(crate) fn insert(&mut self, row: u32) {
+        let (w, b) = (row as usize / 64, row % 64);
+        if self.words[w] & (1 << b) == 0 {
+            self.words[w] |= 1 << b;
+            self.ones += 1;
+        }
+    }
+
+    pub(crate) fn contains(&self, row: u32) -> bool {
+        self.words[row as usize / 64] & (1 << (row % 64)) != 0
+    }
+
+    /// Number of set rows.
+    pub(crate) fn len(&self) -> u32 {
+        self.ones
+    }
+
+    /// `self ∪ other` (both must cover the same row count).
+    pub(crate) fn union(&self, other: &Self) -> Self {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        let words: Vec<u64> = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a | b)
+            .collect();
+        let ones = words.iter().map(|w| w.count_ones()).sum();
+        Self { words, ones }
+    }
+}
+
+/// One relation's per-attribute column encoding: each constant interned to
+/// a dense code (deterministic first-appearance order), nulls flagged in a
+/// [`RowSet`]. Built once per relation, shared by every lattice candidate.
+#[derive(Debug)]
+pub(crate) struct ColumnCodes {
+    /// `codes[attr][row]` — dense constant code; meaningless where null.
+    codes: Vec<Vec<u32>>,
+    /// `nulls[attr]` — rows holding a labeled null in `attr`.
+    nulls: Vec<RowSet>,
+    /// Total rows in the relation.
+    n: u32,
+}
+
+impl ColumnCodes {
+    pub(crate) fn build(instance: &Instance, rel: RelId, arity: usize) -> Self {
+        let n = instance.tuples(rel).len();
+        let mut codes = vec![Vec::with_capacity(n); arity];
+        let mut nulls = vec![RowSet::new(n); arity];
+        let mut intern: Vec<FxHashMap<Value, u32>> = vec![FxHashMap::default(); arity];
+        for (row, t) in instance.tuples(rel).iter().enumerate() {
+            for a in 0..arity {
+                let v = t.value(AttrId(a as u16));
+                if v.is_null() {
+                    nulls[a].insert(row as u32);
+                    codes[a].push(u32::MAX);
+                } else {
+                    let next = intern[a].len() as u32;
+                    let code = *intern[a].entry(v).or_insert(next);
+                    codes[a].push(code);
+                }
+            }
+        }
+        Self {
+            codes,
+            nulls,
+            n: n as u32,
+        }
+    }
+
+    pub(crate) fn n(&self) -> u32 {
+        self.n
+    }
+
+    pub(crate) fn arity(&self) -> usize {
+        self.codes.len()
+    }
+
+    pub(crate) fn code(&self, attr: usize, row: u32) -> u32 {
+        self.codes[attr][row as usize]
+    }
+
+    pub(crate) fn is_null(&self, attr: usize, row: u32) -> bool {
+        self.nulls[attr].contains(row)
+    }
+
+    pub(crate) fn null_rows(&self, attr: usize) -> &RowSet {
+        &self.nulls[attr]
+    }
+}
+
+/// A stripped partition of one relation by an attribute set `X`.
+#[derive(Debug, Clone)]
+pub(crate) struct StrippedPartition {
+    /// Equivalence classes of ≥ 2 null-free-on-`X` rows agreeing on `X`.
+    /// Members ascend within a class; classes ascend by first member —
+    /// a total order making every consumer deterministic.
+    pub(crate) classes: Vec<Vec<u32>>,
+    /// Rows with a labeled null in at least one attribute of `X`.
+    pub(crate) null_rows: RowSet,
+    /// Total rows in the relation (classes + stripped singletons + nulls).
+    pub(crate) n: u32,
+}
+
+impl StrippedPartition {
+    /// The partition by a single attribute.
+    pub(crate) fn single(cols: &ColumnCodes, attr: usize) -> Self {
+        let mut groups: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+        for row in 0..cols.n {
+            if !cols.is_null(attr, row) {
+                groups.entry(cols.code(attr, row)).or_default().push(row);
+            }
+        }
+        Self::from_groups(groups.into_values(), cols.null_rows(attr).clone(), cols.n)
+    }
+
+    /// Refines the partition by `X` into the partition by `X ∪ {attr}`:
+    /// splits each class by `attr`'s code, moves `attr`-null members to the
+    /// null set. Stripped singletons of `X` need no handling — they stay
+    /// (at most) singletons — except that `attr`-null rows outside any
+    /// class still join the null set, which the unioned per-attribute
+    /// bitsets cover exactly.
+    pub(crate) fn refine(&self, cols: &ColumnCodes, attr: usize) -> Self {
+        let null_rows = self.null_rows.union(cols.null_rows(attr));
+        let mut classes = Vec::new();
+        let mut groups: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+        for class in &self.classes {
+            groups.clear();
+            for &row in class {
+                if !cols.is_null(attr, row) {
+                    groups.entry(cols.code(attr, row)).or_default().push(row);
+                }
+            }
+            classes.extend(groups.drain().map(|(_, g)| g).filter(|g| g.len() >= 2));
+        }
+        classes.sort_unstable_by_key(|c| c[0]);
+        Self {
+            classes,
+            null_rows,
+            n: self.n,
+        }
+    }
+
+    fn from_groups(groups: impl Iterator<Item = Vec<u32>>, null_rows: RowSet, n: u32) -> Self {
+        let mut classes: Vec<Vec<u32>> = groups.filter(|g| g.len() >= 2).collect();
+        classes.sort_unstable_by_key(|c| c[0]);
+        Self {
+            classes,
+            null_rows,
+            n,
+        }
+    }
+
+    /// Rows that are null-free on `X` (class members + stripped
+    /// singletons).
+    pub(crate) fn covered(&self) -> u32 {
+        self.n - self.null_rows.len()
+    }
+
+    /// The largest class size (stripped singletons count as 1 when any
+    /// covered row exists) — the FD support statistic.
+    pub(crate) fn max_class_size(&self) -> usize {
+        let largest = self.classes.iter().map(Vec::len).max().unwrap_or(0);
+        if largest == 0 && self.covered() > 0 {
+            1
+        } else {
+            largest
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_model::{Catalog, Instance, Schema};
+
+    fn setup() -> (Catalog, Instance) {
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B"]));
+        let rel = RelId(0);
+        let (a, b, x, y) = (
+            cat.konst("a"),
+            cat.konst("b"),
+            cat.konst("x"),
+            cat.konst("y"),
+        );
+        let n = cat.fresh_null();
+        let mut inst = Instance::new("I", &cat);
+        inst.insert(rel, vec![a, x]); // row 0
+        inst.insert(rel, vec![a, y]); // row 1
+        inst.insert(rel, vec![b, x]); // row 2
+        inst.insert(rel, vec![n, x]); // row 3
+        inst.insert(rel, vec![a, n]); // row 4
+        (cat, inst)
+    }
+
+    #[test]
+    fn single_attribute_partition_strips_and_tracks_nulls() {
+        let (_cat, inst) = setup();
+        let cols = ColumnCodes::build(&inst, RelId(0), 2);
+        assert_eq!(cols.n(), 5);
+
+        let by_a = StrippedPartition::single(&cols, 0);
+        // A-classes: {0,1,4} (a); {2} stripped; row 3 null.
+        assert_eq!(by_a.classes, vec![vec![0, 1, 4]]);
+        assert_eq!(by_a.null_rows.len(), 1);
+        assert!(by_a.null_rows.contains(3));
+        assert_eq!(by_a.covered(), 4);
+        assert_eq!(by_a.max_class_size(), 3);
+
+        let by_b = StrippedPartition::single(&cols, 1);
+        // B-classes: {0,2,3} (x); {1} stripped; row 4 null.
+        assert_eq!(by_b.classes, vec![vec![0, 2, 3]]);
+        assert!(by_b.null_rows.contains(4));
+    }
+
+    #[test]
+    fn refinement_matches_direct_composite_semantics() {
+        let (_cat, inst) = setup();
+        let cols = ColumnCodes::build(&inst, RelId(0), 2);
+        let ab = StrippedPartition::single(&cols, 0).refine(&cols, 1);
+        // (A,B)-constant rows: 0 (a,x), 1 (a,y), 2 (b,x) — all distinct →
+        // every class strips; nulls = rows 3 and 4.
+        assert!(ab.classes.is_empty());
+        assert_eq!(ab.null_rows.len(), 2);
+        assert!(ab.null_rows.contains(3) && ab.null_rows.contains(4));
+        assert_eq!(ab.covered(), 3);
+        // Refinement order is irrelevant.
+        let ba = StrippedPartition::single(&cols, 1).refine(&cols, 0);
+        assert_eq!(ab.classes, ba.classes);
+        assert_eq!(ab.null_rows, ba.null_rows);
+    }
+
+    #[test]
+    fn refinement_splits_classes_deterministically() {
+        let mut cat = Catalog::new(Schema::single("R", &["A", "B", "C"]));
+        let rel = RelId(0);
+        let (a, x, y, c) = (
+            cat.konst("a"),
+            cat.konst("x"),
+            cat.konst("y"),
+            cat.konst("c"),
+        );
+        let mut inst = Instance::new("I", &cat);
+        for i in 0..6 {
+            let b = if i % 2 == 0 { x } else { y };
+            inst.insert(rel, vec![a, b, c]);
+        }
+        let cols = ColumnCodes::build(&inst, rel, 3);
+        let by_a = StrippedPartition::single(&cols, 0);
+        assert_eq!(by_a.classes, vec![vec![0, 1, 2, 3, 4, 5]]);
+        let ab = by_a.refine(&cols, 1);
+        assert_eq!(ab.classes, vec![vec![0, 2, 4], vec![1, 3, 5]]);
+    }
+}

@@ -8,10 +8,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
-use ic_core::{Comparator, Error, InstanceSigMaps, SignatureConfig};
-use ic_model::{FxHashMap, FxHashSet, Instance, RelId, Sym};
+use ic_core::{Comparator, Delta, DeltaError, Error, InstanceSigMaps, SignatureConfig};
+use ic_model::{FxHashMap, FxHashSet, Instance, RelId, Sym, TupleId};
 
-use crate::sketch::{hash64, Sketch};
+use crate::sketch::{apply_delta_repairing_sketch, hash64, Sketch, SketchCounts};
 
 /// Seed of the signature-posting hash family (disjoint from the sketch
 /// family's).
@@ -64,6 +64,8 @@ struct Entry {
     pin: Arc<Instance>,
     maps: Arc<InstanceSigMaps>,
     sketch: Sketch,
+    /// Constant-occurrence counts backing incremental sketch repair.
+    counts: SketchCounts,
     sig_hashes: Box<[u64]>,
 }
 
@@ -169,6 +171,36 @@ impl Default for SearchOptions {
     }
 }
 
+/// Why [`CatalogIndex::apply_delta`] did not update an entry. In every
+/// case the index is left exactly as it was.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaApplyError {
+    /// The name is not indexed.
+    NotIndexed(String),
+    /// The entry's pin was concurrently replaced while the delta was being
+    /// applied; the caller's view of the instance is outdated.
+    Stale(String),
+    /// An op in the delta failed validation.
+    Op(DeltaError),
+}
+
+impl std::fmt::Display for DeltaApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotIndexed(name) => write!(f, "instance {name:?} is not indexed"),
+            Self::Stale(name) => {
+                write!(
+                    f,
+                    "entry {name:?} was concurrently replaced; delta not applied"
+                )
+            }
+            Self::Op(e) => write!(f, "delta rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaApplyError {}
+
 /// One search result.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SearchHit {
@@ -265,11 +297,13 @@ impl CatalogIndex {
     fn build_entry(&self, name: &str, pin: &Arc<Instance>) -> Entry {
         let maps = InstanceSigMaps::build(pin, &self.map_cfg);
         let sig_hashes = signature_hashes(&maps);
+        let (sketch, counts) = Sketch::build_counted(pin);
         Entry {
             name: name.to_string(),
             pin: Arc::clone(pin),
             maps: Arc::new(maps),
-            sketch: Sketch::build(pin),
+            sketch,
+            counts,
             sig_hashes,
         }
     }
@@ -398,6 +432,77 @@ impl CatalogIndex {
             removals: self.removals.load(Ordering::Relaxed),
             unchanged: self.unchanged.load(Ordering::Relaxed),
         }
+    }
+
+    /// Applies `delta` to the indexed instance `name` **incrementally**:
+    /// instead of rebuilding the entry from scratch, the pinned instance,
+    /// its signature maps, its sketch and the sketch's domain counts are
+    /// cloned and repaired in place (via
+    /// [`ic_core::apply_delta_repairing`] /
+    /// [`apply_delta_repairing_sketch`]), then the entry is swapped whole.
+    /// The repaired entry is bit-identical to one freshly built from the
+    /// mutated instance — only the per-op repair work is paid, not a full
+    /// map/sketch rebuild.
+    ///
+    /// Returns the new pin (the caller's catalog should adopt it — the old
+    /// `Arc<Instance>` no longer keys this entry) and the ids of inserted
+    /// tuples.
+    ///
+    /// Unlike the underlying prefix-applying primitives, this is
+    /// **all-or-nothing**: repair runs on private clones, so any error
+    /// ([`DeltaApplyError`]) leaves the indexed entry untouched.
+    pub fn apply_delta(
+        &self,
+        name: &str,
+        delta: &Delta,
+    ) -> Result<(Arc<Instance>, Vec<TupleId>), DeltaApplyError> {
+        // Snapshot the entry under the lock; repair outside it.
+        let (old_pin, mut instance, mut maps, mut sketch, mut counts) = {
+            let seg = lock_recover(self.segment_of(name));
+            let Some(&slot) = seg.by_name.get(name) else {
+                return Err(DeltaApplyError::NotIndexed(name.to_string()));
+            };
+            let entry = seg.entries[slot].as_ref().expect("by_name slot is live");
+            (
+                Arc::clone(&entry.pin),
+                (*entry.pin).clone(),
+                (*entry.maps).clone(),
+                entry.sketch.clone(),
+                entry.counts.clone(),
+            )
+        };
+        let inserted = apply_delta_repairing_sketch(
+            &mut instance,
+            Some(&mut maps),
+            &mut sketch,
+            &mut counts,
+            delta,
+        )
+        .map_err(DeltaApplyError::Op)?;
+        let sig_hashes = signature_hashes(&maps);
+        let entry = Entry {
+            name: name.to_string(),
+            pin: Arc::new(instance),
+            maps: Arc::new(maps),
+            sketch,
+            counts,
+            sig_hashes,
+        };
+        let new_pin = Arc::clone(&entry.pin);
+        let mut seg = lock_recover(self.segment_of(name));
+        match seg.by_name.get(name) {
+            Some(&slot) => {
+                let live = seg.entries[slot].as_ref().expect("by_name slot is live");
+                if !Arc::ptr_eq(&live.pin, &old_pin) {
+                    return Err(DeltaApplyError::Stale(name.to_string()));
+                }
+                seg.remove_slot(slot);
+            }
+            None => return Err(DeltaApplyError::Stale(name.to_string())),
+        }
+        seg.insert_entry(entry);
+        self.replacements.fetch_add(1, Ordering::Relaxed);
+        Ok((new_pin, inserted))
     }
 
     /// The prebuilt signature maps of `name`, if indexed **and** still

@@ -28,9 +28,9 @@ mod catalog_index;
 mod sketch;
 
 pub use catalog_index::{
-    CatalogIndex, IndexStats, SearchHit, SearchOptions, SearchOutcome, SyncStats,
+    CatalogIndex, DeltaApplyError, IndexStats, SearchHit, SearchOptions, SearchOutcome, SyncStats,
 };
-pub use sketch::{Sketch, SKETCH_SLOTS};
+pub use sketch::{apply_delta_repairing_sketch, Sketch, SketchCounts, SKETCH_SLOTS};
 
 #[cfg(test)]
 mod tests {
@@ -126,6 +126,73 @@ mod tests {
             .unwrap();
         assert_eq!(out.compared, entries.len(), "k = n compares everything");
         assert_eq!(out.hits.len(), entries.len());
+    }
+
+    #[test]
+    fn apply_delta_repairs_entry_to_match_fresh_build() {
+        use ic_core::{Delta, DeltaOp};
+
+        let mut cat = catalog();
+        let entries = clustered(&mut cat, 2, 2);
+        let index = CatalogIndex::default();
+        index.sync(entries.iter().map(|(n, p)| (n.as_str(), p)));
+
+        let (x, y) = (cat.konst("newx"), cat.konst("newy"));
+        let victim = entries[0].1.tuples(REL)[0].id();
+        let delta = Delta::new(vec![
+            DeltaOp::Insert {
+                rel: REL,
+                values: vec![x, y, x],
+            },
+            DeltaOp::Delete { id: victim },
+        ]);
+        let (new_pin, inserted) = index.apply_delta("c0v0", &delta).unwrap();
+        assert_eq!(inserted.len(), 1);
+        assert!(index.entry_maps("c0v0", &new_pin).is_some());
+        assert!(
+            index.entry_maps("c0v0", &entries[0].1).is_none(),
+            "old pin no longer keys the entry"
+        );
+
+        // The repaired entry must behave exactly like a freshly indexed
+        // one: seeded comparisons through its repaired maps are
+        // bit-identical to comparisons through maps built from scratch.
+        let cmp = Comparator::new(&cat).build().unwrap();
+        let repaired_maps = index.entry_maps("c0v0", &new_pin).unwrap();
+        let fresh_maps = cmp.build_maps(&new_pin).unwrap();
+        let other = &entries[3].1;
+        let seeded = cmp
+            .signature_with_maps(&new_pin, other, Some(&repaired_maps), None)
+            .unwrap();
+        let fresh = cmp
+            .signature_with_maps(&new_pin, other, Some(&fresh_maps), None)
+            .unwrap();
+        assert_eq!(seeded.best.score().to_bits(), fresh.best.score().to_bits());
+
+        // Postings were repaired too: the mutated instance finds itself
+        // through the prefilter at the exact self-similarity score.
+        let out = index
+            .topk(&new_pin, 1, &cmp, &SearchOptions::default())
+            .unwrap();
+        assert_eq!(out.hits[0].name, "c0v0");
+        assert_eq!(out.hits[0].score, 1.0);
+
+        // Failures leave the index untouched.
+        assert!(matches!(
+            index.apply_delta("nope", &delta),
+            Err(DeltaApplyError::NotIndexed(_))
+        ));
+        let bad = Delta::new(vec![DeltaOp::Delete {
+            id: ic_model::TupleId(u32::MAX),
+        }]);
+        assert!(matches!(
+            index.apply_delta("c0v0", &bad),
+            Err(DeltaApplyError::Op(_))
+        ));
+        assert!(
+            index.entry_maps("c0v0", &new_pin).is_some(),
+            "failed delta must not replace the entry"
+        );
     }
 
     #[test]

@@ -36,8 +36,8 @@
 
 use crate::frame::{write_frame, FrameError, FrameReader};
 use crate::proto::{
-    Algo, CompareScores, DecodeError, ErrorCode, InstanceInfo, PatchOp, Request, Response,
-    SearchResults, ServerStats,
+    Algo, CompareScores, DecodeError, DiscoveredFdInfo, DiscoveredKeyInfo, ErrorCode, InstanceInfo,
+    PatchOp, Request, Response, SearchResults, ServerStats,
 };
 use std::collections::VecDeque;
 use std::io;
@@ -118,6 +118,33 @@ pub struct CompareOptions {
     pub lambda: Option<f64>,
     /// Per-request deadline in milliseconds (`None` = server default).
     pub budget_ms: Option<u64>,
+}
+
+/// Options for [`Client::discover`]. `None` fields fall back to the
+/// server's discovery defaults.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiscoverOptions {
+    /// Violation-ratio gate in `[0, 1)`.
+    pub epsilon: Option<f64>,
+    /// Maximum determinant/key width.
+    pub max_lhs: Option<u64>,
+    /// Support floor for reported constraints.
+    pub min_support: Option<u64>,
+    /// Per-request deadline in milliseconds (`None` = client deadline,
+    /// then server default).
+    pub budget_ms: Option<u64>,
+}
+
+/// What [`Client::discover`] returns: the discovered constraints with
+/// schema references resolved to names, plus server-side wall-clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscoveryResults {
+    /// Minimal approximate FDs within the gate.
+    pub fds: Vec<DiscoveredFdInfo>,
+    /// Minimal approximate keys within the gate.
+    pub keys: Vec<DiscoveredKeyInfo>,
+    /// Server-side wall-clock for the discovery, microseconds.
+    pub elapsed_us: u64,
 }
 
 /// Configures and dials a [`Client`] connection.
@@ -338,6 +365,40 @@ impl Client {
         }
     }
 
+    /// Discovers approximate keys and FDs on the catalog instance `name`.
+    /// `None` options fall back to the server's discovery defaults; the
+    /// client-level [`deadline`](ClientBuilder::deadline) applies when
+    /// `opts.budget_ms` is `None`, exactly as for `compare`/`search`.
+    pub fn discover(
+        &mut self,
+        name: &str,
+        opts: DiscoverOptions,
+    ) -> Result<DiscoveryResults, ClientError> {
+        let budget_ms = opts
+            .budget_ms
+            .or_else(|| self.deadline.map(|d| (d.as_millis() as u64).max(1)));
+        match self.call(Request::Discover {
+            id: 0,
+            name: name.into(),
+            epsilon: opts.epsilon,
+            max_lhs: opts.max_lhs,
+            min_support: opts.min_support,
+            budget_ms,
+        })? {
+            Response::Discovered {
+                fds,
+                keys,
+                elapsed_us,
+                ..
+            } => Ok(DiscoveryResults {
+                fds,
+                keys,
+                elapsed_us,
+            }),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Applies a delta to the catalog instance `name` and returns
     /// `(tuples_after, inserted_tuple_ids)`. The patch is atomic: either
     /// every op applies (publishing a new catalog version) or none do.
@@ -378,6 +439,7 @@ fn set_id(req: &mut Request, new_id: u64) {
         | Request::List { id }
         | Request::Compare { id, .. }
         | Request::Search { id, .. }
+        | Request::Discover { id, .. }
         | Request::Patch { id, .. }
         | Request::Stats { id }
         | Request::Shutdown { id } => *id = new_id,

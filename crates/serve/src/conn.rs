@@ -432,7 +432,17 @@ impl Driver<'_> {
     }
 
     /// Routes finished jobs back to their connections by token.
+    ///
+    /// Writev-style flush batching: every completion drained this tick is
+    /// *queued* first, and each touched connection is settled exactly once
+    /// afterwards — so pipelined responses finishing together leave in one
+    /// write syscall instead of one per response. Frames that rode such a
+    /// batch behind an earlier frame are counted in
+    /// [`ConnStats::coalesced_frames`](crate::server::ConnStats).
     fn route_completions(&mut self) {
+        // (slot, frames queued this tick); tiny per tick, linear scan is
+        // cheaper than a hash map.
+        let mut dirty: Vec<(usize, u64)> = Vec::new();
         while let Ok((token, resp)) = self.crx.try_recv() {
             self.inflight_total -= 1;
             let idx = (token & u64::from(u32::MAX)) as usize;
@@ -446,8 +456,23 @@ impl Driver<'_> {
             conn.inflight -= 1;
             conn.last_activity = Instant::now();
             if !conn.queue_response(&resp) {
+                // `close` bumps the generation; the slot (if reused later)
+                // is settled harmlessly — settle on a free slot is a no-op
+                // and nothing registers new connections in this loop.
                 self.close(idx, Close::Protocol);
                 continue;
+            }
+            match dirty.iter_mut().find(|(i, _)| *i == idx) {
+                Some((_, frames)) => *frames += 1,
+                None => dirty.push((idx, 1)),
+            }
+        }
+        for (idx, frames) in dirty {
+            if frames > 1 {
+                self.shared
+                    .conns
+                    .coalesced_frames
+                    .fetch_add(frames - 1, Ordering::Relaxed);
             }
             self.settle(idx);
         }

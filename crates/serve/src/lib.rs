@@ -96,14 +96,17 @@ pub mod server;
 pub mod sigcache;
 
 pub use catalog::{ApplyOutcome, CatalogError, ServeCatalog, Snapshot};
-pub use client::{Client, ClientBuilder, ClientError, CompareOptions};
+pub use client::{
+    Client, ClientBuilder, ClientError, CompareOptions, DiscoverOptions, DiscoveryResults,
+};
 pub use frame::{FrameError, FrameReader, MAX_FRAME_LEN};
 pub use json::Json;
 pub use proto::{
-    Algo, AttrRef, CompareScores, ErrorCode, InstanceInfo, PatchOp, PatchValue, Request, Response,
-    SearchResult, SearchResults, ServerStats, SpanStat,
+    Algo, AttrRef, CompareScores, DiscoveredFdInfo, DiscoveredKeyInfo, ErrorCode, InstanceInfo,
+    PatchOp, PatchValue, Request, Response, SearchResult, SearchResults, ServerStats, SpanStat,
 };
 pub use server::{
-    ConnStats, Runtime, Server, ServerConfig, ServerHandle, COMPARE_LABEL, SEARCH_LABEL,
+    ConnStats, Runtime, Server, ServerConfig, ServerHandle, COMPARE_LABEL, DISCOVER_LABEL,
+    SEARCH_LABEL,
 };
 pub use sigcache::{SigCacheStats, SigMapCache};

@@ -247,6 +247,26 @@ pub enum Request {
         /// truncated result. `None` falls back to the server default.
         budget_ms: Option<u64>,
     },
+    /// Discover approximate keys and functional dependencies on one
+    /// catalog instance under possible-world `g3` semantics, returning
+    /// every minimal constraint within the epsilon gate.
+    Discover {
+        /// Request id, echoed in the response.
+        id: u64,
+        /// Catalog name of the instance to analyse.
+        name: String,
+        /// Violation-ratio gate (`None` = server default 0.05). Must be
+        /// in `[0, 1)` — out-of-range values are a `config` error.
+        epsilon: Option<f64>,
+        /// Maximum determinant/key width (`None` = server default 2).
+        max_lhs: Option<u64>,
+        /// Support floor for reported constraints (`None` = default 2).
+        min_support: Option<u64>,
+        /// Per-request wall-clock deadline in milliseconds, measured from
+        /// admission; exceeding it mid-lattice is a `budget` error, never
+        /// a truncated result. `None` falls back to the server default.
+        budget_ms: Option<u64>,
+    },
     /// Edit an instance in place: apply tuple-level ops to the named
     /// catalog entry, publishing (and, on a durable server, logging) the
     /// patched copy-on-write snapshot. In-flight comparisons finish on
@@ -280,6 +300,7 @@ impl Request {
             | Request::List { id }
             | Request::Compare { id, .. }
             | Request::Search { id, .. }
+            | Request::Discover { id, .. }
             | Request::Patch { id, .. }
             | Request::Stats { id }
             | Request::Shutdown { id } => *id,
@@ -346,6 +367,33 @@ impl Request {
                 ];
                 if let Some(l) = lambda {
                     members.push(("lambda", Json::Num(*l)));
+                }
+                if let Some(b) = budget_ms {
+                    members.push(("budget_ms", Json::Num(*b as f64)));
+                }
+                Json::obj(members)
+            }
+            Request::Discover {
+                id,
+                name,
+                epsilon,
+                max_lhs,
+                min_support,
+                budget_ms,
+            } => {
+                let mut members = vec![
+                    ("id", Json::Num(*id as f64)),
+                    ("kind", Json::Str("discover".into())),
+                    ("name", Json::Str(name.clone())),
+                ];
+                if let Some(e) = epsilon {
+                    members.push(("epsilon", Json::Num(*e)));
+                }
+                if let Some(m) = max_lhs {
+                    members.push(("max_lhs", Json::Num(*m as f64)));
+                }
+                if let Some(s) = min_support {
+                    members.push(("min_support", Json::Num(*s as f64)));
                 }
                 if let Some(b) = budget_ms {
                     members.push(("budget_ms", Json::Num(*b as f64)));
@@ -433,6 +481,14 @@ impl Request {
                     budget_ms,
                 })
             }
+            "discover" => Ok(Request::Discover {
+                id,
+                name: req_str(v, "name")?.to_string(),
+                epsilon: opt_f64(v, "epsilon")?,
+                max_lhs: opt_u64(v, "max_lhs")?,
+                min_support: opt_u64(v, "min_support")?,
+                budget_ms: opt_u64(v, "budget_ms")?,
+            }),
             "patch" => {
                 let items = v
                     .get("ops")
@@ -535,6 +591,9 @@ impl ErrorCode {
             "config" => ErrorCode::Config,
             "budget" => ErrorCode::Budget,
             "schema_mismatch" => ErrorCode::SchemaMismatch,
+            // A schema-level name the request referenced does not exist —
+            // a client mistake, not a server failure.
+            "unknown_name" => ErrorCode::BadRequest,
             _ => ErrorCode::Internal,
         }
     }
@@ -600,6 +659,39 @@ pub struct SearchResults {
     pub elapsed_us: u64,
 }
 
+/// One approximate FD in a `discovered` response, with schema references
+/// resolved to names server-side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscoveredFdInfo {
+    /// Relation name.
+    pub rel: String,
+    /// Determinant attribute names, in schema order.
+    pub lhs: Vec<String>,
+    /// Determined attribute name.
+    pub rhs: String,
+    /// Best-world violation ratio (some world of the labeled nulls).
+    pub g3_min: f64,
+    /// Worst-world violation ratio (every world).
+    pub g3_max: f64,
+    /// Size of the largest all-constant determinant group.
+    pub support: u64,
+}
+
+/// One approximate key in a `discovered` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscoveredKeyInfo {
+    /// Relation name.
+    pub rel: String,
+    /// Key attribute names, in schema order.
+    pub attrs: Vec<String>,
+    /// Best-world violation ratio.
+    pub g3_min: f64,
+    /// Worst-world violation ratio.
+    pub g3_max: f64,
+    /// Tuples null-free on every key attribute.
+    pub covered: u64,
+}
+
 /// Per-observation-label statistics in a `stats` response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanStat {
@@ -662,6 +754,18 @@ pub enum Response {
         /// Ranked hits and prefilter accounting.
         results: SearchResults,
     },
+    /// A `discover` result: every minimal approximate FD and key within
+    /// the requested gate.
+    Discovered {
+        /// Echoed request id.
+        id: u64,
+        /// Minimal approximate FDs, in `(rel, |lhs|, lhs, rhs)` order.
+        fds: Vec<DiscoveredFdInfo>,
+        /// Minimal approximate keys, in `(rel, |attrs|, attrs)` order.
+        keys: Vec<DiscoveredKeyInfo>,
+        /// Server-side wall-clock for the discovery, microseconds.
+        elapsed_us: u64,
+    },
     /// A `patch` succeeded.
     Patched {
         /// Echoed request id.
@@ -705,6 +809,7 @@ impl Response {
             | Response::Listing { id, .. }
             | Response::Compared { id, .. }
             | Response::Searched { id, .. }
+            | Response::Discovered { id, .. }
             | Response::Patched { id, .. }
             | Response::Stats { id, .. }
             | Response::ShuttingDown { id }
@@ -791,6 +896,59 @@ impl Response {
                 ("compared", Json::Num(results.compared as f64)),
                 ("total", Json::Num(results.total as f64)),
                 ("elapsed_us", Json::Num(results.elapsed_us as f64)),
+            ]),
+            Response::Discovered {
+                id,
+                fds,
+                keys,
+                elapsed_us,
+            } => Json::obj(vec![
+                ("id", Json::Num(*id as f64)),
+                ("kind", Json::Str("discovered".into())),
+                (
+                    "fds",
+                    Json::Arr(
+                        fds.iter()
+                            .map(|fd| {
+                                Json::obj(vec![
+                                    ("rel", Json::Str(fd.rel.clone())),
+                                    (
+                                        "lhs",
+                                        Json::Arr(
+                                            fd.lhs.iter().map(|a| Json::Str(a.clone())).collect(),
+                                        ),
+                                    ),
+                                    ("rhs", Json::Str(fd.rhs.clone())),
+                                    ("g3_min", Json::Num(fd.g3_min)),
+                                    ("g3_max", Json::Num(fd.g3_max)),
+                                    ("support", Json::Num(fd.support as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "keys",
+                    Json::Arr(
+                        keys.iter()
+                            .map(|k| {
+                                Json::obj(vec![
+                                    ("rel", Json::Str(k.rel.clone())),
+                                    (
+                                        "attrs",
+                                        Json::Arr(
+                                            k.attrs.iter().map(|a| Json::Str(a.clone())).collect(),
+                                        ),
+                                    ),
+                                    ("g3_min", Json::Num(k.g3_min)),
+                                    ("g3_max", Json::Num(k.g3_max)),
+                                    ("covered", Json::Num(k.covered as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("elapsed_us", Json::Num(*elapsed_us as f64)),
             ]),
             Response::Patched {
                 id,
@@ -917,6 +1075,60 @@ impl Response {
                     },
                 })
             }
+            "discovered" => {
+                let req_f64 = |v: &Json, key: &'static str| -> Result<f64, DecodeError> {
+                    v.get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or(DecodeError::Shape("missing or non-number field"))
+                };
+                let str_arr = |v: &Json, key: &'static str| -> Result<Vec<String>, DecodeError> {
+                    v.get(key)
+                        .and_then(Json::as_arr)
+                        .ok_or(DecodeError::Shape("missing attribute array"))?
+                        .iter()
+                        .map(|a| {
+                            a.as_str()
+                                .map(str::to_string)
+                                .ok_or(DecodeError::Shape("attribute name not a string"))
+                        })
+                        .collect()
+                };
+                let fd_items = v
+                    .get("fds")
+                    .and_then(Json::as_arr)
+                    .ok_or(DecodeError::Shape("missing fds array"))?;
+                let mut fds = Vec::with_capacity(fd_items.len());
+                for item in fd_items {
+                    fds.push(DiscoveredFdInfo {
+                        rel: req_str(item, "rel")?.to_string(),
+                        lhs: str_arr(item, "lhs")?,
+                        rhs: req_str(item, "rhs")?.to_string(),
+                        g3_min: req_f64(item, "g3_min")?,
+                        g3_max: req_f64(item, "g3_max")?,
+                        support: req_u64(item, "support")?,
+                    });
+                }
+                let key_items = v
+                    .get("keys")
+                    .and_then(Json::as_arr)
+                    .ok_or(DecodeError::Shape("missing keys array"))?;
+                let mut keys = Vec::with_capacity(key_items.len());
+                for item in key_items {
+                    keys.push(DiscoveredKeyInfo {
+                        rel: req_str(item, "rel")?.to_string(),
+                        attrs: str_arr(item, "attrs")?,
+                        g3_min: req_f64(item, "g3_min")?,
+                        g3_max: req_f64(item, "g3_max")?,
+                        covered: req_u64(item, "covered")?,
+                    });
+                }
+                Ok(Response::Discovered {
+                    id,
+                    fds,
+                    keys,
+                    elapsed_us: req_u64(v, "elapsed_us")?,
+                })
+            }
             "patched" => {
                 let items = v
                     .get("inserted")
@@ -1025,6 +1237,16 @@ fn opt_f64(v: &Json, key: &'static str) -> Result<Option<f64>, DecodeError> {
     }
 }
 
+fn opt_u64(v: &Json, key: &'static str) -> Result<Option<u64>, DecodeError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(n) => Ok(Some(
+            n.as_u64()
+                .ok_or(DecodeError::Shape("field not a non-negative integer"))?,
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1066,6 +1288,22 @@ mod tests {
                 query: "q".into(),
                 k: 0,
                 lambda: None,
+                budget_ms: None,
+            },
+            Request::Discover {
+                id: 13,
+                name: "νear".into(),
+                epsilon: Some(0.0625),
+                max_lhs: Some(3),
+                min_support: Some(4),
+                budget_ms: Some(500),
+            },
+            Request::Discover {
+                id: 14,
+                name: "bare".into(),
+                epsilon: None,
+                max_lhs: None,
+                min_support: None,
                 budget_ms: None,
             },
             Request::Patch {
@@ -1176,6 +1414,31 @@ mod tests {
                     }],
                 },
             },
+            Response::Discovered {
+                id: 13,
+                fds: vec![DiscoveredFdInfo {
+                    rel: "NC".into(),
+                    lhs: vec!["f0".into(), "c0".into()],
+                    rhs: "f2".into(),
+                    g3_min: 0.02734375,
+                    g3_max: 0.04,
+                    support: 20,
+                }],
+                keys: vec![DiscoveredKeyInfo {
+                    rel: "NC".into(),
+                    attrs: vec!["k0".into(), "k1".into()],
+                    g3_min: 0.02734375,
+                    g3_max: 0.0625,
+                    covered: 230,
+                }],
+                elapsed_us: 4321,
+            },
+            Response::Discovered {
+                id: 14,
+                fds: vec![],
+                keys: vec![],
+                elapsed_us: 2,
+            },
             Response::Patched {
                 id: 11,
                 name: "νictim".into(),
@@ -1247,5 +1510,10 @@ mod tests {
             found: 2,
         };
         assert_eq!(ErrorCode::from_core(&e), ErrorCode::SchemaMismatch);
+        let e = ic_core::Error::UnknownName {
+            kind: "relation",
+            name: "Nope".into(),
+        };
+        assert_eq!(ErrorCode::from_core(&e), ErrorCode::BadRequest);
     }
 }

@@ -49,8 +49,9 @@ use crate::frame::{write_frame, FrameError, FrameReader, MAX_FRAME_LEN};
 use crate::json::Json;
 use crate::lockutil::lock_recover;
 use crate::proto::{
-    Algo, AttrRef, CompareScores, DecodeError, ErrorCode, InstanceInfo, PatchOp, PatchValue,
-    Request, Response, SearchResult, SearchResults, ServerStats, SpanStat,
+    Algo, AttrRef, CompareScores, DecodeError, DiscoveredFdInfo, DiscoveredKeyInfo, ErrorCode,
+    InstanceInfo, PatchOp, PatchValue, Request, Response, SearchResult, SearchResults, ServerStats,
+    SpanStat,
 };
 use crate::sigcache::SigMapCache;
 use ic_core::{apply_delta_repairing, Comparator, Delta, DeltaOp, SignatureConfig};
@@ -72,6 +73,9 @@ pub const COMPARE_LABEL: &str = "serve.compare";
 
 /// The observation label every search request runs under.
 pub const SEARCH_LABEL: &str = "serve.search";
+
+/// The observation label every constraint-discovery request runs under.
+pub const DISCOVER_LABEL: &str = "serve.discover";
 
 /// Which connection runtime drives the server (see [module docs](self)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -201,6 +205,12 @@ pub(crate) enum JobKind {
         k: usize,
         lambda: Option<f64>,
     },
+    Discover {
+        name: String,
+        epsilon: Option<f64>,
+        max_lhs: Option<u64>,
+        min_support: Option<u64>,
+    },
 }
 
 /// Where a worker's finished [`Response`] goes.
@@ -256,6 +266,7 @@ pub(crate) struct ConnCounters {
     pub(crate) closed_backpressure: AtomicU64,
     pub(crate) closed_drained: AtomicU64,
     pub(crate) closed_idle: AtomicU64,
+    pub(crate) coalesced_frames: AtomicU64,
 }
 
 /// A point-in-time snapshot of connection lifecycle counters — how many
@@ -278,6 +289,12 @@ pub struct ConnStats {
     /// Shed for exceeding [`ServerConfig::idle_timeout`] with no frame
     /// activity and nothing in flight.
     pub closed_idle: u64,
+    /// Response frames that rode a flush batch behind an earlier frame for
+    /// the same connection — completions landing in the same event-loop
+    /// tick are queued together and flushed with one write syscall, and
+    /// each coalesced frame is a syscall avoided (event-loop runtime
+    /// only; the threaded runtime writes per response).
+    pub coalesced_frames: u64,
 }
 
 /// State shared by every server thread.
@@ -531,6 +548,7 @@ impl ServerHandle {
             closed_backpressure: c.closed_backpressure.load(Ordering::Relaxed),
             closed_drained: c.closed_drained.load(Ordering::Relaxed),
             closed_idle: c.closed_idle.load(Ordering::Relaxed),
+            coalesced_frames: c.coalesced_frames.load(Ordering::Relaxed),
         }
     }
 
@@ -897,6 +915,30 @@ pub(crate) fn classify(shared: &Arc<Shared>, req: Request) -> Action {
                 deadline: stamp_deadline(shared, budget_ms),
             }
         }
+        Request::Discover {
+            id,
+            name,
+            epsilon,
+            max_lhs,
+            min_support,
+            budget_ms,
+        } => {
+            let snapshot = shared.catalog.snapshot();
+            if snapshot.get(&name).is_none() {
+                return error_action(shared, unknown_instance(id, &name));
+            }
+            Action::Admit {
+                id,
+                kind: JobKind::Discover {
+                    name,
+                    epsilon,
+                    max_lhs,
+                    min_support,
+                },
+                snapshot,
+                deadline: stamp_deadline(shared, budget_ms),
+            }
+        }
     };
     if let Action::Respond {
         resp: Response::Error { .. },
@@ -1257,7 +1299,10 @@ fn process_job(shared: &Shared, job: Job) {
             message: format!("request processing panicked: {}", panic_message(&panic)),
         },
     );
-    if matches!(resp, Response::Compared { .. } | Response::Searched { .. }) {
+    if matches!(
+        resp,
+        Response::Compared { .. } | Response::Searched { .. } | Response::Discovered { .. }
+    ) {
         shared.completed.fetch_add(1, Ordering::Relaxed);
     } else {
         shared.errors.fetch_add(1, Ordering::Relaxed);
@@ -1284,6 +1329,20 @@ fn run_job(shared: &Shared, job: &Job, remaining: Option<Duration>) -> Response 
             lambda,
         } => run_compare(shared, job, left, right, *algo, *lambda, remaining),
         JobKind::Search { query, k, lambda } => run_search(shared, job, query, *k, *lambda),
+        JobKind::Discover {
+            name,
+            epsilon,
+            max_lhs,
+            min_support,
+        } => run_discover(
+            shared,
+            job,
+            name,
+            *epsilon,
+            *max_lhs,
+            *min_support,
+            remaining,
+        ),
     }
 }
 
@@ -1477,6 +1536,76 @@ fn run_search(
                 elapsed_us: start.elapsed().as_micros() as u64,
             },
         },
+        Err(e) => core_error(job.id, &e),
+    }
+}
+
+fn run_discover(
+    shared: &Shared,
+    job: &Job,
+    name: &str,
+    epsilon: Option<f64>,
+    max_lhs: Option<u64>,
+    min_support: Option<u64>,
+    remaining: Option<Duration>,
+) -> Response {
+    let _obs = ic_obs::observe(DISCOVER_LABEL, shared.job_sink());
+
+    let Some(instance) = job.snapshot.get(name) else {
+        return Response::Error {
+            id: job.id,
+            code: ErrorCode::UnknownInstance,
+            message: "instance vanished from the admitted snapshot".into(),
+        };
+    };
+
+    // Request knobs override the library defaults field by field; the
+    // config's own validation turns a bad epsilon into a typed `config`
+    // error, and the admission deadline becomes the discovery budget so
+    // exhaustion surfaces as `budget`, never a truncated constraint list.
+    let defaults = ic_discovery::DiscoveryConfig::default();
+    let cfg = ic_discovery::DiscoveryConfig {
+        epsilon: epsilon.unwrap_or(defaults.epsilon),
+        max_lhs: max_lhs.map_or(defaults.max_lhs, |m| m.min(usize::MAX as u64) as usize),
+        min_support: min_support
+            .map_or(defaults.min_support, |s| s.min(usize::MAX as u64) as usize),
+        budget: remaining,
+        ..defaults
+    };
+
+    let start = Instant::now();
+    match ic_discovery::discover(instance, &job.snapshot.catalog, &cfg) {
+        Ok(found) => {
+            let schema = job.snapshot.catalog.schema();
+            let attr = |rel: RelId, a: AttrId| schema.relation(rel).attr_name(a).to_string();
+            Response::Discovered {
+                id: job.id,
+                fds: found
+                    .fds
+                    .iter()
+                    .map(|fd| DiscoveredFdInfo {
+                        rel: schema.relation(fd.rel).name().to_string(),
+                        lhs: fd.lhs.iter().map(|&a| attr(fd.rel, a)).collect(),
+                        rhs: attr(fd.rel, fd.rhs),
+                        g3_min: fd.g3.g3_min,
+                        g3_max: fd.g3.g3_max,
+                        support: fd.support as u64,
+                    })
+                    .collect(),
+                keys: found
+                    .keys
+                    .iter()
+                    .map(|k| DiscoveredKeyInfo {
+                        rel: schema.relation(k.rel).name().to_string(),
+                        attrs: k.attrs.iter().map(|&a| attr(k.rel, a)).collect(),
+                        g3_min: k.g3.g3_min,
+                        g3_max: k.g3.g3_max,
+                        covered: k.covered as u64,
+                    })
+                    .collect(),
+                elapsed_us: start.elapsed().as_micros() as u64,
+            }
+        }
         Err(e) => core_error(job.id, &e),
     }
 }

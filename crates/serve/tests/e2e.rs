@@ -462,3 +462,89 @@ fn panicking_observer_sink_does_not_wedge_subsequent_requests() {
     other.shutdown().unwrap();
     server.wait();
 }
+
+/// Acceptance criterion: `discover` over the wire finds exactly the
+/// constraints planted by `inject_near_constraints` — the composite key
+/// and both FDs, with attribute names resolved — and a zero budget is a
+/// typed `budget` error, not a truncated result.
+#[test]
+fn served_discovery_recalls_planted_constraints() {
+    let nc = ic_datagen::inject_near_constraints(&ic_datagen::NearConstraintParams::default());
+    let epsilon = nc.epsilon;
+    let catalog = Arc::new(ServeCatalog::from_catalog(nc.catalog));
+    catalog.register("near", nc.instance).unwrap();
+    let server = start(catalog, ServerConfig::default());
+    let mut client = Client::new(server.local_addr()).unwrap();
+
+    let opts = ic_serve::DiscoverOptions {
+        epsilon: Some(epsilon),
+        ..ic_serve::DiscoverOptions::default()
+    };
+    let found = client.discover("near", opts).unwrap();
+
+    // Recall: every planted constraint is in the answer, by name. (The
+    // null sprinkling can only lower g3_min, never push a planted
+    // constraint past the gate.)
+    assert!(
+        found
+            .keys
+            .iter()
+            .any(|k| k.rel == "NC" && k.attrs == ["k0", "k1"]),
+        "planted key missing from {:?}",
+        found.keys
+    );
+    for (lhs, rhs) in [(vec!["f0"], "f1"), (vec!["f0", "c0"], "f2")] {
+        assert!(
+            found
+                .fds
+                .iter()
+                .any(|fd| fd.rel == "NC" && fd.lhs == lhs && fd.rhs == rhs),
+            "planted FD {lhs:?} -> {rhs} missing from {:?}",
+            found.fds
+        );
+    }
+    for fd in &found.fds {
+        assert!(fd.g3_min <= fd.g3_max, "interval must be ordered");
+        assert!(fd.g3_min <= epsilon, "gate respected");
+    }
+
+    // A zero budget is a typed `budget` error.
+    let err = client
+        .discover(
+            "near",
+            ic_serve::DiscoverOptions {
+                budget_ms: Some(0),
+                ..ic_serve::DiscoverOptions::default()
+            },
+        )
+        .unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::Budget));
+
+    // An out-of-range epsilon is a typed `config` error.
+    let err = client
+        .discover(
+            "near",
+            ic_serve::DiscoverOptions {
+                epsilon: Some(1.5),
+                ..ic_serve::DiscoverOptions::default()
+            },
+        )
+        .unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::Config));
+
+    // An unknown instance is rejected at admission.
+    let err = client
+        .discover("nope", ic_serve::DiscoverOptions::default())
+        .unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::UnknownInstance));
+
+    // The discovery ran under its own observation label.
+    let stats = client.stats().unwrap();
+    assert!(stats
+        .spans
+        .iter()
+        .any(|s| s.label == ic_serve::DISCOVER_LABEL && s.reports >= 1));
+
+    client.shutdown().unwrap();
+    server.wait();
+}

@@ -157,6 +157,75 @@ fn pipelined_client_matches_sequential_scores() {
     server.wait();
 }
 
+/// Completion-batching sanity check (event-loop runtime): a pipelined
+/// burst must complete with every response intact *and* the loop must
+/// observably coalesce completions landing in the same tick into shared
+/// flushes ([`ConnStats::coalesced_frames`] advances). Coalescing is
+/// timing-dependent per burst, so bursts repeat under a deadline — but
+/// correctness of every burst is asserted unconditionally.
+#[test]
+fn pipelined_burst_coalesces_completion_flushes() {
+    if !cfg!(target_os = "linux") {
+        return; // completion batching is event-loop (Linux) behavior
+    }
+    let server = server_with(ServerConfig {
+        runtime: Runtime::EventLoop,
+        workers: 4,
+        queue_depth: 256,
+        ..ServerConfig::default()
+    });
+
+    let mut seq = Client::new(server.local_addr()).unwrap();
+    let reference = seq
+        .compare("a", "b", Algo::Signature, CompareOptions::default())
+        .unwrap()
+        .signature
+        .unwrap();
+
+    const BURST: u64 = 32;
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut reader = FrameReader::new(&stream);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        // One burst: BURST compares in a single TCP segment, then read
+        // all BURST responses (out-of-order, id-matched).
+        let mut wire = Vec::new();
+        for id in 1..=BURST {
+            write_frame(&mut wire, &compare_req(id, "a", "b").encode()).unwrap();
+        }
+        (&stream).write_all(&wire).unwrap();
+        let mut seen = Vec::new();
+        for _ in 0..BURST {
+            match Response::decode(&reader.next_frame().unwrap()).unwrap() {
+                Response::Compared { id, scores } => {
+                    assert_eq!(
+                        scores.signature.unwrap().to_bits(),
+                        reference.to_bits(),
+                        "batched flushes must not corrupt or reorder frames"
+                    );
+                    seen.push(id);
+                }
+                other => panic!("unexpected response: {other:?}"),
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (1..=BURST).collect::<Vec<_>>());
+
+        if server.conn_stats().coalesced_frames > 0 {
+            break; // at least one tick flushed ≥ 2 responses together
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no completion batch observed after repeated pipelined bursts; \
+             conn_stats: {:?}",
+            server.conn_stats()
+        );
+    }
+
+    server.shutdown();
+}
+
 /// A compare against a name this long produces an inline error response of
 /// roughly the same size — a cheap way to pump bytes toward a peer.
 fn huge_name_request(id: u64) -> Request {

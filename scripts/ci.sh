@@ -93,6 +93,23 @@ cargo run -q --offline --release -p ic-bench --bin bench_serve_throughput
 test -f target/ic-bench/BENCH_serve.json
 echo "    wrote target/ic-bench/BENCH_serve.json"
 
+# Constraint discovery (DESIGN.md §12): possible-world g3 intervals,
+# classical-g3 collapse on null-free data, bit-identical lattice output
+# at both pool thread counts, and the prior contract (discovered keys
+# never move a similarity score).
+echo "==> discovery property suite (default thread pool)"
+cargo test -q --offline --test discovery_props
+echo "==> discovery property suite (IC_POOL_THREADS=1)"
+IC_POOL_THREADS=1 cargo test -q --offline --test discovery_props
+
+# Discovery's acceptance bench: recall 1.0 of the planted constraints at
+# the planted epsilon (asserted inside), precision/recall across an
+# epsilon grid, and lattice rows/s as a JSON artifact.
+echo "==> bench_discovery (planted-constraint recall + epsilon grid + rows/s)"
+cargo run -q --offline --release -p ic-bench --bin bench_discovery
+test -f target/ic-bench/BENCH_discovery.json
+echo "    wrote target/ic-bench/BENCH_discovery.json"
+
 # The search path must stay exact: topk over the whole catalog reproduces
 # the brute-force ranking bit-for-bit at 1 and 4 comparator threads.
 echo "==> search property suite (topk == brute force, threads 1 and 4)"

@@ -23,6 +23,7 @@
 //! | [`exchange`] | s-t tgds, chase, core solutions |
 //! | [`cleaning`] | FDs, error injection, repair systems, F1 metrics |
 //! | [`versioning`] | version ops, diff baseline, comparison stats |
+//! | [`discovery`] | approximate keys/FDs under possible-world g3, match priors |
 //! | [`index`] | top-k similarity search: sketches, sharded inverted index |
 //! | [`obs`] | spans, metrics, observation sinks (span trees, JSONL) |
 //! | [`serve`] | similarity service: instance catalog, wire protocol, server, client |
@@ -78,6 +79,7 @@ pub mod prelude {
 pub use ic_cleaning as cleaning;
 pub use ic_core as core;
 pub use ic_datagen as datagen;
+pub use ic_discovery as discovery;
 pub use ic_exchange as exchange;
 pub use ic_index as index;
 pub use ic_model as model;
